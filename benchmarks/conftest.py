@@ -1,0 +1,17 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every module here regenerates one experiment of EXPERIMENTS.md (the paper
+has no empirical tables; the experiments validate its algorithmic and
+complexity claims).  Benchmarks double as correctness checks: each one
+asserts the expected *shape* of the result before timing it.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "bench: benchmark-suite test")

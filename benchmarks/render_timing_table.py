@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Render the EXPERIMENTS.md timing table from a pytest-benchmark JSON dump.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/render_timing_table.py bench.json
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def human(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} µs"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def main(path: str) -> None:
+    with open(path) as handle:
+        payload = json.load(handle)
+    groups: dict[str, list] = defaultdict(list)
+    for bench in payload["benchmarks"]:
+        module = bench["fullname"].split("::")[0].split("/")[-1]
+        groups[module].append(bench)
+    print("| experiment module | benchmark | mean |")
+    print("|---|---|---|")
+    for module in sorted(groups):
+        for bench in sorted(groups[module], key=lambda b: b["name"]):
+            mean = human(bench["stats"]["mean"])
+            print(f"| {module} | `{bench['name']}` | {mean} |")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench.json")

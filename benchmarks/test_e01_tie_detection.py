@@ -1,0 +1,65 @@
+"""E1 — Lemma 1: the tie test runs in linear time.
+
+Builds strongly connected signed graphs of growing size and times
+``analyze_component``.  Series: a large even ring with chords (a tie) and
+the same ring with one sign flipped (not a tie — includes the simple-odd-
+cycle witness extraction).  The claim to observe: time per edge is flat
+across sizes (linearity).
+"""
+
+import pytest
+
+from repro.graphs.ties import analyze_component
+
+SIZES = [1_000, 4_000, 16_000]
+
+
+def ring_with_chords(n, *, odd):
+    """A ring 0→1→...→0 alternating signs, plus chords every 7 nodes.
+
+    With an even number of negative ring edges the graph is a tie; ``odd``
+    flips one chord sign pattern to create an odd cycle.
+    """
+    succ = [[] for _ in range(n)]
+    for i in range(n):
+        succ[i].append(((i + 1) % n, i % 2 == 0))
+    negatives_on_ring = n // 2
+    if negatives_on_ring % 2 == 1:
+        succ[n - 1][0] = (0, True)
+    for i in range(0, n - 8, 7):
+        # chord parallel to the 2-step ring path, sign chosen to agree
+        sign = not odd if i % 14 == 0 else (succ[i][0][1] == succ[(i + 1) % n][0][1])
+        succ[i].append(((i + 2) % n, sign))
+    return succ
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("n", SIZES)
+def test_tie_detection_on_tie(benchmark, n):
+    succ = ring_with_chords(n, odd=False)
+    component = list(range(n))
+    analysis = analyze_component(component, lambda u: succ[u])
+    # sanity on the witness/partition before timing
+    if analysis.is_tie:
+        assert set(analysis.sides) == set(component)
+    result = benchmark(analyze_component, component, lambda u: succ[u])
+    edge_count = sum(len(s) for s in succ)
+    benchmark.extra_info["nodes"] = n
+    benchmark.extra_info["edges"] = edge_count
+    benchmark.extra_info["is_tie"] = result.is_tie
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("n", SIZES)
+def test_tie_detection_with_odd_witness(benchmark, n):
+    succ = ring_with_chords(n, odd=False)
+    # plant a single odd chord: positive 1-step chord next to a negative edge
+    succ[0].append((1, not succ[0][0][1]))
+    component = list(range(n))
+    analysis = analyze_component(component, lambda u: succ[u])
+    assert not analysis.is_tie
+    negatives = sum(1 for _, _, positive in analysis.odd_cycle if not positive)
+    assert negatives % 2 == 1
+    benchmark(analyze_component, component, lambda u: succ[u])
+    benchmark.extra_info["nodes"] = n
+    benchmark.extra_info["odd_cycle_length"] = len(analysis.odd_cycle)

@@ -1,0 +1,57 @@
+"""E8 — Theorem 4: structural totality checks are linear time.
+
+Series:
+
+* uniform check ``is_structurally_total`` on random programs with rule
+  counts doubling: time per rule should stay flat (linear, NC-parallel in
+  theory);
+* nonuniform check ``is_structurally_nonuniformly_total`` (useless-predicate
+  analysis + reduction + odd-cycle test — still linear, though P-complete);
+* the MCVP reduction end-to-end on alternating circuits of growing depth:
+  the P-completeness construction exercised as an algorithm.
+"""
+
+import pytest
+
+from repro.analysis.structural import (
+    is_structurally_nonuniformly_total,
+    is_structurally_total,
+)
+from repro.constructions.circuits import alternating_circuit
+from repro.constructions.theorem4 import mcvp_via_structural_totality
+from repro.workloads.random_programs import random_propositional_program
+
+SIZES = [200, 800, 3_200]
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("n_rules", SIZES)
+def test_uniform_structural_check(benchmark, n_rules):
+    program = random_propositional_program(
+        max(8, n_rules // 10), n_rules, negation_probability=0.45, seed=n_rules
+    )
+    benchmark(is_structurally_total, program)
+    benchmark.extra_info["rules"] = n_rules
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("n_rules", SIZES)
+def test_nonuniform_structural_check(benchmark, n_rules):
+    program = random_propositional_program(
+        max(8, n_rules // 10), n_rules, negation_probability=0.45, seed=n_rules + 1
+    )
+    benchmark(is_structurally_nonuniformly_total, program)
+    benchmark.extra_info["rules"] = n_rules
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("depth", [4, 6, 8])
+def test_mcvp_reduction_scaling(benchmark, depth):
+    circuit = alternating_circuit(depth)
+    bits = [i % 3 != 0 for i in range(circuit.input_count)]
+    expected = circuit.evaluate(bits)
+
+    result = benchmark(mcvp_via_structural_totality, circuit, bits)
+    assert result == expected
+    benchmark.extra_info["gates"] = len(circuit.gates)
+    benchmark.extra_info["value"] = expected

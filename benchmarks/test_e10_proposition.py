@@ -1,0 +1,42 @@
+"""E10 — the §5 Proposition: totality checking blows up (it is Π₂ᵖ-complete).
+
+Times the brute-force totality decision on the reduction programs of
+growing ∀∃-CNF instances.  The observed exponential growth in the
+database-enumeration dimension is the *expected shape* — membership in
+Π₂ᵖ is exactly "for all databases, exists a fixpoint", and the bench
+records how the 2^(EDB+IDB) factor dominates.
+"""
+
+import pytest
+
+from repro.constructions.proposition import formula_to_program, is_total_propositional
+from repro.constructions.qbf import forall_exists_holds, random_formula
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("n_vars", [(1, 1), (2, 1), (2, 2)])
+def test_totality_decision_scaling(benchmark, n_vars):
+    n_x, n_y = n_vars
+    formula = random_formula(n_x, n_y, n_x + n_y, seed=13 * n_x + n_y)
+    program = formula_to_program(formula)
+    expected = forall_exists_holds(formula)
+
+    result = benchmark(is_total_propositional, program, nonuniform=True)
+    assert result == expected
+    benchmark.extra_info["x_vars"] = n_x
+    benchmark.extra_info["y_vars"] = n_y
+    benchmark.extra_info["databases"] = 2 ** len(program.edb_predicates)
+
+
+@pytest.mark.bench
+def test_uniform_totality_is_harder(benchmark):
+    """The uniform case enumerates 2^(EDB+IDB) databases instead of 2^EDB."""
+    formula = random_formula(1, 2, 3, seed=5)
+    program = formula_to_program(formula)
+    expected = forall_exists_holds(formula)
+
+    result = benchmark(is_total_propositional, program, nonuniform=False)
+    assert result == expected
+    benchmark.extra_info["databases"] = 2 ** (
+        len(program.edb_predicates) + len(program.idb_predicates)
+    )

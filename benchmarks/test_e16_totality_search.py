@@ -1,0 +1,49 @@
+"""E16 — the bounded nontotality search (the §5 r.e. procedure).
+
+Times the guess-and-verify loop: database enumeration with symmetry
+reduction plus one SAT call each.  Shapes: refuting a non-total program is
+fast (a small witness exists — the search is output-sensitive); clearing a
+total program pays for the whole bounded database space, growing
+exponentially with the constant budget (Theorem 6 guarantees this cannot
+be escaped in general).
+"""
+
+import pytest
+
+from repro.analysis.totality_search import search_nontotality_witness
+from repro.datalog.parser import parse_program
+
+NON_TOTAL = "win(X) :- move(X, Y), not win(Y)."
+TOTAL = "p(X) :- not q(X), e(X). q(X) :- not p(X), e(X)."
+TOTAL_DESPITE_ODD = "p(a) :- not p(X), e(b)."
+
+
+@pytest.mark.bench
+def test_refute_win_move(benchmark):
+    program = parse_program(NON_TOTAL)
+
+    witness = benchmark(search_nontotality_witness, program, max_constants=1)
+    assert witness is not None
+    benchmark.extra_info["witness_facts"] = len(witness)
+
+
+@pytest.mark.bench
+@pytest.mark.parametrize("max_constants", [1, 2])
+def test_clear_total_program(benchmark, max_constants):
+    program = parse_program(TOTAL)
+
+    witness = benchmark(
+        search_nontotality_witness, program, max_constants=max_constants
+    )
+    assert witness is None
+    benchmark.extra_info["constant_budget"] = max_constants
+
+
+@pytest.mark.bench
+def test_clear_paper_program_1(benchmark):
+    """The total-but-not-structurally-total case: every database must be
+    cleared by SAT, none refutes."""
+    program = parse_program(TOTAL_DESPITE_ODD)
+
+    witness = benchmark(search_nontotality_witness, program, max_constants=1)
+    assert witness is None

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Default reasoning through tie-breaking — the [PS] citation of §3, live.
+
+Knowledge bases with defaults ("birds fly unless abnormal", "Quakers are
+pacifists unless hawks") translate to Datalog¬; their *extensions* are the
+stable models of the translation.  The paper's §3 notes that tie-breaking
+was first proposed as an extension-finding mechanism in default logic —
+and Lemma 3 is exactly why it works: a total well-founded tie-breaking run
+is a stable model, i.e. an extension, found in polynomial time.
+
+The demo resolves the Nixon diamond (two defensible worldviews — the
+interpreter picks one per choice policy), the Tweety triangle (a unique
+extension, no ties needed), and an extensionless theory (the interpreter
+correctly stalls instead of guessing).
+"""
+
+from repro.extensions.default_logic import (
+    Default,
+    DefaultTheory,
+    extensions,
+    find_extension_tie_breaking,
+)
+from repro.semantics.choices import RandomChoice
+
+
+def show(name, theory):
+    print(f"{name}:")
+    for d in theory.defaults:
+        print(f"  default {d}")
+    print(f"  facts: {sorted(theory.facts)}")
+    all_extensions = [sorted(e - theory.facts) for e in extensions(theory)]
+    print(f"  extensions ({len(all_extensions)}): {sorted(all_extensions)}")
+    for seed in (1, 5):
+        found = find_extension_tie_breaking(theory, policy=RandomChoice(seed))
+        label = sorted(found - theory.facts) if found is not None else "stalled"
+        print(f"  tie-breaking (seed {seed}) -> {label}")
+    print()
+
+
+def main() -> None:
+    show(
+        "Nixon diamond",
+        DefaultTheory(
+            frozenset({"quaker", "republican"}),
+            (
+                Default(("quaker",), ("hawk",), "pacifist"),
+                Default(("republican",), ("pacifist",), "hawk"),
+            ),
+        ),
+    )
+    show(
+        "Tweety the penguin",
+        DefaultTheory(
+            frozenset({"bird", "penguin"}),
+            (
+                Default(("bird",), ("abnormal",), "flies"),
+                Default(("penguin",), (), "abnormal"),
+            ),
+        ),
+    )
+    show(
+        "extensionless: (: ¬p / p)",
+        DefaultTheory(frozenset(), (Default((), ("p",), "p"),)),
+    )
+    print("Lemma 3 in action: whenever tie-breaking terminates totally, the")
+    print("result is an extension; when no extension exists it stalls rather")
+    print("than fabricate one.")
+
+
+if __name__ == "__main__":
+    main()

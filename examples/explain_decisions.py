@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Provenance: auditing why the interpreter decided each atom.
+
+A small access-control rule base mixes derivation, closed-world failure,
+unfounded-set reasoning, and a genuine tie.  After evaluation, every
+decision is explained from the recorded provenance: derivations print
+their rule instance and premises recursively; failures print which
+mechanism refuted them (no remaining support, unfounded set, tie side).
+"""
+
+from repro.datalog.parser import parse_atom, parse_database, parse_program
+from repro.ground.explain import explain, format_explanation
+from repro.semantics.tie_breaking import well_founded_tie_breaking
+
+PROGRAM = """
+access(U) :- clearance(U), not revoked(U).
+revoked(U) :- incident(U, E), serious(E).
+% vouching cycle: two admins can vouch for each other (a tie)
+trusted(U) :- vouched(U), not distrusted(U).
+distrusted(U) :- vouched(U), not trusted(U).
+% ghost permissions: only self-supporting, swept by the unfounded check
+ghost(U) :- ghost(U).
+audit(U) :- access(U), trusted(U).
+"""
+
+DATABASE = """
+clearance(alice). clearance(bob).
+incident(bob, leak). serious(leak).
+vouched(alice).
+"""
+
+
+def main() -> None:
+    program = parse_program(PROGRAM)
+    database = parse_database(DATABASE)
+    run = well_founded_tie_breaking(program, database, grounding="full")
+    print(f"model total: {run.is_total}; free choices: {run.free_choice_count}")
+    print()
+    for text in [
+        "access(alice)",
+        "access(bob)",
+        "revoked(bob)",
+        "trusted(alice)",
+        "ghost(alice)",
+        "audit(alice)",
+    ]:
+        tree = explain(run.state, parse_atom(text))
+        print(format_explanation(tree))
+        print()
+
+
+if __name__ == "__main__":
+    main()

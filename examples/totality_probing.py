@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Probing totality: the r.e. search of §5 against the structural check.
+
+Theorem 6 says totality is undecidable, so no tool can decide it — but the
+paper points out two practical weapons:
+
+* the **structural check** (Theorem 2/3): linear-time, sound for totality
+  when it accepts, and when it rejects, the danger is real *for some
+  alphabetic variant* — but the program at hand may still be total;
+* the **bounded witness search** (§5's r.e. procedure): enumerate small
+  databases, SAT-check each; a hit is a *proof* of non-totality.
+
+This example runs both on a spectrum of programs, showing all four
+verdict combinations — including the paper's program (1), which is total
+despite failing the structural check, and its variant (2), which the
+search refutes with a one-constant database.
+"""
+
+from repro.analysis.structural import is_structurally_total
+from repro.analysis.totality_search import search_nontotality_witness
+from repro.datalog.parser import parse_program
+
+PROGRAMS = {
+    "even cycle (total)": "p(X) :- not q(X), e(X). q(X) :- not p(X), e(X).",
+    "paper program (1)": "p(a) :- not p(X), e(b).",
+    "paper program (2)": "p(X, Y) :- not p(Y, Y), e(X).",
+    "win-move": "win(X) :- move(X, Y), not win(Y).",
+    "guarded trap": "p :- not p, e.",
+    "stratified": "flag(X) :- item(X), not ok(X). ok(X) :- checked(X).",
+}
+
+
+def main() -> None:
+    print(f"{'program':<22} {'structural check':<18} {'bounded witness search':<40}")
+    print("-" * 80)
+    for name, source in PROGRAMS.items():
+        program = parse_program(source)
+        structural = is_structurally_total(program)
+        witness = search_nontotality_witness(program, max_constants=1)
+        if witness is None:
+            verdict = "no counterexample (≤1 fresh constant)"
+        else:
+            facts = ", ".join(str(a) for a in witness.atoms()) or "(empty database)"
+            verdict = f"NOT TOTAL — witness {{{facts}}}"
+        print(f"{name:<22} {'pass' if structural else 'FAIL':<18} {verdict:<40}")
+    print()
+    print("program (1) fails the structural check yet no witness exists: it is")
+    print("total 'due to the intricate pattern in which variables and constants")
+    print("repeat in the rules' — exactly the gap structural totality formalizes.")
+    print("No bound on the search suffices in general: that is Theorem 6.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e . --no-use-pep517`` use the classic
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""repro — Tie-Breaking Semantics and Structural Totality.
+
+A complete, from-scratch implementation of Papadimitriou & Yannakakis,
+*"Tie-Breaking Semantics and Structural Totality"* (PODS 1992 / JCSS 54,
+1997): Datalog with negation, the ground graph and ``close`` machinery, the
+well-founded and (pure / well-founded) tie-breaking interpreters, structural
+totality analysis, and every reduction in the paper.
+
+Quick start::
+
+    from repro import parse_program, parse_database, well_founded_tie_breaking
+
+    program = parse_program("win(X) :- move(X, Y), not win(Y).")
+    database = parse_database("move(1, 2). move(2, 1).")
+    run = well_founded_tie_breaking(program, database)
+    assert run.is_total          # the draw cycle is totalized by a tie-break
+
+See README.md for a tour and DESIGN.md for the module map.
+"""
+
+from repro.analysis import (
+    classify_program,
+    is_call_consistent,
+    is_structurally_nonuniformly_total,
+    is_structurally_total,
+    odd_cycle_in_program_graph,
+    program_graph,
+    reduced_program,
+    structural_report,
+    useless_predicates,
+)
+from repro.datalog import (
+    Atom,
+    Constant,
+    Database,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+    atom,
+    is_alphabetic_variant,
+    neg,
+    parse_database,
+    parse_program,
+    pos,
+    rule,
+    skeleton_of,
+)
+from repro.datalog.grounding import ground
+from repro.semantics import (
+    enumerate_fixpoints,
+    enumerate_stable_models,
+    enumerate_tie_breaking_models,
+    fitting_model,
+    has_fixpoint,
+    has_stable_model,
+    is_fixpoint,
+    is_stable_model,
+    is_stratified,
+    perfect_model,
+    pure_tie_breaking,
+    stratified_model,
+    well_founded_model,
+    well_founded_tie_breaking,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "Literal",
+    "Program",
+    "Rule",
+    "Variable",
+    "atom",
+    "classify_program",
+    "enumerate_fixpoints",
+    "enumerate_stable_models",
+    "enumerate_tie_breaking_models",
+    "fitting_model",
+    "ground",
+    "has_fixpoint",
+    "has_stable_model",
+    "is_alphabetic_variant",
+    "is_call_consistent",
+    "is_fixpoint",
+    "is_stable_model",
+    "is_stratified",
+    "is_structurally_nonuniformly_total",
+    "is_structurally_total",
+    "neg",
+    "odd_cycle_in_program_graph",
+    "parse_database",
+    "parse_program",
+    "perfect_model",
+    "pos",
+    "program_graph",
+    "pure_tie_breaking",
+    "reduced_program",
+    "rule",
+    "skeleton_of",
+    "stratified_model",
+    "structural_report",
+    "useless_predicates",
+    "well_founded_model",
+    "well_founded_tie_breaking",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Program-level analysis: program graphs, structural totality, classification."""
+
+from repro.analysis.classify import ProgramClassification, classification_table, classify_program
+from repro.analysis.dependencies import (
+    depends_on,
+    negation_depth,
+    negative_dependencies,
+    relevant_subprogram,
+)
+from repro.analysis.program_graph import program_graph, skeleton_graph
+from repro.analysis.totality_search import candidate_databases, search_nontotality_witness
+from repro.analysis.structural import (
+    OddCycle,
+    StructuralReport,
+    is_call_consistent,
+    is_semi_strict,
+    is_structurally_nonuniformly_total,
+    is_structurally_total,
+    odd_cycle_in_program_graph,
+    structural_report,
+)
+from repro.analysis.useless import reduced_program, useful_predicates, useless_predicates
+
+__all__ = [
+    "OddCycle",
+    "ProgramClassification",
+    "StructuralReport",
+    "candidate_databases",
+    "classification_table",
+    "classify_program",
+    "depends_on",
+    "search_nontotality_witness",
+    "negation_depth",
+    "negative_dependencies",
+    "relevant_subprogram",
+    "is_call_consistent",
+    "is_semi_strict",
+    "is_structurally_nonuniformly_total",
+    "is_structurally_total",
+    "odd_cycle_in_program_graph",
+    "program_graph",
+    "reduced_program",
+    "skeleton_graph",
+    "structural_report",
+    "useful_predicates",
+    "useless_predicates",
+]

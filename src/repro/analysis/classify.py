@@ -1,0 +1,121 @@
+"""One-stop classification of a Datalog¬ program against the paper's taxonomy.
+
+Orders the classes of §1-§4 from most to least restrictive:
+
+    positive ⊂ stratified ⊂ call-consistent (= structurally total)
+             ⊂ structurally nonuniformly total
+
+with local stratification as a database-relative refinement and the
+stratified class doubling as "structurally well-founded total" by
+Theorem 5.  Useful for examples, the CLI, and for sanity-checking
+workload generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.structural import (
+    OddCycle,
+    odd_cycle_in_program_graph,
+    structural_report,
+)
+from repro.analysis.useless import useless_predicates
+from repro.datalog.program import Program
+
+if TYPE_CHECKING:  # import cycle: semantics.stratified uses analysis.program_graph
+    from repro.semantics.stratified import Stratification
+
+__all__ = ["ProgramClassification", "classify_program", "classification_table"]
+
+
+@dataclass(frozen=True)
+class ProgramClassification:
+    """Structural facts about one program (database-independent)."""
+
+    rule_count: int
+    predicate_count: int
+    is_propositional: bool
+    is_positive: bool
+    is_stratified: bool
+    stratification: Optional["Stratification"]
+    is_call_consistent: bool
+    is_structurally_total: bool
+    is_structurally_nonuniformly_total: bool
+    odd_cycle: Optional[OddCycle]
+    useless: frozenset[str]
+
+    @property
+    def tightest_class(self) -> str:
+        """The most restrictive paper class the program belongs to."""
+        if self.is_positive:
+            return "positive"
+        if self.is_stratified:
+            return "stratified"
+        if self.is_structurally_total:
+            return "call-consistent"
+        if self.is_structurally_nonuniformly_total:
+            return "structurally nonuniformly total"
+        return "not structurally total"
+
+    def __str__(self) -> str:
+        lines = [
+            f"rules: {self.rule_count}, predicates: {self.predicate_count}"
+            + (", propositional" if self.is_propositional else ""),
+            f"class: {self.tightest_class}",
+            f"stratified: {self.is_stratified}",
+            f"call-consistent / structurally total: {self.is_structurally_total}",
+            f"structurally nonuniformly total: {self.is_structurally_nonuniformly_total}",
+        ]
+        if self.useless:
+            lines.append(f"useless predicates: {', '.join(sorted(self.useless))}")
+        if self.odd_cycle is not None:
+            lines.append(f"odd cycle: {self.odd_cycle}")
+        return "\n".join(lines)
+
+
+def classify_program(program: Program) -> ProgramClassification:
+    """Compute the full classification of one program.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> classify_program(parse_program("p :- not q. q :- not p.")).tightest_class
+    'call-consistent'
+    >>> classify_program(parse_program("p :- not p.")).tightest_class
+    'not structurally total'
+    """
+    # Deferred import: repro.semantics.stratified itself depends on
+    # repro.analysis.program_graph (cycle otherwise).
+    from repro.semantics.stratified import stratification
+
+    strat = stratification(program)
+    report = structural_report(program)
+    return ProgramClassification(
+        rule_count=len(program),
+        predicate_count=len(program.predicates),
+        is_propositional=program.is_propositional,
+        is_positive=program.is_positive,
+        is_stratified=strat is not None,
+        stratification=strat,
+        is_call_consistent=report.structurally_total,
+        is_structurally_total=report.structurally_total,
+        is_structurally_nonuniformly_total=report.structurally_nonuniformly_total,
+        odd_cycle=report.odd_cycle,
+        useless=report.useless,
+    )
+
+
+def classification_table(programs: Mapping[str, Program]) -> str:
+    """A fixed-width table classifying several programs (examples / CLI)."""
+    header = f"{'program':<24} {'class':<34} {'strat':<6} {'cc':<4} {'snt':<4}"
+    lines = [header, "-" * len(header)]
+    for name, program in programs.items():
+        c = classify_program(program)
+        lines.append(
+            f"{name:<24} {c.tightest_class:<34} "
+            f"{str(c.is_stratified):<6} {str(c.is_call_consistent):<4} "
+            f"{str(c.is_structurally_nonuniformly_total):<4}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Predicate dependency analyses over the program graph.
+
+Utilities a downstream engine needs around the paper's machinery:
+
+* signed reachability (which predicates can influence a query predicate,
+  and through how many negations);
+* :func:`negation_depth` — the stratification level when finite, the
+  standard "how deeply is this predicate defined through negation" metric;
+* :func:`relevant_subprogram` — the rules that can possibly affect a set
+  of query predicates (the magic-set-free relevance cut), used to evaluate
+  queries without grounding unrelated program parts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.analysis.program_graph import program_graph
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+
+__all__ = [
+    "depends_on",
+    "negative_dependencies",
+    "negation_depth",
+    "relevant_subprogram",
+]
+
+
+def depends_on(program: Program, predicate: str) -> frozenset[str]:
+    """All predicates reachable *into* ``predicate`` in G(Π) (its support cone).
+
+    Includes the predicate itself.  These are exactly the predicates whose
+    facts/rules can influence the query predicate under any of the paper's
+    semantics (ground-graph paths project onto program-graph paths, §3).
+
+    >>> from repro.datalog.parser import parse_program
+    >>> prog = parse_program("a :- b. b :- not c. d :- e.")
+    >>> sorted(depends_on(prog, "a"))
+    ['a', 'b', 'c']
+    """
+    graph = program_graph(program)
+    if predicate not in graph:
+        return frozenset({predicate})
+    pred_lists = graph.predecessor_lists()
+    seen = {graph.index_of(predicate)}
+    queue = deque(seen)
+    while queue:
+        node = queue.popleft()
+        for source, _sign in pred_lists[node]:
+            if source not in seen:
+                seen.add(source)
+                queue.append(source)
+    return frozenset(graph.label_of(i) for i in seen)
+
+
+def negative_dependencies(program: Program, predicate: str) -> frozenset[str]:
+    """Predicates reaching ``predicate`` through at least one negative edge."""
+    graph = program_graph(program)
+    if predicate not in graph:
+        return frozenset()
+    pred_lists = graph.predecessor_lists()
+    # state: (node, seen_negative) — BFS over the product graph
+    start = (graph.index_of(predicate), False)
+    seen = {start}
+    queue = deque([start])
+    result: set[str] = set()
+    while queue:
+        node, negative = queue.popleft()
+        for source, positive in pred_lists[node]:
+            next_state = (source, negative or not positive)
+            if next_state not in seen:
+                seen.add(next_state)
+                if next_state[1]:
+                    result.add(graph.label_of(source))
+                queue.append(next_state)
+    return frozenset(result)
+
+
+def negation_depth(program: Program) -> dict[str, int | None]:
+    """Per predicate: the maximum number of negative edges on any simple
+    path into it, or ``None`` when unbounded (a cycle through negation).
+
+    Predicates with finite depth for *all* predicates ⇔ stratified, and the
+    finite values are exactly the stratification levels.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> negation_depth(parse_program("a :- not b. b :- not c. c :- e."))
+    {'a': 2, 'b': 1, 'c': 0, 'e': 0}
+    """
+    from repro.graphs.scc import strongly_connected_components
+
+    graph = program_graph(program)
+    succ = graph.successor_lists()
+    components = strongly_connected_components(
+        graph.node_count, lambda u: (v for v, _ in succ[u])
+    )
+    comp_id = [0] * graph.node_count
+    for cid, comp in enumerate(components):
+        for node in comp:
+            comp_id[node] = cid
+    poisoned = [False] * len(components)  # negation inside an SCC
+    for u in range(graph.node_count):
+        for v, positive in succ[u]:
+            if not positive and comp_id[u] == comp_id[v]:
+                poisoned[comp_id[u]] = True
+
+    level: list[int | None] = [0] * len(components)
+    for cid in reversed(range(len(components))):
+        if poisoned[cid]:
+            level[cid] = None
+        for u in components[cid]:
+            for v, positive in succ[u]:
+                target = comp_id[v]
+                if target == cid:
+                    continue
+                if level[cid] is None:
+                    level[target] = None
+                elif level[target] is not None:
+                    bump = 0 if positive else 1
+                    level[target] = max(level[target], level[cid] + bump)
+    return {
+        graph.label_of(node): level[comp_id[node]] for node in range(graph.node_count)
+    }
+
+
+def relevant_subprogram(program: Program, predicates: Iterable[str]) -> Program:
+    """The rules that can influence any of the query ``predicates``.
+
+    A rule is kept iff its head predicate lies in the union of the query
+    predicates' support cones.  Sound for every semantics in the library:
+    dropped rules' heads cannot reach the queries in G(Π), so no ground
+    path connects them (§3).
+
+    >>> from repro.datalog.parser import parse_program
+    >>> prog = parse_program("a :- b. b :- not c. d :- e. c :- f.")
+    >>> print(relevant_subprogram(prog, ["a"]))
+    a :- b.
+    b :- ¬c.
+    c :- f.
+    """
+    cone: set[str] = set()
+    for predicate in predicates:
+        cone |= depends_on(program, predicate)
+    return Program(
+        tuple(rule for rule in program.rules if rule.head.predicate in cone)
+    )

@@ -1,0 +1,56 @@
+"""The program graph G(Π) — §3 of the paper.
+
+Nodes are predicate names; there is a positive (negative) edge from P to Q
+whenever P appears positively (negatively) in the body of a rule whose head
+is Q.  Key facts used throughout:
+
+* any path in the ground graph projects to a program-graph path with the
+  same number of negative edges, so *no odd cycle in G(Π)* implies no odd
+  cycle in any ground graph (Theorem 1's premise);
+* *stratified* = no cycle containing a negative edge;
+* *call-consistent* (Kunen) = no cycle with an odd number of negative edges.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.program import Program
+from repro.graphs.signed_digraph import SignedDigraph
+
+__all__ = ["program_graph", "skeleton_graph"]
+
+
+def program_graph(program: Program) -> SignedDigraph[str]:
+    """Build G(Π) over predicate names.
+
+    Every predicate of the program appears as a node, including EDB
+    predicates (which have no outgoing... no incoming edges — nothing
+    derives them) and isolated heads.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> g = program_graph(parse_program("p(X) :- e(X), not q(X)."))
+    >>> sorted((e.source, e.target, e.positive) for e in g.edges())
+    [('e', 'p', True), ('q', 'p', False)]
+    """
+    graph: SignedDigraph[str] = SignedDigraph()
+    for predicate in sorted(program.predicates):
+        graph.add_node(predicate)
+    for rule in program.rules:
+        head = rule.head.predicate
+        for literal in rule.body:
+            graph.add_edge(literal.predicate, head, positive=literal.positive)
+    return graph
+
+
+def skeleton_graph(skeleton) -> SignedDigraph[str]:
+    """G(Π) computed from a :class:`~repro.datalog.skeleton.Skeleton`.
+
+    The program graph only depends on the skeleton — this overload makes
+    that explicit and avoids materializing a propositional program.
+    """
+    graph: SignedDigraph[str] = SignedDigraph()
+    for predicate in sorted(skeleton.predicates()):
+        graph.add_node(predicate)
+    for rule in skeleton.rules:
+        for name, positive in rule.body:
+            graph.add_edge(name, rule.head, positive=positive)
+    return graph

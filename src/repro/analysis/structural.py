@@ -1,0 +1,157 @@
+"""Structural totality — Theorems 2, 3, and the checks of Theorem 4.
+
+* Theorem 2: Π is **structurally total** (every alphabetic variant has a
+  fixpoint on every database) iff G(Π) has no cycle with an odd number of
+  negative edges — i.e. iff Π is *call-consistent* in Kunen's sense
+  (*semi-strict* in Gire's).
+* Theorem 3: Π is **structurally nonuniformly total** (IDBs start empty)
+  iff G(Π′) has no odd cycle, where Π′ is the reduced program with the
+  useless predicates removed.
+* Theorem 4: both checks run in linear time (this module); the uniform one
+  is in NC while the nonuniform one is P-complete (the reduction lives in
+  :mod:`repro.constructions.theorem4`).
+
+When a check fails, a witness odd cycle over predicate names is available
+— exactly the input the Theorem 2/3 constructions need to build an
+alphabetic variant with no fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.program_graph import program_graph
+from repro.analysis.useless import reduced_program, useless_predicates
+from repro.datalog.program import Program
+from repro.graphs.odd_cycles import find_odd_cycle
+from repro.graphs.signed_digraph import SignedEdge
+
+__all__ = [
+    "OddCycle",
+    "odd_cycle_in_program_graph",
+    "is_call_consistent",
+    "is_semi_strict",
+    "is_structurally_total",
+    "is_structurally_nonuniformly_total",
+    "StructuralReport",
+    "structural_report",
+]
+
+
+@dataclass(frozen=True)
+class OddCycle:
+    """A simple cycle in G(Π) with an odd number of negative edges.
+
+    ``arcs[i]`` is ``(P_i, P_{i+1}, positive)`` — the paper's cycle
+    C = (P_0, ..., P_k), with indices mod k+1.
+    """
+
+    arcs: tuple[tuple[str, str, bool], ...]
+
+    @property
+    def predicates(self) -> tuple[str, ...]:
+        """P_0, ..., P_k in traversal order."""
+        return tuple(source for source, _, _ in self.arcs)
+
+    @property
+    def negative_count(self) -> int:
+        """Number of negative arcs (always odd)."""
+        return sum(1 for _, _, positive in self.arcs if not positive)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{source} {'→' if positive else '¬→'} {target}"
+            for source, target, positive in self.arcs
+        ]
+        return ", ".join(parts)
+
+
+def odd_cycle_in_program_graph(program: Program) -> Optional[OddCycle]:
+    """A witness odd cycle of G(Π), or None if the graph is cycle-balanced."""
+    cycle = find_odd_cycle(program_graph(program))
+    if cycle is None:
+        return None
+    return OddCycle(tuple((e.source, e.target, e.positive) for e in cycle))
+
+
+def is_call_consistent(program: Program) -> bool:
+    """Kunen's call-consistency: G(Π) has no odd cycle.
+
+    Theorem 1 guarantees every call-consistent program a fixpoint (indeed a
+    stable model) computable by the tie-breaking interpreters.
+    """
+    return odd_cycle_in_program_graph(program) is None
+
+
+def is_semi_strict(program: Program) -> bool:
+    """Gire's name for the same class; provided for literature navigation."""
+    return is_call_consistent(program)
+
+
+def is_structurally_total(program: Program) -> bool:
+    """Theorem 2: structural totality ⇔ no odd cycle in G(Π).
+
+    Linear time (Theorem 4).
+
+    >>> from repro.datalog.parser import parse_program
+    >>> is_structurally_total(parse_program("p(a) :- not p(X), e(b)."))
+    False
+    >>> is_structurally_total(parse_program("p(X) :- not q(X). q(X) :- not p(X)."))
+    True
+    """
+    return is_call_consistent(program)
+
+
+def is_structurally_nonuniformly_total(program: Program) -> bool:
+    """Theorem 3: structural nonuniform totality ⇔ no odd cycle in G(Π′).
+
+    Linear time, but P-complete (Theorem 4) — contrast with the NC uniform
+    check.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> # The odd cycle runs through a useless predicate: harmless when IDBs
+    >>> # start empty.
+    >>> prog = parse_program("u :- u. p :- not p, u.")
+    >>> is_structurally_total(prog), is_structurally_nonuniformly_total(prog)
+    (False, True)
+    """
+    return is_call_consistent(reduced_program(program))
+
+
+@dataclass(frozen=True)
+class StructuralReport:
+    """Both structural verdicts with witnesses, for one program."""
+
+    structurally_total: bool
+    structurally_nonuniformly_total: bool
+    odd_cycle: Optional[OddCycle]
+    reduced_odd_cycle: Optional[OddCycle]
+    useless: frozenset[str]
+
+    def __str__(self) -> str:
+        lines = [
+            f"structurally total:              {self.structurally_total}",
+            f"structurally nonuniformly total: {self.structurally_nonuniformly_total}",
+            f"useless predicates:              "
+            f"{', '.join(sorted(self.useless)) if self.useless else '(none)'}",
+        ]
+        if self.odd_cycle is not None:
+            lines.append(f"odd cycle in G(Π):  {self.odd_cycle}")
+        if self.reduced_odd_cycle is not None:
+            lines.append(f"odd cycle in G(Π′): {self.reduced_odd_cycle}")
+        return "\n".join(lines)
+
+
+def structural_report(program: Program) -> StructuralReport:
+    """Run both Theorem 2/3 checks and collect witnesses."""
+    cycle = odd_cycle_in_program_graph(program)
+    reduced = reduced_program(program)
+    reduced_cycle = odd_cycle_in_program_graph(reduced)
+    return StructuralReport(
+        structurally_total=cycle is None,
+        structurally_nonuniformly_total=reduced_cycle is None,
+        odd_cycle=cycle,
+        reduced_odd_cycle=reduced_cycle,
+        useless=useless_predicates(program),
+    )

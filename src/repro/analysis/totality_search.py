@@ -1,0 +1,140 @@
+"""Semi-deciding totality: the r.e. procedure of §5, bounded.
+
+Theorem 6 makes totality undecidable, but the paper notes the complement
+is recursively enumerable: "guess a bad database and verify that there is
+no fixpoint".  This module implements that guess-and-verify loop up to a
+universe-size bound, with symmetry reduction (databases that differ by a
+permutation of constants have isomorphic ground graphs, so only canonical
+representatives are checked):
+
+* a returned :class:`Database` is a *proof* of non-totality (no fixpoint —
+  verified by exhaustive SAT);
+* ``None`` means no counterexample exists with ≤ ``max_constants``
+  constants — evidence, not proof, of totality (the procedure is
+  refutation-complete in the limit, per §5, but any bound can be too small;
+  Theorem 6 is exactly the statement that no bound suffices uniformly).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations, product
+from typing import Iterator, Optional
+
+from repro.datalog.database import Database
+from repro.datalog.grounding import GroundingMode
+from repro.datalog.program import Program
+from repro.datalog.terms import Constant
+from repro.errors import SemanticsError
+from repro.semantics.completion import has_fixpoint
+
+__all__ = ["search_nontotality_witness", "candidate_databases"]
+
+
+def _all_ground_rows(arity: int, universe: tuple[Constant, ...]) -> list[tuple[Constant, ...]]:
+    return list(product(universe, repeat=arity))
+
+
+def _canonical_key(
+    facts: frozenset[tuple[str, tuple]],
+    fresh: tuple[Constant, ...],
+) -> tuple:
+    """Minimal representative of the fact set under permutations of the
+    *fresh* constants (the program's own constants are not interchangeable)."""
+    used = tuple(sorted({c for _, row in facts for c in row if c in set(fresh)}, key=str))
+    best = None
+    for perm in permutations(used):
+        mapping = dict(zip(used, perm))
+        key = tuple(
+            sorted(
+                (pred, tuple(str(mapping.get(c, c)) for c in row))
+                for pred, row in facts
+            )
+        )
+        if best is None or key < best:
+            best = key
+    return best if best is not None else ()
+
+
+def candidate_databases(
+    program: Program,
+    *,
+    max_constants: int = 2,
+    nonuniform: bool = True,
+    max_databases: int = 200_000,
+    max_facts: int = 16,
+) -> Iterator[Database]:
+    """Canonical candidate databases over the program's constants plus up to
+    ``max_constants`` fresh ones.
+
+    Enumerates every subset of ground facts over the program's EDB
+    predicates (plus IDB predicates in the uniform case), growing the fresh
+    part of the universe one constant at a time and skipping databases that
+    are permutation-equivalent (over the fresh constants) to one already
+    yielded.
+    """
+    predicates = sorted(program.edb_predicates)
+    if not nonuniform:
+        predicates += sorted(program.idb_predicates)
+    arities = program.arities
+    base = tuple(sorted(program.constants, key=str))
+
+    emitted = 0
+    seen: set[tuple] = set()
+    for size in range(0, max_constants + 1):
+        fresh = tuple(Constant(f"u{i}") for i in range(size))
+        universe = base + fresh
+        atoms: list[tuple[str, tuple[Constant, ...]]] = []
+        for pred in predicates:
+            for row in _all_ground_rows(arities.get(pred, 0), universe):
+                atoms.append((pred, row))
+        if len(atoms) > max_facts:
+            raise SemanticsError(
+                f"universe of {len(universe)} constants yields {len(atoms)} "
+                "candidate facts (2^n databases); reduce max_constants"
+            )
+        for count in range(len(atoms) + 1):
+            for chosen in combinations(atoms, count):
+                facts = frozenset(chosen)
+                canon = _canonical_key(facts, fresh)
+                if canon in seen:
+                    continue
+                seen.add(canon)
+                emitted += 1
+                if emitted > max_databases:
+                    raise SemanticsError(
+                        f"more than {max_databases} candidate databases"
+                    )
+                db = Database()
+                for pred, row in sorted(facts, key=str):
+                    db.add(pred, *row)
+                yield db
+
+
+def search_nontotality_witness(
+    program: Program,
+    *,
+    max_constants: int = 2,
+    nonuniform: bool = True,
+    grounding: GroundingMode = "edb",
+    max_databases: int = 200_000,
+    max_facts: int = 16,
+) -> Optional[Database]:
+    """A database with no fixpoint, or None if none exists within the bound.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> witness = search_nontotality_witness(parse_program("p(X, Y) :- not p(Y, Y), e(X)."))
+    >>> witness is not None   # the paper's program (2) is not total
+    True
+    >>> search_nontotality_witness(parse_program("p :- not q. q :- not p.")) is None
+    True
+    """
+    for db in candidate_databases(
+        program,
+        max_constants=max_constants,
+        nonuniform=nonuniform,
+        max_databases=max_databases,
+        max_facts=max_facts,
+    ):
+        if not has_fixpoint(program, db, grounding=grounding):
+            return db
+    return None

@@ -1,0 +1,114 @@
+"""Useless predicates and the reduced program Π′ — §4 of the paper.
+
+A predicate is *useful* if it has an expansion tree in the skeleton whose
+leaves are all negative literals or EDB predicates; equivalently, the
+*useless* predicates form the largest set D of IDB predicates such that
+every rule with head in D has a positive body occurrence of a predicate of
+D.  The paper relates this to useless nonterminals of context-free
+grammars, and to the largest unfounded set of the skeleton read as a
+propositional program.
+
+The reduced program Π′ drops every rule with a positive occurrence of a
+useless predicate (which covers every rule with a useless head) and erases
+negative occurrences of useless predicates — treating them as empty.
+Lemma 4: Π is structurally nonuniformly total iff Π′ is.
+
+Usefulness depends only on the skeleton, so all functions accept either a
+:class:`~repro.datalog.program.Program` or a
+:class:`~repro.datalog.skeleton.Skeleton`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.skeleton import Skeleton, skeleton_of
+
+__all__ = ["useful_predicates", "useless_predicates", "reduced_program"]
+
+
+def _as_skeleton(program: Union[Program, Skeleton]) -> Skeleton:
+    return program if isinstance(program, Skeleton) else skeleton_of(program)
+
+
+def useful_predicates(program: Union[Program, Skeleton]) -> frozenset[str]:
+    """The useful predicates of the skeleton (EDB predicates included).
+
+    Computed by the iterative procedure in the proof of Theorem 3: choose a
+    predicate once it has a rule whose positive body literals are all EDB
+    predicates or previously chosen predicates; repeat to a fixpoint.
+    Linear time via counters (the paper: 'We can easily find the useful
+    predicates in linear time').
+
+    >>> from repro.datalog.parser import parse_program
+    >>> sorted(useful_predicates(parse_program("p :- q, e. q :- not r. r :- r.")))
+    ['e', 'p', 'q']
+    """
+    skeleton = _as_skeleton(program)
+    edb = skeleton.edb_predicates()
+    useful: set[str] = set(edb)
+
+    # For each rule: count of positive IDB body predicates not yet useful.
+    rules = list(skeleton.rules)
+    pending: list[int] = []
+    occurrences: dict[str, list[int]] = {}
+    ready: list[int] = []
+    for index, rule in enumerate(rules):
+        positive_idb = [
+            name for name, positive in rule.body if positive and name not in edb
+        ]
+        pending.append(len(positive_idb))
+        for name in positive_idb:
+            occurrences.setdefault(name, []).append(index)
+        if not positive_idb:
+            ready.append(index)
+
+    while ready:
+        rule_index = ready.pop()
+        head = rules[rule_index].head
+        if head in useful:
+            continue
+        useful.add(head)
+        for other in occurrences.get(head, ()):  # rules waiting on this predicate
+            pending[other] -= 1
+            if pending[other] == 0:
+                ready.append(other)
+    return frozenset(useful)
+
+
+def useless_predicates(program: Union[Program, Skeleton]) -> frozenset[str]:
+    """The useless IDB predicates: the complement of :func:`useful_predicates`.
+
+    Equals the largest unfounded set of the skeleton read as a
+    propositional program with the EDB propositions true (§4) — an identity
+    the test suite verifies against the ground-graph machinery.
+    """
+    skeleton = _as_skeleton(program)
+    return skeleton.idb_predicates() - useful_predicates(skeleton)
+
+
+def reduced_program(program: Program) -> Program:
+    """The reduced program Π′ of §4: useless predicates treated as empty.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> print(reduced_program(parse_program("u :- u. p :- e, not u. q :- u, e.")))
+    p :- e.
+    """
+    useless = useless_predicates(program)
+    if not useless:
+        return program
+    kept: list[Rule] = []
+    for rule in program.rules:
+        if any(lit.positive and lit.predicate in useless for lit in rule.body):
+            continue
+        if rule.head.predicate in useless:
+            # Unreachable by the largest-set property (such a rule must have a
+            # useless positive body atom), kept as a guard for malformed input.
+            continue
+        body = tuple(
+            lit for lit in rule.body if lit.positive or lit.predicate not in useless
+        )
+        kept.append(Rule(rule.head, body))
+    return Program(kept)

@@ -1,0 +1,283 @@
+"""Command-line interface: ``repro-datalog`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``analyze FILE``            — classification + structural totality report;
+* ``run FILE``                — evaluate under a chosen semantics;
+* ``fixpoints FILE``          — enumerate fixpoints (optionally stable only);
+* ``ground FILE``             — grounding statistics;
+* ``variant FILE``            — emit a Theorem 2/3/5 no-fixpoint variant;
+* ``witness FILE``            — bounded search for a no-fixpoint database;
+* ``explain FILE ATOM``       — provenance of one atom's truth value;
+* ``dot FILE``                — Graphviz export of the program/ground graph.
+
+Program files use the Datalog syntax of :mod:`repro.datalog.parser`;
+databases are fact files (``--db``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.classify import classify_program
+from repro.analysis.structural import structural_report
+from repro.constructions.theorem2 import theorem2_constant_free_variant, theorem2_variant
+from repro.constructions.theorem3 import theorem3_constant_free_variant, theorem3_variant
+from repro.constructions.theorem5 import theorem5_variant
+from repro.datalog.database import Database
+from repro.datalog.grounding import ground
+from repro.datalog.parser import parse_database, parse_program
+from repro.datalog.printer import format_database, format_program
+from repro.errors import ReproError
+from repro.io.dot import ground_graph_dot, program_graph_dot
+from repro.semantics.choices import RandomChoice
+from repro.semantics.completion import enumerate_fixpoints
+from repro.semantics.fitting import fitting_model
+from repro.semantics.perfect import perfect_model
+from repro.semantics.stable import is_stable_model
+from repro.semantics.stratified import stratified_model
+from repro.semantics.tie_breaking import pure_tie_breaking, well_founded_tie_breaking
+from repro.semantics.well_founded import well_founded_model
+
+__all__ = ["main"]
+
+
+def _load(args) -> tuple:
+    program = parse_program(Path(args.program).read_text())
+    database = (
+        parse_database(Path(args.db).read_text()) if args.db else Database()
+    )
+    return program, database
+
+
+def _print_model(model, show_false: bool) -> None:
+    for atom in sorted(model.true_atoms(), key=str):
+        print(f"  {atom} = true")
+    if show_false:
+        for atom in sorted(model.false_atoms(), key=str):
+            print(f"  {atom} = false")
+    for atom in sorted(model.undefined_atoms(), key=str):
+        print(f"  {atom} = undefined")
+
+
+def _cmd_analyze(args) -> int:
+    program, _ = _load(args)
+    print(classify_program(program))
+    print()
+    print(structural_report(program))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    program, database = _load(args)
+    if args.semantics == "wf":
+        run = well_founded_model(program, database, grounding=args.grounding)
+        model = run.model
+        print(f"well-founded model ({run.iterations} unfounded iterations):")
+    elif args.semantics == "pure-tb":
+        policy = RandomChoice(args.seed) if args.seed is not None else None
+        run = pure_tie_breaking(program, database, policy=policy, grounding=args.grounding)
+        model = run.model
+        print(f"pure tie-breaking model ({run.free_choice_count} free choices):")
+    elif args.semantics == "wf-tb":
+        policy = RandomChoice(args.seed) if args.seed is not None else None
+        run = well_founded_tie_breaking(
+            program, database, policy=policy, grounding=args.grounding
+        )
+        model = run.model
+        print(f"well-founded tie-breaking model ({run.free_choice_count} free choices):")
+    elif args.semantics == "stratified":
+        trues = stratified_model(program, database)
+        print("stratified model:")
+        for atom in sorted(trues, key=str):
+            print(f"  {atom} = true")
+        return 0
+    elif args.semantics == "perfect":
+        model = perfect_model(program, database, grounding=args.grounding)
+        print("perfect model:")
+    else:  # fitting
+        model = fitting_model(program, database)
+        print("Fitting (Kripke-Kleene) model:")
+    _print_model(model, args.show_false)
+    print(f"total: {model.is_total}")
+    return 0 if model.is_total else 3
+
+
+def _cmd_fixpoints(args) -> int:
+    program, database = _load(args)
+    count = 0
+    for true_atoms in enumerate_fixpoints(
+        program, database, grounding=args.grounding, limit=args.limit
+    ):
+        if args.stable and not is_stable_model(program, database, true_atoms):
+            continue
+        count += 1
+        label = "stable model" if args.stable else "fixpoint"
+        body = ", ".join(sorted(str(a) for a in true_atoms)) or "(empty)"
+        print(f"{label} {count}: {body}")
+    if count == 0:
+        print("no fixpoint" if not args.stable else "no stable model")
+        return 3
+    return 0
+
+
+def _cmd_ground(args) -> int:
+    program, database = _load(args)
+    gp = ground(program, database, mode=args.mode)
+    print(gp.describe())
+    return 0
+
+
+def _cmd_variant(args) -> int:
+    program, _ = _load(args)
+    builders = {
+        ("2", False): theorem2_variant,
+        ("2", True): theorem2_constant_free_variant,
+        ("3", False): theorem3_variant,
+        ("3", True): theorem3_constant_free_variant,
+    }
+    if args.theorem == "5":
+        variant, delta = theorem5_variant(program, nonuniform=args.nonuniform)
+    else:
+        variant, delta = builders[(args.theorem, args.constant_free)](program)
+    print(format_program(variant, header=f"Theorem {args.theorem} variant"))
+    print(format_database(delta, header="database"))
+    return 0
+
+
+def _cmd_witness(args) -> int:
+    from repro.analysis.totality_search import search_nontotality_witness
+
+    program, _ = _load(args)
+    witness = search_nontotality_witness(
+        program,
+        max_constants=args.max_constants,
+        nonuniform=not args.uniform,
+    )
+    if witness is None:
+        print(
+            f"no counterexample database with <= {args.max_constants} fresh "
+            "constants (evidence of totality, not proof — Theorem 6)"
+        )
+        return 0
+    print("NOT TOTAL — this database admits no fixpoint:")
+    print(format_database(witness) or "(the empty database)")
+    return 3
+
+
+def _cmd_explain(args) -> int:
+    from repro.datalog.parser import parse_atom
+    from repro.ground.explain import explain, format_explanation
+
+    program, database = _load(args)
+    atom = parse_atom(args.atom)
+    if args.semantics == "wf":
+        run = well_founded_model(program, database, grounding=args.grounding)
+        state = run.state
+    else:
+        policy = RandomChoice(args.seed) if args.seed is not None else None
+        state = well_founded_tie_breaking(
+            program, database, policy=policy, grounding=args.grounding
+        ).state
+    print(format_explanation(explain(state, atom, max_depth=args.depth)))
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    program, database = _load(args)
+    if args.ground:
+        gp = ground(program, database, mode=args.grounding)
+        print(ground_graph_dot(gp))
+    else:
+        print(program_graph_dot(program))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-datalog",
+        description="Tie-breaking semantics and structural totality for Datalog¬",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("program", help="Datalog¬ program file")
+        p.add_argument("--db", help="database (facts) file")
+
+    p = sub.add_parser("analyze", help="classification and structural report")
+    add_common(p)
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("run", help="evaluate the program under a semantics")
+    add_common(p)
+    p.add_argument(
+        "--semantics",
+        choices=["wf", "pure-tb", "wf-tb", "stratified", "perfect", "fitting"],
+        default="wf-tb",
+    )
+    p.add_argument("--grounding", choices=["full", "relevant", "edb"], default="full")
+    p.add_argument("--seed", type=int, help="random tie orientation seed")
+    p.add_argument("--show-false", action="store_true")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("fixpoints", help="enumerate fixpoints / stable models")
+    add_common(p)
+    p.add_argument("--limit", type=int)
+    p.add_argument("--stable", action="store_true", help="stable models only")
+    p.add_argument("--grounding", choices=["full", "edb"], default="full")
+    p.set_defaults(func=_cmd_fixpoints)
+
+    p = sub.add_parser("ground", help="grounding statistics")
+    add_common(p)
+    p.add_argument("--mode", choices=["full", "relevant", "edb"], default="full")
+    p.set_defaults(func=_cmd_ground)
+
+    p = sub.add_parser("variant", help="emit a Theorem 2/3/5 variant")
+    add_common(p)
+    p.add_argument("--theorem", choices=["2", "3", "5"], default="2")
+    p.add_argument("--constant-free", action="store_true")
+    p.add_argument("--nonuniform", action="store_true", help="theorem 5 only")
+    p.set_defaults(func=_cmd_variant)
+
+    p = sub.add_parser("witness", help="bounded nontotality search (§5)")
+    add_common(p)
+    p.add_argument("--max-constants", type=int, default=1)
+    p.add_argument("--uniform", action="store_true", help="allow initial IDB facts")
+    p.set_defaults(func=_cmd_witness)
+
+    p = sub.add_parser("explain", help="provenance of one atom's value")
+    add_common(p)
+    p.add_argument("atom", help="ground atom, e.g. 'win(1)'")
+    p.add_argument("--semantics", choices=["wf", "wf-tb"], default="wf-tb")
+    p.add_argument("--grounding", choices=["full", "relevant", "edb"], default="full")
+    p.add_argument("--seed", type=int)
+    p.add_argument("--depth", type=int, default=12)
+    p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser("dot", help="Graphviz export")
+    add_common(p)
+    p.add_argument("--ground", action="store_true", help="ground graph instead of G(Π)")
+    p.add_argument("--grounding", choices=["full", "relevant", "edb"], default="full")
+    p.set_defaults(func=_cmd_dot)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

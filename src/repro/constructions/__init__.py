@@ -1,0 +1,84 @@
+"""Every reduction and proof construction in the paper, executable.
+
+* Theorem 2/3: alphabetic variants with no fixpoint (uniform / nonuniform,
+  with and without constants);
+* Theorem 5: variants where the well-founded semantics stalls;
+* Theorem 4: monotone circuits and the MCVP P-completeness reduction;
+* §5 Proposition: ∀∃-CNF and the Π₂ᵖ totality reduction;
+* Theorem 6: two-counter machines and the undecidability reduction.
+"""
+
+from repro.constructions.circuits import (
+    Gate,
+    MonotoneCircuit,
+    alternating_circuit,
+    random_monotone_circuit,
+)
+from repro.constructions.counter_machines import (
+    Configuration,
+    CounterMachine,
+    Transition,
+    alternating_machine,
+    bounded_counter_machine,
+    countdown_machine,
+    looping_machine,
+)
+from repro.constructions.proposition import (
+    formula_to_program,
+    is_total_propositional,
+    propositional_databases,
+)
+from repro.constructions.qbf import ForallExistsCNF, forall_exists_holds, random_formula
+from repro.constructions.theorem2 import theorem2_constant_free_variant, theorem2_variant
+from repro.constructions.theorem3 import theorem3_constant_free_variant, theorem3_variant
+from repro.constructions.theorem4 import (
+    gate_predicate,
+    mcvp_program,
+    mcvp_via_structural_totality,
+    useful_gates,
+)
+from repro.constructions.theorem5 import negative_cycle_in_program_graph, theorem5_variant
+from repro.constructions.theorem6 import (
+    machine_to_program,
+    natural_database,
+    random_database,
+    uniformize,
+)
+from repro.constructions.variants import ArcAssignment, RewriteScheme, assign_arc_rules, rewrite_program
+
+__all__ = [
+    "ArcAssignment",
+    "Configuration",
+    "CounterMachine",
+    "ForallExistsCNF",
+    "Gate",
+    "MonotoneCircuit",
+    "RewriteScheme",
+    "Transition",
+    "alternating_circuit",
+    "alternating_machine",
+    "assign_arc_rules",
+    "bounded_counter_machine",
+    "countdown_machine",
+    "forall_exists_holds",
+    "formula_to_program",
+    "gate_predicate",
+    "is_total_propositional",
+    "looping_machine",
+    "machine_to_program",
+    "mcvp_program",
+    "mcvp_via_structural_totality",
+    "natural_database",
+    "negative_cycle_in_program_graph",
+    "propositional_databases",
+    "random_database",
+    "random_formula",
+    "random_monotone_circuit",
+    "rewrite_program",
+    "theorem2_constant_free_variant",
+    "theorem2_variant",
+    "theorem3_constant_free_variant",
+    "theorem3_variant",
+    "theorem5_variant",
+    "uniformize",
+]

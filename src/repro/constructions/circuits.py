@@ -1,0 +1,151 @@
+"""Monotone Boolean circuits — the substrate of the Theorem 4 reduction.
+
+The monotone circuit value problem (MCVP) is the canonical P-complete
+problem; Theorem 4 reduces it to structural nonuniform totality.  This
+module provides the circuit data structure, a topological evaluator, and
+generators for random and adversarial circuits used by tests and benches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Gate", "MonotoneCircuit", "random_monotone_circuit", "alternating_circuit"]
+
+INPUT = "input"
+AND = "and"
+OR = "or"
+
+
+@dataclass(frozen=True, slots=True)
+class Gate:
+    """One node of the circuit.
+
+    ``kind`` is ``"input"``, ``"and"``, or ``"or"``; non-input gates list
+    the indices of their operands, which must be strictly smaller than the
+    gate's own index (the circuit is stored in topological order).
+    """
+
+    kind: str
+    inputs: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class MonotoneCircuit:
+    """A monotone circuit in topological order; ``output`` names the root.
+
+    >>> c = MonotoneCircuit((Gate(INPUT), Gate(INPUT), Gate(AND, (0, 1))), output=2)
+    >>> c.evaluate([True, False])
+    False
+    >>> c.evaluate([True, True])
+    True
+    """
+
+    gates: tuple[Gate, ...]
+    output: int
+
+    def __post_init__(self) -> None:
+        for index, gate in enumerate(self.gates):
+            if gate.kind == INPUT:
+                if gate.inputs:
+                    raise ValueError(f"input gate {index} must have no operands")
+                continue
+            if gate.kind not in (AND, OR):
+                raise ValueError(f"gate {index} has unknown kind {gate.kind!r}")
+            if not gate.inputs:
+                raise ValueError(f"{gate.kind} gate {index} needs operands")
+            if any(op >= index for op in gate.inputs):
+                raise ValueError(f"gate {index} is not in topological order")
+        if not 0 <= self.output < len(self.gates):
+            raise ValueError("output index out of range")
+
+    @property
+    def input_indices(self) -> tuple[int, ...]:
+        """Indices of the input gates, in order."""
+        return tuple(i for i, g in enumerate(self.gates) if g.kind == INPUT)
+
+    @property
+    def input_count(self) -> int:
+        """Number of input gates."""
+        return len(self.input_indices)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate on an input-bit assignment (aligned with input order)."""
+        inputs = self.input_indices
+        if len(assignment) != len(inputs):
+            raise ValueError(
+                f"need {len(inputs)} input bits, got {len(assignment)}"
+            )
+        bit = dict(zip(inputs, assignment))
+        values: list[bool] = []
+        for index, gate in enumerate(self.gates):
+            if gate.kind == INPUT:
+                values.append(bit[index])
+            elif gate.kind == AND:
+                values.append(all(values[op] for op in gate.inputs))
+            else:
+                values.append(any(values[op] for op in gate.inputs))
+        return values[self.output]
+
+    def gate_values(self, assignment: Sequence[bool]) -> list[bool]:
+        """Value of every gate (used to cross-check the usefulness claim)."""
+        inputs = self.input_indices
+        bit = dict(zip(inputs, assignment))
+        values: list[bool] = []
+        for index, gate in enumerate(self.gates):
+            if gate.kind == INPUT:
+                values.append(bit[index])
+            elif gate.kind == AND:
+                values.append(all(values[op] for op in gate.inputs))
+            else:
+                values.append(any(values[op] for op in gate.inputs))
+        return values
+
+
+def random_monotone_circuit(
+    n_inputs: int,
+    n_gates: int,
+    *,
+    seed: int | None = None,
+    max_fan_in: int = 3,
+) -> MonotoneCircuit:
+    """A random topologically ordered monotone circuit.
+
+    Gate kinds alternate at random; operands are drawn uniformly from all
+    earlier gates, so late gates aggregate wide sub-circuits.
+    """
+    if n_inputs < 1 or n_gates < 1:
+        raise ValueError("need at least one input and one gate")
+    rng = random.Random(seed)
+    gates: list[Gate] = [Gate(INPUT) for _ in range(n_inputs)]
+    for _ in range(n_gates):
+        fan_in = rng.randint(2, max(2, max_fan_in))
+        operands = tuple(
+            rng.randrange(len(gates)) for _ in range(min(fan_in, len(gates)))
+        )
+        gates.append(Gate(rng.choice([AND, OR]), operands))
+    return MonotoneCircuit(tuple(gates), output=len(gates) - 1)
+
+
+def alternating_circuit(depth: int) -> MonotoneCircuit:
+    """A full binary AND/OR tree of the given depth (2**depth inputs).
+
+    The classic hard MCVP shape: strictly alternating layers, output an
+    AND.  Used for the scaling benches of experiment E8.
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    n_leaves = 2**depth
+    gates: list[Gate] = [Gate(INPUT) for _ in range(n_leaves)]
+    layer = list(range(n_leaves))
+    kind = OR if depth % 2 == 0 else AND
+    while len(layer) > 1:
+        next_layer = []
+        for i in range(0, len(layer), 2):
+            gates.append(Gate(kind, (layer[i], layer[i + 1])))
+            next_layer.append(len(gates) - 1)
+        layer = next_layer
+        kind = AND if kind == OR else OR
+    return MonotoneCircuit(tuple(gates), output=layer[0])

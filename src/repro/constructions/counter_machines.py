@@ -1,0 +1,190 @@
+"""Deterministic two-counter (Minsky) machines — the substrate of Theorem 6.
+
+A machine has states 0..h (0 starting, h halting) and two counters; a
+transition is chosen by the current state and the zero-tests of both
+counters, and may move each counter by -1/0/+1 (never decrementing a zero
+counter).  Two-counter machines are Turing-complete, which is what makes
+the Theorem 6 reduction an undecidability proof; here we only ever *run*
+them for bounded horizons to validate both directions of the reduction on
+concrete halting and non-halting machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Transition",
+    "Configuration",
+    "CounterMachine",
+    "bounded_counter_machine",
+    "looping_machine",
+    "alternating_machine",
+    "countdown_machine",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """Target state and counter deltas of one machine step."""
+
+    state: int
+    d1: int
+    d2: int
+
+
+@dataclass(frozen=True, slots=True)
+class Configuration:
+    """A machine configuration: state and both counter values."""
+
+    state: int
+    c1: int
+    c2: int
+
+
+@dataclass(frozen=True)
+class CounterMachine:
+    """A deterministic 2-counter machine.
+
+    ``transitions`` maps ``(state, c1_is_zero, c2_is_zero)`` to a
+    :class:`Transition` for every non-halting state and test combination;
+    the halting state ``state_count - 1`` has no transitions.
+
+    >>> m = bounded_counter_machine(2)
+    >>> m.run(10).halted, m.run(10).steps
+    (True, 2)
+    """
+
+    state_count: int
+    transitions: Mapping[tuple[int, bool, bool], Transition]
+
+    def __post_init__(self) -> None:
+        if self.state_count < 2:
+            raise ValueError("need at least a start and a halting state")
+        h = self.halting_state
+        for (state, z1, z2), t in self.transitions.items():
+            if not 0 <= state < h:
+                raise ValueError(f"transition from invalid state {state}")
+            if not 0 <= t.state <= h:
+                raise ValueError(f"transition into invalid state {t.state}")
+            if t.d1 not in (-1, 0, 1) or t.d2 not in (-1, 0, 1):
+                raise ValueError("counter deltas must be -1, 0, or +1")
+            if z1 and t.d1 == -1:
+                raise ValueError(f"state {state}: cannot decrement zero counter 1")
+            if z2 and t.d2 == -1:
+                raise ValueError(f"state {state}: cannot decrement zero counter 2")
+        for state in range(h):
+            for z1 in (False, True):
+                for z2 in (False, True):
+                    if (state, z1, z2) not in self.transitions:
+                        raise ValueError(
+                            f"machine is not total: no transition for "
+                            f"(state={state}, z1={z1}, z2={z2})"
+                        )
+
+    @property
+    def halting_state(self) -> int:
+        """The paper's h: the highest-numbered state."""
+        return self.state_count - 1
+
+    def step(self, config: Configuration) -> Configuration | None:
+        """One move, or None if the configuration is halting."""
+        if config.state == self.halting_state:
+            return None
+        t = self.transitions[(config.state, config.c1 == 0, config.c2 == 0)]
+        return Configuration(t.state, config.c1 + t.d1, config.c2 + t.d2)
+
+    def trace(self, max_steps: int) -> Iterator[Configuration]:
+        """Configurations from the start, up to halting or ``max_steps``."""
+        config = Configuration(0, 0, 0)
+        yield config
+        for _ in range(max_steps):
+            next_config = self.step(config)
+            if next_config is None:
+                return
+            config = next_config
+            yield config
+
+    def run(self, max_steps: int) -> "RunResult":
+        """Run from (0, 0, 0); report halting within ``max_steps``."""
+        trace = list(self.trace(max_steps))
+        halted = trace[-1].state == self.halting_state
+        return RunResult(halted=halted, steps=len(trace) - 1, trace=trace)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a bounded run."""
+
+    halted: bool
+    steps: int
+    trace: list[Configuration]
+
+    @property
+    def final(self) -> Configuration:
+        """The last configuration reached."""
+        return self.trace[-1]
+
+
+def bounded_counter_machine(n: int) -> CounterMachine:
+    """Increments counter 1 exactly ``n`` times, then halts (at time n).
+
+    States 0..n with n halting: state i unconditionally increments and
+    moves to i+1.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    transitions: dict[tuple[int, bool, bool], Transition] = {}
+    for state in range(n):
+        for z1 in (False, True):
+            for z2 in (False, True):
+                transitions[(state, z1, z2)] = Transition(state + 1, 1, 0)
+    return CounterMachine(n + 1, transitions)
+
+
+def looping_machine() -> CounterMachine:
+    """Never halts: state 0 increments counter 1 forever (h = 1 unreachable)."""
+    transitions = {
+        (0, z1, z2): Transition(0, 1, 0) for z1 in (False, True) for z2 in (False, True)
+    }
+    return CounterMachine(2, transitions)
+
+
+def alternating_machine() -> CounterMachine:
+    """Never halts: ping-pongs between states 0 and 1, incrementing counter 1.
+
+    Unlike :func:`looping_machine` it keeps *moving through states*, which
+    exercises the state-encoding rules of the Theorem 6 reduction under
+    adversarial databases.
+    """
+    transitions: dict[tuple[int, bool, bool], Transition] = {}
+    for z1 in (False, True):
+        for z2 in (False, True):
+            transitions[(0, z1, z2)] = Transition(1, 1, 0)
+            transitions[(1, z1, z2)] = Transition(0, 1, 0)
+    return CounterMachine(3, transitions)
+
+
+def countdown_machine(n: int) -> CounterMachine:
+    """Counts counter 1 up to ``n`` then back down to 0, then halts.
+
+    Exercises decrements and both zero-test polarities; halts at time
+    2n + 1 (n increments, n decrements, one final halt move).
+    States: 0..n-1 (up phase), n (down phase), n+1 halting.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    up_states = n
+    down = n
+    halt = n + 1
+    transitions: dict[tuple[int, bool, bool], Transition] = {}
+    for state in range(up_states):
+        target = state + 1 if state + 1 < up_states else down
+        for z1 in (False, True):
+            for z2 in (False, True):
+                transitions[(state, z1, z2)] = Transition(target, 1, 0)
+    for z2 in (False, True):
+        transitions[(down, False, z2)] = Transition(down, -1, 0)  # still positive
+        transitions[(down, True, z2)] = Transition(halt, 0, 0)  # reached zero
+    return CounterMachine(n + 2, transitions)

@@ -1,0 +1,120 @@
+"""The §5 Proposition: propositional totality is Π₂ᵖ-complete.
+
+Membership: a propositional program is total iff for every database (truth
+assignment to EDB propositions, plus — in the uniform case — any initial
+IDB propositions) some fixpoint exists; :func:`is_total_propositional`
+decides this by brute force over databases with a SAT call per database.
+
+Hardness: :func:`formula_to_program` implements the reduction from
+∀x ∃y F(x, y).  For every universal variable xᵢ an EDB proposition Xᵢ; for
+every existential yᵢ an IDB proposition Yᵢ; two extra IDB propositions p
+and q.  Every clause C_j yields a rule
+
+    p :- ¬p, ¬q, <complement of each literal of C_j>,
+
+and every yᵢ contributes ``Yᵢ :- Yᵢ, ¬q`` and ``q :- Yᵢ, q``.  The paper
+shows the program is total (uniform *and* nonuniform) iff ∀x ∃y F holds —
+experiment E10 verifies the equivalence exhaustively on small formulas.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.constructions.qbf import ForallExistsCNF
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.errors import ConstructionError, SemanticsError
+from repro.semantics.completion import has_fixpoint
+
+__all__ = ["formula_to_program", "is_total_propositional", "propositional_databases"]
+
+
+def _x_predicate(name: str) -> str:
+    return f"edb_{name}"
+
+
+def _y_predicate(name: str) -> str:
+    return f"idb_{name}"
+
+
+def formula_to_program(formula: ForallExistsCNF) -> Program:
+    """The Proposition's reduction program for ∀x ∃y F(x, y).
+
+    >>> from repro.constructions.qbf import ForallExistsCNF
+    >>> f = ForallExistsCNF(("x1",), ("y1",), ((("x1", True), ("y1", False)),))
+    >>> print(formula_to_program(f))
+    p :- ¬p, ¬q, ¬edb_x1, idb_y1.
+    idb_y1 :- idb_y1, ¬q.
+    q :- idb_y1, q.
+    """
+    p, q = Atom("p"), Atom("q")
+    x_set = set(formula.x_vars)
+    rules: list[Rule] = []
+    for clause in formula.clauses:
+        body: list[Literal] = [Literal(p, False), Literal(q, False)]
+        for name, positive in clause:
+            predicate = _x_predicate(name) if name in x_set else _y_predicate(name)
+            # The body carries the COMPLEMENT of the clause literal.
+            body.append(Literal(Atom(predicate), not positive))
+        rules.append(Rule(p, tuple(body)))
+    for name in formula.y_vars:
+        y = Atom(_y_predicate(name))
+        rules.append(Rule(y, (Literal(y, True), Literal(q, False))))
+        rules.append(Rule(q, (Literal(y, True), Literal(q, True))))
+    return Program(rules)
+
+
+def propositional_databases(
+    program: Program, *, nonuniform: bool
+) -> Iterator[Database]:
+    """Every database of a propositional program.
+
+    Uniform: all subsets of EDB ∪ IDB propositions; nonuniform: all subsets
+    of the EDB propositions (IDBs empty).
+    """
+    if not program.is_propositional:
+        raise SemanticsError("propositional_databases requires a propositional program")
+    fixed = sorted(program.edb_predicates)
+    free = [] if nonuniform else sorted(program.idb_predicates)
+    names = fixed + free
+    for bits in product([False, True], repeat=len(names)):
+        db = Database()
+        for name, bit in zip(names, bits):
+            if bit:
+                db.add(name)
+        yield db
+
+
+def is_total_propositional(
+    program: Program,
+    *,
+    nonuniform: bool = False,
+    max_databases: int = 1 << 16,
+) -> bool:
+    """Brute-force totality of a propositional program (§5).
+
+    Totality is Π₂ᵖ-complete, so exponential behaviour is inherent: the
+    database space is exhausted (guarded by ``max_databases``) with one
+    NP-call (SAT on the Clark completion) per database.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> is_total_propositional(parse_program("p :- not p, e."))
+    False
+    >>> is_total_propositional(parse_program("p :- not q. q :- not p."))
+    True
+    """
+    count = len(program.edb_predicates) + (
+        0 if nonuniform else len(program.idb_predicates)
+    )
+    if 1 << count > max_databases:
+        raise ConstructionError(
+            f"2^{count} databases exceed max_databases={max_databases}"
+        )
+    for db in propositional_databases(program, nonuniform=nonuniform):
+        if not has_fixpoint(program, db, grounding="full"):
+            return False
+    return True

@@ -1,0 +1,102 @@
+"""∀∃-CNF formulas — the substrate of the §5 Proposition's Π₂ᵖ reduction.
+
+A :class:`ForallExistsCNF` is a CNF formula F(x, y) whose variables are
+split into a universally quantified block x and an existentially
+quantified block y; the decision problem "∀x ∃y F(x, y)?" is the canonical
+Π₂ᵖ-complete problem.  Instances here are tiny (the reduction is verified
+by exhaustive search), so the evaluator is brute force by design.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator, Mapping, Sequence
+
+__all__ = ["ForallExistsCNF", "forall_exists_holds", "random_formula"]
+
+CNFLiteral = tuple[str, bool]  # (variable name, positive)
+
+
+@dataclass(frozen=True)
+class ForallExistsCNF:
+    """∀x ∃y ⋀ clauses, with clauses as tuples of (variable, sign) literals.
+
+    >>> f = ForallExistsCNF(("x1",), ("y1",), ((("x1", True), ("y1", True)),))
+    >>> forall_exists_holds(f)   # choose y1 = true whenever x1 is false
+    True
+    """
+
+    x_vars: tuple[str, ...]
+    y_vars: tuple[str, ...]
+    clauses: tuple[tuple[CNFLiteral, ...], ...]
+
+    def __post_init__(self) -> None:
+        if set(self.x_vars) & set(self.y_vars):
+            raise ValueError("x and y variable blocks must be disjoint")
+        known = set(self.x_vars) | set(self.y_vars)
+        for clause in self.clauses:
+            if not clause:
+                raise ValueError("empty clause is never satisfiable")
+            for name, _sign in clause:
+                if name not in known:
+                    raise ValueError(f"unknown variable {name!r} in clause")
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        """Truth of the matrix F under a total assignment."""
+        return all(
+            any(assignment[name] == positive for name, positive in clause)
+            for clause in self.clauses
+        )
+
+    def __str__(self) -> str:
+        def lit(name: str, positive: bool) -> str:
+            return name if positive else f"¬{name}"
+
+        matrix = " ∧ ".join(
+            "(" + " ∨ ".join(lit(n, s) for n, s in clause) + ")"
+            for clause in self.clauses
+        )
+        return f"∀{','.join(self.x_vars)} ∃{','.join(self.y_vars)} {matrix}"
+
+
+def _assignments(variables: Sequence[str]) -> Iterator[dict[str, bool]]:
+    for bits in product([False, True], repeat=len(variables)):
+        yield dict(zip(variables, bits))
+
+
+def forall_exists_holds(formula: ForallExistsCNF) -> bool:
+    """Brute-force decision of ∀x ∃y F(x, y) (exponential; tiny inputs only)."""
+    for x_assignment in _assignments(formula.x_vars):
+        witness_found = False
+        for y_assignment in _assignments(formula.y_vars):
+            if formula.evaluate({**x_assignment, **y_assignment}):
+                witness_found = True
+                break
+        if not witness_found:
+            return False
+    return True
+
+
+def random_formula(
+    n_x: int,
+    n_y: int,
+    n_clauses: int,
+    *,
+    width: int = 3,
+    seed: int | None = None,
+) -> ForallExistsCNF:
+    """A random ∀∃-CNF with the given shape (for randomized E10 sweeps)."""
+    rng = random.Random(seed)
+    x_vars = tuple(f"x{i}" for i in range(1, n_x + 1))
+    y_vars = tuple(f"y{i}" for i in range(1, n_y + 1))
+    names = x_vars + y_vars
+    clauses = []
+    for _ in range(n_clauses):
+        size = rng.randint(1, width)
+        clause = tuple(
+            (rng.choice(names), rng.random() < 0.5) for _ in range(size)
+        )
+        clauses.append(clause)
+    return ForallExistsCNF(x_vars, y_vars, tuple(clauses))

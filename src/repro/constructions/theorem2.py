@@ -1,0 +1,112 @@
+"""Theorem 2 constructions: odd cycle ⇒ an alphabetic variant with no fixpoint.
+
+Given a program whose graph has a cycle with an odd number of negative
+edges, build:
+
+* :func:`theorem2_variant` — the unary variant over constants a, b, c with
+  initial database Δ̃ = {Q(b) : every predicate Q}.  Non-participating
+  rules collapse to truths (heads Q(b) are in Δ̃); constants c make every
+  negative non-designated literal true (Q(c) is never derivable); the odd
+  cycle survives as Pᵢ₊₁(a) ⇐ (¬)Pᵢ(a) — a contradiction, so **no fixpoint
+  exists**.
+* :func:`theorem2_constant_free_variant` — the same idea with ternary
+  predicates and equality patterns simulating the constants:
+  a ↦ (x, y, y), b ↦ (y, y, y), c ↦ (x, x, y), universe {1, 2},
+  Δ̃ = {Q(d, d, d) : every predicate Q, d ∈ {1, 2}}.
+
+Both claims ("the variant has no fixpoint for Δ̃") are machine-checked in
+the test suite by exhaustive SAT over the Clark completion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.structural import OddCycle, odd_cycle_in_program_graph
+from repro.constructions.variants import Cycle, RewriteScheme, assign_arc_rules, rewrite_program
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ConstructionError
+
+__all__ = ["theorem2_variant", "theorem2_constant_free_variant"]
+
+
+def _resolve_cycle(program: Program, cycle: Optional[Cycle]) -> Cycle:
+    if cycle is not None:
+        return cycle
+    witness = odd_cycle_in_program_graph(program)
+    if witness is None:
+        raise ConstructionError(
+            "program graph has no odd cycle; the program is structurally total "
+            "(Theorem 2), so no fixpoint-free variant exists"
+        )
+    return witness.arcs
+
+
+def theorem2_variant(
+    program: Program, cycle: Optional[Cycle] = None
+) -> tuple[Program, Database]:
+    """The unary alphabetic variant Π̃ and database Δ̃ of the Theorem 2 proof.
+
+    ``cycle`` defaults to a witness odd cycle of G(Π).  Returns
+    ``(variant, database)`` with no fixpoint.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> variant, delta = theorem2_variant(parse_program("p(X, Y) :- not p(Y, Y), e(X)."))
+    >>> print(variant)
+    p(a) :- ¬p(a), e(b).
+    """
+    arcs = _resolve_cycle(program, cycle)
+    assignments = assign_arc_rules(program, arcs)
+    a, b, c = Constant("a"), Constant("b"), Constant("c")
+    scheme = RewriteScheme(
+        designated_head=lambda _pred: (a,),
+        designated_body=lambda _pred, _positive: (a,),
+        other_positive=lambda _pred: (b,),
+        other_negative=lambda _pred: (c,),
+    )
+    variant = rewrite_program(program, assignments, scheme)
+
+    delta = Database()
+    for predicate in sorted(variant.predicates):
+        delta.add(predicate, b)
+    return variant, delta
+
+
+def theorem2_constant_free_variant(
+    program: Program, cycle: Optional[Cycle] = None
+) -> tuple[Program, Database]:
+    """The constant-free ternary variant of the Theorem 2 proof.
+
+    Equality patterns over per-rule variables x, y simulate the constants:
+    a ↦ (x, y, y), b ↦ (y, y, y), c ↦ (x, x, y).  The database contains
+    Q(d, d, d) for every predicate and d ∈ {1, 2}; instantiating the cycle
+    rules at x=1, y=2 recreates the odd ground cycle on Pᵢ(1, 2, 2).
+
+    >>> from repro.datalog.parser import parse_program
+    >>> variant, delta = theorem2_constant_free_variant(parse_program("p :- not p, e."))
+    >>> print(variant)
+    p(X, Y, Y) :- ¬p(X, Y, Y), e(Y, Y, Y).
+    >>> len(variant.constants)
+    0
+    """
+    arcs = _resolve_cycle(program, cycle)
+    assignments = assign_arc_rules(program, arcs)
+    x, y = Variable("X"), Variable("Y")
+    pattern_a = (x, y, y)
+    pattern_b = (y, y, y)
+    pattern_c = (x, x, y)
+    scheme = RewriteScheme(
+        designated_head=lambda _pred: pattern_a,
+        designated_body=lambda _pred, _positive: pattern_a,
+        other_positive=lambda _pred: pattern_b,
+        other_negative=lambda _pred: pattern_c,
+    )
+    variant = rewrite_program(program, assignments, scheme)
+
+    delta = Database()
+    for predicate in sorted(variant.predicates):
+        for d in (1, 2):
+            delta.add(predicate, d, d, d)
+    return variant, delta

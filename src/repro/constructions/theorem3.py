@@ -1,0 +1,113 @@
+"""Theorem 3 constructions: the nonuniform case (IDB predicates start empty).
+
+Harder than Theorem 2 because only EDB relations can be seeded: the
+construction must first make every *useful* predicate derive its Q(a, b)
+witness bottom-up, and only then does the odd cycle (which lives in the
+reduced graph G(Π′), so all its predicates are useful) close the
+contradiction on the diagonal atoms Pᵢ(a, a).
+
+* :func:`theorem3_variant` — binary predicates over constants a, b; arc
+  rules become ``Pᵢ₊₁(a, x) :- Pᵢ(a, x), ...`` (positive arc) or
+  ``Pᵢ₊₁(a, x) :- ¬Pᵢ(x, a), ...`` (negative arc); every other positive
+  occurrence becomes Q(a, b) and negative ¬Q(b, a).  EDB relations are
+  initialized to {(a, b)}, IDBs empty.
+* :func:`theorem3_constant_free_variant` — 4-ary equality-pattern version:
+  arcs use (x, y, y, z) / ¬(y, x, y, z); other positives (x, z, z, z),
+  negatives ¬(z, x, z, z); EDB relations get {(1, 2, 2, 2)}.
+
+Both "no fixpoint with empty IDBs" claims are machine-checked by SAT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.structural import odd_cycle_in_program_graph
+from repro.analysis.useless import reduced_program
+from repro.constructions.variants import Cycle, RewriteScheme, assign_arc_rules, rewrite_program
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ConstructionError
+
+__all__ = ["theorem3_variant", "theorem3_constant_free_variant"]
+
+
+def _resolve_reduced_cycle(program: Program, cycle: Optional[Cycle]) -> Cycle:
+    if cycle is not None:
+        return cycle
+    witness = odd_cycle_in_program_graph(reduced_program(program))
+    if witness is None:
+        raise ConstructionError(
+            "the reduced program graph G(Π′) has no odd cycle; the program is "
+            "structurally nonuniformly total (Theorem 3)"
+        )
+    return witness.arcs
+
+
+def theorem3_variant(
+    program: Program, cycle: Optional[Cycle] = None
+) -> tuple[Program, Database]:
+    """The binary variant and EDB-only database of the Theorem 3 proof.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> variant, delta = theorem3_variant(parse_program("p :- e, not p."))
+    >>> print(variant)
+    p(a, X) :- e(a, b), ¬p(X, a).
+    >>> [str(a) for a in delta.atoms()]
+    ['e(a, b)']
+    """
+    arcs = _resolve_reduced_cycle(program, cycle)
+    assignments = assign_arc_rules(program, arcs, avoid_useless=True)
+    a, b = Constant("a"), Constant("b")
+    x = Variable("X")
+    scheme = RewriteScheme(
+        designated_head=lambda _pred: (a, x),
+        designated_body=lambda _pred, positive: (a, x) if positive else (x, a),
+        other_positive=lambda _pred: (a, b),
+        other_negative=lambda _pred: (b, a),
+    )
+    variant = rewrite_program(program, assignments, scheme)
+
+    delta = Database()
+    for predicate in sorted(variant.edb_predicates):
+        delta.add(predicate, a, b)
+    return variant, delta
+
+
+def theorem3_constant_free_variant(
+    program: Program, cycle: Optional[Cycle] = None
+) -> tuple[Program, Database]:
+    """The constant-free 4-ary variant of the Theorem 3 proof.
+
+    Patterns: arc heads (x, y, y, z); positive arc bodies (x, y, y, z),
+    negative arc bodies (y, x, y, z); other positive occurrences
+    (x, z, z, z); other negative occurrences (z, x, z, z).  The database
+    initializes every EDB relation to {(1, 2, 2, 2)}.
+
+    Requires at least one EDB predicate: with no EDB relation the universe
+    of the constant-free variant is empty and the (single, empty) database
+    trivially has the empty fixpoint.
+    """
+    arcs = _resolve_reduced_cycle(program, cycle)
+    if not program.edb_predicates:
+        raise ConstructionError(
+            "constant-free nonuniform construction needs an EDB predicate to "
+            "seed the universe"
+        )
+    assignments = assign_arc_rules(program, arcs, avoid_useless=True)
+    x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+    scheme = RewriteScheme(
+        designated_head=lambda _pred: (x, y, y, z),
+        designated_body=lambda _pred, positive: (
+            (x, y, y, z) if positive else (y, x, y, z)
+        ),
+        other_positive=lambda _pred: (x, z, z, z),
+        other_negative=lambda _pred: (z, x, z, z),
+    )
+    variant = rewrite_program(program, assignments, scheme)
+
+    delta = Database()
+    for predicate in sorted(variant.edb_predicates):
+        delta.add(predicate, 1, 2, 2, 2)
+    return variant, delta

@@ -1,0 +1,113 @@
+"""Theorem 4's P-completeness reduction: MCVP → structural nonuniform totality.
+
+Given a monotone circuit B and input assignment x, build a (propositional)
+program Π with one predicate G_i per gate plus an extra predicate P:
+
+* input bit 1  → G_i is an EDB predicate (appears only in bodies);
+* input bit 0  → the rule ``G_i :- G_i`` (making G_i useless);
+* AND gate     → one rule listing all operand predicates positively;
+* OR gate      → one rule per operand;
+* finally      → ``P :- ¬P, G_out``.
+
+Claims machine-checked by the tests (experiment E8):
+
+* G_i is *useful* iff gate i evaluates to 1 (induction of the proof);
+* the reduced program Π′ contains the odd cycle through P iff B(x) = 1,
+  i.e. Π is structurally nonuniformly total **iff B(x) = 0**.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.structural import is_structurally_nonuniformly_total
+from repro.analysis.useless import useful_predicates
+from repro.constructions.circuits import AND, INPUT, OR, MonotoneCircuit
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+
+__all__ = ["gate_predicate", "mcvp_program", "mcvp_via_structural_totality", "useful_gates"]
+
+TRAP_PREDICATE = "p_trap"
+
+
+def gate_predicate(index: int) -> str:
+    """Predicate name of gate ``index`` (the paper's G_i)."""
+    return f"g{index}"
+
+
+def mcvp_program(circuit: MonotoneCircuit, assignment: Sequence[bool]) -> Program:
+    """The reduction program Π for (B, x).
+
+    >>> from repro.constructions.circuits import Gate, MonotoneCircuit
+    >>> c = MonotoneCircuit((Gate("input"), Gate("and", (0, 0))), output=1)
+    >>> print(mcvp_program(c, [False]))
+    g0 :- g0.
+    g1 :- g0, g0.
+    p_trap :- ¬p_trap, g1.
+    """
+    inputs = circuit.input_indices
+    if len(assignment) != len(inputs):
+        raise ValueError(f"need {len(inputs)} input bits, got {len(assignment)}")
+    bit = dict(zip(inputs, assignment))
+
+    rules: list[Rule] = []
+    for index, gate in enumerate(circuit.gates):
+        head = Atom(gate_predicate(index))
+        if gate.kind == INPUT:
+            if not bit[index]:
+                rules.append(Rule(head, (Literal(head, True),)))
+            # bit 1: EDB predicate — no rule at all.
+        elif gate.kind == AND:
+            body = tuple(
+                Literal(Atom(gate_predicate(op)), True) for op in gate.inputs
+            )
+            rules.append(Rule(head, body))
+        else:  # OR: one rule per operand
+            for op in gate.inputs:
+                rules.append(Rule(head, (Literal(Atom(gate_predicate(op)), True),)))
+    trap = Atom(TRAP_PREDICATE)
+    rules.append(
+        Rule(
+            trap,
+            (
+                Literal(trap, False),
+                Literal(Atom(gate_predicate(circuit.output)), True),
+            ),
+        )
+    )
+    return Program(rules)
+
+
+def mcvp_via_structural_totality(
+    circuit: MonotoneCircuit, assignment: Sequence[bool]
+) -> bool:
+    """Evaluate B(x) through the reduction: B(x) = 1 iff Π is *not*
+    structurally nonuniformly total.
+
+    This is the P-completeness direction run as an algorithm — the test
+    suite compares it with direct circuit evaluation on random circuits.
+    """
+    program = mcvp_program(circuit, assignment)
+    return not is_structurally_nonuniformly_total(program)
+
+
+def useful_gates(circuit: MonotoneCircuit, assignment: Sequence[bool]) -> set[int]:
+    """Gate indices whose predicate is useful in the reduction program.
+
+    The proof's invariant: exactly the gates with value 1.  Input gates
+    with bit 1 are EDB predicates and count as useful even when no other
+    gate references them (in which case the predicate does not occur in
+    the program's text at all).
+    """
+    program = mcvp_program(circuit, assignment)
+    useful = useful_predicates(program)
+    result = {
+        index
+        for index in range(len(circuit.gates))
+        if gate_predicate(index) in useful
+    }
+    bit = dict(zip(circuit.input_indices, assignment))
+    result.update(index for index, value in bit.items() if value)
+    return result

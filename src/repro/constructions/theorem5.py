@@ -1,0 +1,76 @@
+"""Theorem 5 construction: unstratified ⇒ a variant where WF gets stuck.
+
+Theorem 5: a program is *structurally well-founded total* iff it is
+stratified (nonuniform case: iff Π′ is stratified).  The only-if proof
+reuses the Theorem 2/3 rewrites, but starting from a cycle that merely
+*contains a negative arc* (odd or even): the construction isolates the
+cycle into ground rules ``Pᵢ₊₁(τ) ⇐ (¬)Pᵢ(τ)`` on which the well-founded
+algorithm can assign nothing — the negative arc keeps the atoms out of
+every unfounded set, and nothing else derives them.
+
+When the cycle's negative count is *even* the variant still has fixpoints
+(Theorem 2's if-direction) and the tie-breaking interpreters find them —
+the sharpest separation between the paper's semantics and its baseline,
+exercised as experiment E9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.program_graph import program_graph
+from repro.analysis.useless import reduced_program
+from repro.constructions.theorem2 import theorem2_variant
+from repro.constructions.theorem3 import theorem3_variant
+from repro.constructions.variants import Cycle
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.errors import ConstructionError
+from repro.graphs.odd_cycles import find_negative_cycle
+
+__all__ = ["negative_cycle_in_program_graph", "theorem5_variant"]
+
+
+def negative_cycle_in_program_graph(program: Program) -> Optional[Cycle]:
+    """A simple cycle of G(Π) containing a negative edge, or None.
+
+    Exists iff the program is unstratified (Theorem 5's premise).
+    """
+    cycle = find_negative_cycle(program_graph(program))
+    if cycle is None:
+        return None
+    return tuple((e.source, e.target, e.positive) for e in cycle)
+
+
+def theorem5_variant(
+    program: Program,
+    cycle: Optional[Cycle] = None,
+    *,
+    nonuniform: bool = False,
+) -> tuple[Program, Database]:
+    """An alphabetic variant on which the well-founded model is not total.
+
+    ``cycle`` defaults to a negative-edge cycle of G(Π) (uniform case) or
+    of G(Π′) (nonuniform case).  The rewrite is the Theorem 2 unary scheme
+    (uniform) or the Theorem 3 binary scheme (nonuniform) applied to that
+    cycle; the cycle need not be odd.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> variant, delta = theorem5_variant(parse_program("p(X) :- not q(X). q(X) :- not p(X)."))
+    >>> print(variant)
+    p(a) :- ¬q(a).
+    q(a) :- ¬p(a).
+    """
+    if cycle is None:
+        base = reduced_program(program) if nonuniform else program
+        cycle = negative_cycle_in_program_graph(base)
+        if cycle is None:
+            raise ConstructionError(
+                "program is stratified"
+                + (" after reduction" if nonuniform else "")
+                + "; by Theorem 5 the well-founded semantics is total on every "
+                "alphabetic variant"
+            )
+    if nonuniform:
+        return theorem3_variant(program, cycle)
+    return theorem2_variant(program, cycle)

@@ -1,0 +1,202 @@
+"""Theorem 6: totality is undecidable — the 2-counter-machine reduction.
+
+:func:`machine_to_program` builds, for a machine M, a Datalog¬ program that
+is **nonuniformly total iff M does not halt**:
+
+* binary IDB predicates ``state(T, S)``, ``count1(T, C)``, ``count2(T, C)``
+  encode configurations over an EDB arithmetic ``zero/succ/less``;
+* initialization and one rule triple per machine transition simulate runs,
+  using the paper's ``[X = i]`` chains (``zero(A0), succ(A0, A1), ...``) to
+  name concrete states;
+* the *troublesome* rule ``p :- ¬p, state(T, S), [S = h]`` kills every
+  fixpoint once the halting state is derivable;
+* guard rules (1a), (1b), (2) supply an alternative derivation of ``p``
+  whenever the EDB relations fail to be a genuine arithmetic — this is
+  what makes the non-halting direction work for *every* database.
+
+:func:`uniformize` is the paper's uniform-case transform: a fresh
+proposition ``q`` is added negatively to every body, plus ``q :- Q(z̄), q``
+for every IDB predicate Q; Π is nonuniformly total iff the transform is
+uniformly total.
+
+Undecidability itself cannot be "run"; experiment E11 machine-checks both
+directions of the reduction on concrete halting and non-halting machines,
+including adversarial (non-arithmetic) databases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.constructions.counter_machines import CounterMachine
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+__all__ = [
+    "machine_to_program",
+    "uniformize",
+    "natural_database",
+    "random_database",
+]
+
+STATE, COUNT1, COUNT2 = "state", "count1", "count2"
+ZERO, SUCC, LESS = "zero", "succ", "less"
+TROUBLE = "p"
+GUARD = "q"
+
+
+def _chain(value: int, target: Variable, prefix: str) -> list[Literal]:
+    """The paper's ``[target = value]``: zero(A0), succ(A0, A1), ..., succ(, target)."""
+    if value == 0:
+        return [Literal(Atom(ZERO, (target,)))]
+    names = [Variable(f"{prefix}{i}") for i in range(value)]
+    literals = [Literal(Atom(ZERO, (names[0],)))]
+    for i in range(value - 1):
+        literals.append(Literal(Atom(SUCC, (names[i], names[i + 1]))))
+    literals.append(Literal(Atom(SUCC, (names[-1], target))))
+    return literals
+
+
+def machine_to_program(machine: CounterMachine) -> Program:
+    """The Theorem 6 reduction program for machine M (nonuniform case)."""
+    T, S, T2, S2 = Variable("T"), Variable("S"), Variable("T2"), Variable("S2")
+    C1, C2 = Variable("C1"), Variable("C2")
+    C1N, C2N = Variable("C1N"), Variable("C2N")
+    X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+    rules: list[Rule] = []
+
+    # Initialization: time 0, state 0, counters 0.
+    rules.append(Rule(Atom(STATE, (T, S)), (Literal(Atom(ZERO, (T,))), Literal(Atom(ZERO, (S,))))))
+    rules.append(Rule(Atom(COUNT1, (T, C1)), (Literal(Atom(ZERO, (T,))), Literal(Atom(ZERO, (C1,))))))
+    rules.append(Rule(Atom(COUNT2, (T, C2)), (Literal(Atom(ZERO, (T,))), Literal(Atom(ZERO, (C2,))))))
+
+    def common_body(state: int, z1: bool, z2: bool) -> list[Literal]:
+        body = [
+            Literal(Atom(STATE, (T, S))),
+            Literal(Atom(COUNT1, (T, C1))),
+            Literal(Atom(COUNT2, (T, C2))),
+            Literal(Atom(SUCC, (T, T2))),
+            Literal(Atom(ZERO, (C1,)), z1),
+            Literal(Atom(ZERO, (C2,)), z2),
+        ]
+        body.extend(_chain(state, S, "A"))
+        return body
+
+    for (state, z1, z2), t in sorted(machine.transitions.items()):
+        # STATE rule.
+        body = common_body(state, z1, z2)
+        body.extend(_chain(t.state, S2, "B"))
+        rules.append(Rule(Atom(STATE, (T2, S2)), tuple(body)))
+        # COUNT1 rule.
+        body = common_body(state, z1, z2)
+        if t.d1 == 0:
+            head1 = Atom(COUNT1, (T2, C1))
+        elif t.d1 == 1:
+            body.append(Literal(Atom(SUCC, (C1, C1N))))
+            head1 = Atom(COUNT1, (T2, C1N))
+        else:
+            body.append(Literal(Atom(SUCC, (C1N, C1))))
+            head1 = Atom(COUNT1, (T2, C1N))
+        rules.append(Rule(head1, tuple(body)))
+        # COUNT2 rule.
+        body = common_body(state, z1, z2)
+        if t.d2 == 0:
+            head2 = Atom(COUNT2, (T2, C2))
+        elif t.d2 == 1:
+            body.append(Literal(Atom(SUCC, (C2, C2N))))
+            head2 = Atom(COUNT2, (T2, C2N))
+        else:
+            body.append(Literal(Atom(SUCC, (C2N, C2))))
+            head2 = Atom(COUNT2, (T2, C2N))
+        rules.append(Rule(head2, tuple(body)))
+
+    p = Atom(TROUBLE)
+    h = machine.halting_state
+
+    # The troublesome rule: p :- ¬p, state(T, S), [S = h].
+    trouble_body = [Literal(p, False), Literal(Atom(STATE, (T, S)))]
+    trouble_body.extend(_chain(h, S, "A"))
+    rules.append(Rule(p, tuple(trouble_body)))
+
+    # (1a) p :- succ(X, Y), ¬less(X, Y).
+    rules.append(
+        Rule(p, (Literal(Atom(SUCC, (X, Y))), Literal(Atom(LESS, (X, Y)), False)))
+    )
+    # (1b) p :- succ(X, Y), less(Y, Z), ¬less(X, Z).
+    rules.append(
+        Rule(
+            p,
+            (
+                Literal(Atom(SUCC, (X, Y))),
+                Literal(Atom(LESS, (Y, Z))),
+                Literal(Atom(LESS, (X, Z)), False),
+            ),
+        )
+    )
+    # (2) p :- state(T, S), state(T, S2), [S2 = h], less(S, S2).
+    body2 = [Literal(Atom(STATE, (T, S))), Literal(Atom(STATE, (T, S2)))]
+    body2.extend(_chain(h, S2, "B"))
+    body2.append(Literal(Atom(LESS, (S, S2))))
+    rules.append(Rule(p, tuple(body2)))
+
+    return Program(rules)
+
+
+def uniformize(program: Program, guard: str = GUARD) -> Program:
+    """The uniform-case transform of the Theorem 6 proof.
+
+    Adds ¬q to every rule body and ``q :- Q(z̄), q`` for every IDB
+    predicate Q.  Π is nonuniformly total iff the result is (uniformly)
+    total — verified on small propositional programs in the test suite.
+    """
+    if guard in program.predicates:
+        raise ValueError(f"guard predicate {guard!r} already used by the program")
+    q = Atom(guard)
+    rules = [
+        Rule(r.head, r.body + (Literal(q, False),)) for r in program.rules
+    ]
+    for predicate in sorted(program.idb_predicates):
+        arity = program.arities[predicate]
+        args = tuple(Variable(f"Z{i}") for i in range(arity))
+        rules.append(Rule(q, (Literal(Atom(predicate, args)), Literal(q, True))))
+    return Program(rules)
+
+
+def natural_database(horizon: int) -> Database:
+    """The intended arithmetic over 0..horizon: zero, succ, and less."""
+    db = Database()
+    db.add(ZERO, 0)
+    for i in range(horizon):
+        db.add(SUCC, i, i + 1)
+    for i in range(horizon + 1):
+        for j in range(i + 1, horizon + 1):
+            db.add(LESS, i, j)
+    return db
+
+
+def random_database(size: int, *, seed: int | None = None, density: float = 0.3) -> Database:
+    """An adversarial EDB: arbitrary zero/succ/less over 0..size-1.
+
+    Exercises the guard rules (1a), (1b), (2): the non-halting direction of
+    Theorem 6 promises a fixpoint for *every* database, not just the
+    natural arithmetic.
+    """
+    rng = random.Random(seed)
+    db = Database()
+    values = list(range(size))
+    for v in values:
+        if rng.random() < density:
+            db.add(ZERO, v)
+    for a in values:
+        for b in values:
+            if rng.random() < density:
+                db.add(SUCC, a, b)
+            if rng.random() < density:
+                db.add(LESS, a, b)
+    if not db.predicates():
+        db.add(ZERO, 0)
+    return db

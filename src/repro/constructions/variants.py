@@ -1,0 +1,148 @@
+"""Shared machinery for the Theorem 2/3/5 alphabetic-variant constructions.
+
+All three constructions start from a cycle C = (P₀, ..., P_k) in a program
+graph and rewrite the program rule-by-rule, treating one rule per arc as
+*participating*: for the arc (Pᵢ, Pᵢ₊₁) a rule with head Pᵢ₊₁ and a body
+occurrence of Pᵢ of the arc's sign is chosen, and that single occurrence is
+the *designated* literal.  Every other occurrence in every rule is
+rewritten by a scheme specific to the theorem.
+
+:func:`assign_arc_rules` performs the choice; :func:`rewrite_program`
+applies a rewrite scheme, producing a program with the same skeleton
+(verified by the callers' tests via ``is_alphabetic_variant``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.structural import OddCycle
+from repro.analysis.useless import useless_predicates
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term
+from repro.errors import ConstructionError
+
+__all__ = ["ArcAssignment", "Cycle", "assign_arc_rules", "rewrite_program", "RewriteScheme"]
+
+Cycle = Sequence[tuple[str, str, bool]]  # arcs (P_i, P_{i+1}, positive)
+
+
+@dataclass(frozen=True)
+class ArcAssignment:
+    """The rule and body position realising one arc of the cycle.
+
+    ``rule_index`` indexes the source program; ``literal_index`` is the
+    position (within that rule's body) of the designated occurrence of
+    ``arc[0]`` with sign ``arc[2]``.
+    """
+
+    arc: tuple[str, str, bool]
+    rule_index: int
+    literal_index: int
+
+
+def assign_arc_rules(
+    program: Program,
+    cycle: Cycle,
+    *,
+    avoid_useless: bool = False,
+) -> list[ArcAssignment]:
+    """Choose, for every arc of the cycle, a witnessing rule and occurrence.
+
+    A simple cycle has distinct heads, so distinct arcs always pick distinct
+    rules.  With ``avoid_useless`` (the Theorem 3 setting, where the cycle
+    lives in G(Π′)), rules containing a positive occurrence of a useless
+    predicate are skipped — those rules are dropped by the reduction, so
+    they cannot witness an arc of the reduced graph.
+    """
+    heads = [arc[1] for arc in cycle]
+    if len(set(heads)) != len(heads):
+        raise ConstructionError("cycle must be simple (distinct predicates)")
+    useless = useless_predicates(program) if avoid_useless else frozenset()
+
+    assignments: list[ArcAssignment] = []
+    for arc in cycle:
+        source, target, positive = arc
+        found = None
+        for rule_index, rule in enumerate(program.rules):
+            if rule.head.predicate != target:
+                continue
+            if avoid_useless and any(
+                lit.positive and lit.predicate in useless for lit in rule.body
+            ):
+                continue
+            for literal_index, lit in enumerate(rule.body):
+                if lit.predicate == source and lit.positive == positive:
+                    found = ArcAssignment(arc, rule_index, literal_index)
+                    break
+            if found:
+                break
+        if found is None:
+            raise ConstructionError(
+                f"no rule witnesses the arc {source} "
+                f"{'→' if positive else '¬→'} {target}; is the cycle from this "
+                "program's graph?"
+            )
+        assignments.append(found)
+    return assignments
+
+
+@dataclass(frozen=True)
+class RewriteScheme:
+    """How one construction rewrites occurrences of predicates.
+
+    Each hook maps a predicate name to the argument tuple it receives:
+
+    * ``designated_head`` — head of a participating rule (the paper's
+      Pᵢ₊₁(a), or Pᵢ₊₁(a, x) ...);
+    * ``designated_body`` — the designated occurrence itself, given the
+      arc's sign (e.g. Pᵢ(a), or Pᵢ(a, x) / ¬Pᵢ(x, a));
+    * ``other_positive`` / ``other_negative`` — every remaining occurrence,
+      in participating and non-participating rules alike (the paper's Q(b)
+      and ¬Q(c) replacements; heads of non-participating rules count as
+      positive occurrences).
+    """
+
+    designated_head: Callable[[str], tuple[Term, ...]]
+    designated_body: Callable[[str, bool], tuple[Term, ...]]
+    other_positive: Callable[[str], tuple[Term, ...]]
+    other_negative: Callable[[str], tuple[Term, ...]]
+
+
+def rewrite_program(
+    program: Program,
+    assignments: Sequence[ArcAssignment],
+    scheme: RewriteScheme,
+) -> Program:
+    """Apply a rewrite scheme, producing an alphabetic variant.
+
+    The output keeps the rule order and the sign/predicate pattern of every
+    rule — only argument tuples change — so the skeleton is preserved by
+    construction.
+    """
+    designated = {
+        (a.rule_index, a.literal_index): a for a in assignments
+    }
+    participating_rules = {a.rule_index for a in assignments}
+
+    new_rules: list[Rule] = []
+    for rule_index, rule in enumerate(program.rules):
+        if rule_index in participating_rules:
+            head = Atom(rule.head.predicate, scheme.designated_head(rule.head.predicate))
+        else:
+            head = Atom(rule.head.predicate, scheme.other_positive(rule.head.predicate))
+        body: list[Literal] = []
+        for literal_index, lit in enumerate(rule.body):
+            assignment = designated.get((rule_index, literal_index))
+            if assignment is not None:
+                args = scheme.designated_body(lit.predicate, lit.positive)
+            elif lit.positive:
+                args = scheme.other_positive(lit.predicate)
+            else:
+                args = scheme.other_negative(lit.predicate)
+            body.append(Literal(Atom(lit.predicate, args), lit.positive))
+        new_rules.append(Rule(head, tuple(body)))
+    return Program(new_rules)

@@ -1,0 +1,42 @@
+"""Datalog¬ core: terms, atoms, rules, programs, databases, parsing, skeletons.
+
+This package is the language substrate of the reproduction: everything in
+§2 of the paper up to (but excluding) the ground graph, which lives in
+:mod:`repro.ground`.
+"""
+
+from repro.datalog.atoms import Atom, Literal, atom, neg, pos
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_database, parse_program, parse_rules
+from repro.datalog.printer import format_database, format_program, format_rule
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule, rule
+from repro.datalog.skeleton import Skeleton, SkeletonRule, is_alphabetic_variant, skeleton_of
+from repro.datalog.terms import Constant, Term, Variable, term_from_value
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "Literal",
+    "Program",
+    "Rule",
+    "Skeleton",
+    "SkeletonRule",
+    "Term",
+    "Variable",
+    "atom",
+    "format_database",
+    "format_program",
+    "format_rule",
+    "is_alphabetic_variant",
+    "neg",
+    "parse_atom",
+    "parse_database",
+    "parse_program",
+    "parse_rules",
+    "pos",
+    "rule",
+    "skeleton_of",
+    "term_from_value",
+]

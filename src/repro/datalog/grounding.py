@@ -1,0 +1,301 @@
+"""Grounding: from (program, database) to ground rule instances.
+
+The paper's ground graph ``G(Π, Δ)`` has a rule node ``r(a1, ..., ak)`` for
+*every* rule ``r`` with ``k`` variables and *every* k-tuple of universe
+constants (§2).  That **full grounding** is implemented faithfully here, and
+is exponential in the number of variables per rule.
+
+For programs where that blows up (e.g. the ``[X = i]`` chains of the
+Theorem 6 reduction), the **relevant grounding** keeps only instances whose
+positive body atoms all lie in the *upper-bound model* U\\* (EDB facts of Δ
+plus the least model of the positivized program).  Atoms outside U\\* form
+an unfounded set, so the well-founded and well-founded tie-breaking
+semantics are unchanged (property-tested against full grounding); *pure*
+tie-breaking and exhaustive fixpoint enumeration should use ``full``.
+
+Both grounders produce a :class:`GroundProgram`: an atom table (dense ids),
+a list of :class:`GroundRule` (deduplicated positive/negative body ids),
+and the originating substitutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterable, Iterator, Literal as TypingLiteral, Mapping, Sequence
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.engine.facts import FactStore
+from repro.engine.matching import Binding, enumerate_bindings, order_body_for_join
+from repro.engine.seminaive import upper_bound_model
+from repro.errors import GroundingError, ValidationError
+
+__all__ = ["AtomTable", "GroundRule", "GroundProgram", "ground", "universe_of", "GroundingMode"]
+
+GroundingMode = TypingLiteral["full", "relevant", "edb"]
+
+
+class AtomTable:
+    """Bidirectional mapping between ground atoms and dense integer ids."""
+
+    def __init__(self) -> None:
+        self._ids: dict[Atom, int] = {}
+        self._atoms: list[Atom] = []
+
+    def id_of(self, atom: Atom) -> int:
+        """The id of ``atom``, inserting it if new."""
+        idx = self._ids.get(atom)
+        if idx is None:
+            idx = len(self._atoms)
+            self._ids[atom] = idx
+            self._atoms.append(atom)
+        return idx
+
+    def get(self, atom: Atom) -> int | None:
+        """The id of ``atom`` or ``None`` if it was never materialized."""
+        return self._ids.get(atom)
+
+    def atom(self, index: int) -> Atom:
+        """The atom with dense id ``index``."""
+        return self._atoms[index]
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._ids
+
+    def atoms(self) -> Sequence[Atom]:
+        """All materialized atoms, in id order."""
+        return tuple(self._atoms)
+
+
+@dataclass(frozen=True, slots=True)
+class GroundRule:
+    """One instantiated rule: the paper's rule node ``r(a1, ..., ak)``.
+
+    ``pos`` / ``neg`` are *deduplicated* atom ids (the ground graph's edge
+    sets), preserving first-occurrence order.  ``rule_index`` points into the
+    source program and ``substitution`` is the constant tuple aligned with
+    ``rule.variables()``.
+    """
+
+    head: int
+    pos: tuple[int, ...]
+    neg: tuple[int, ...]
+    rule_index: int
+    substitution: tuple[Constant, ...]
+
+
+@dataclass
+class GroundProgram:
+    """The result of grounding: atoms, rule instances, and provenance."""
+
+    program: Program
+    database: Database
+    universe: tuple[Constant, ...]
+    mode: GroundingMode
+    atoms: AtomTable
+    rules: list[GroundRule] = field(default_factory=list)
+
+    @property
+    def atom_count(self) -> int:
+        """Number of materialized ground atoms."""
+        return len(self.atoms)
+
+    @property
+    def rule_count(self) -> int:
+        """Number of ground rule instances."""
+        return len(self.rules)
+
+    def instantiated_rule(self, ground_rule: GroundRule) -> Rule:
+        """The source rule with the instance's substitution applied."""
+        source = self.program.rules[ground_rule.rule_index]
+        binding = dict(zip(source.variables(), ground_rule.substitution))
+        return source.substitute(binding)
+
+    def describe(self) -> str:
+        """One-line summary, for logs and benchmarks."""
+        return (
+            f"GroundProgram(mode={self.mode}, |U|={len(self.universe)}, "
+            f"atoms={self.atom_count}, instances={self.rule_count})"
+        )
+
+
+def universe_of(program: Program, database: Database, extra: Iterable[Constant] = ()) -> tuple[Constant, ...]:
+    """The universe U: all constants of the program, the database, and ``extra``.
+
+    Sorted by string rendering for deterministic grounding order.
+    """
+    constants = set(program.constants) | set(database.constants()) | set(extra)
+    return tuple(sorted(constants, key=str))
+
+
+def _literal_atom_id(table: AtomTable, literal: Literal, binding: Mapping[Variable, Constant]) -> int:
+    return table.id_of(literal.atom.substitute(binding))
+
+
+def _make_instance(
+    table: AtomTable,
+    rule: Rule,
+    rule_index: int,
+    variables: Sequence[Variable],
+    binding: Mapping[Variable, Constant],
+) -> GroundRule:
+    head_id = table.id_of(rule.head.substitute(binding))
+    pos: dict[int, None] = {}
+    neg: dict[int, None] = {}
+    for lit in rule.body:
+        target = pos if lit.positive else neg
+        target.setdefault(_literal_atom_id(table, lit, binding))
+    return GroundRule(
+        head=head_id,
+        pos=tuple(pos),
+        neg=tuple(neg),
+        rule_index=rule_index,
+        substitution=tuple(binding[v] for v in variables),
+    )
+
+
+def _ground_full(
+    program: Program,
+    database: Database,
+    universe: tuple[Constant, ...],
+    max_instances: int,
+) -> GroundProgram:
+    # Guard: predict the instance count before enumerating.
+    total = 0
+    for r in program.rules:
+        k = len(r.variables())
+        count = len(universe) ** k if k else 1
+        total += count
+        if total > max_instances:
+            raise GroundingError(
+                f"full grounding needs more than {max_instances} instances "
+                f"(rule {r} alone has |U|^{k} = {count}); use mode='relevant' "
+                "or raise max_instances"
+            )
+
+    table = AtomTable()
+    # VP: every ground atom of every predicate, per the paper's definition.
+    for pred in sorted(program.predicates | database.predicates()):
+        arity = program.arities.get(pred)
+        if arity is None:
+            rows = database[pred]
+            arity = len(next(iter(rows))) if rows else 0
+        for args in product(universe, repeat=arity):
+            table.id_of(Atom(pred, args))
+
+    gp = GroundProgram(program, database, universe, "full", table)
+    for rule_index, r in enumerate(program.rules):
+        variables = r.variables()
+        if not variables:
+            gp.rules.append(_make_instance(table, r, rule_index, variables, {}))
+            continue
+        for values in product(universe, repeat=len(variables)):
+            binding = dict(zip(variables, values))
+            gp.rules.append(_make_instance(table, r, rule_index, variables, binding))
+    return gp
+
+
+def _ground_joined(
+    program: Program,
+    database: Database,
+    universe: tuple[Constant, ...],
+    max_instances: int,
+    prune_false_negative_edb: bool,
+    mode: GroundingMode,
+) -> GroundProgram:
+    """Shared implementation of the ``relevant`` and ``edb`` modes.
+
+    ``relevant`` joins every positive body literal against the upper-bound
+    model U\\*; ``edb`` joins only the positive *EDB* literals against Δ and
+    enumerates the remaining variables — a superset of ``relevant`` that is
+    exact for fixpoint/stable enumeration (an atom true in any fixpoint is
+    supported by an instance whose EDB literals hold in Δ, hence the
+    instance — and the atom — is materialized here).
+    """
+    edb = program.edb_predicates
+    if mode == "relevant":
+        join_store = upper_bound_model(program, database, universe=universe)
+    else:
+        join_store = FactStore.from_database(database)
+    table = AtomTable()
+    # Materialize the join store (U* respectively Δ) so negative IDB
+    # literals and unfounded atoms have nodes to be falsified on.
+    for atom_ in sorted(join_store.atoms(), key=str):
+        table.id_of(atom_)
+
+    gp = GroundProgram(program, database, universe, mode, table)
+
+    for rule_index, r in enumerate(program.rules):
+        variables = r.variables()
+        joinable = [
+            lit
+            for lit in r.positive_body()
+            if mode == "relevant" or lit.predicate in edb
+        ]
+        positive = order_body_for_join(joinable)
+        for partial in enumerate_bindings(positive, join_store):
+            unbound = [v for v in variables if v not in partial]
+            # Over an empty universe, rules with unbound variables have no
+            # instances (matching the full grounder's |U|^k = 0).
+            for values in product(universe, repeat=len(unbound)):
+                binding = dict(partial)
+                binding.update(zip(unbound, values))
+                if prune_false_negative_edb and any(
+                    not lit.positive
+                    and lit.predicate in edb
+                    and database.contains_atom(lit.atom.substitute(binding))
+                    for lit in r.body
+                ):
+                    # A negative EDB literal is violated: the instance's body
+                    # is false in every model; close() would delete its node
+                    # before it could influence anything.
+                    continue
+                gp.rules.append(_make_instance(table, r, rule_index, variables, binding))
+                if len(gp.rules) > max_instances:
+                    raise GroundingError(
+                        f"{mode} grounding exceeded {max_instances} instances"
+                    )
+    return gp
+
+
+def ground(
+    program: Program,
+    database: Database,
+    *,
+    mode: GroundingMode = "full",
+    extra_constants: Iterable[Constant] = (),
+    max_instances: int = 2_000_000,
+    prune_false_negative_edb: bool = True,
+) -> GroundProgram:
+    """Ground ``program`` over ``database``.
+
+    ``mode='full'`` reproduces the paper's ``G(Π, Δ)`` exactly (every
+    substitution over the universe; every ground atom materialized);
+    ``mode='relevant'`` restricts to instances whose positive body lies in
+    the upper-bound model U\\* — sound for the well-founded and
+    well-founded tie-breaking semantics, exponentially smaller on rules
+    with many variables; ``mode='edb'`` joins only positive EDB literals
+    against Δ — a superset of ``relevant`` that is additionally *exact for
+    fixpoint and stable-model enumeration* (see :mod:`repro.semantics.completion`),
+    since an atom true in any fixpoint is supported by an instance whose
+    EDB literals hold in Δ.
+
+    ``extra_constants`` extends the universe beyond the constants mentioned
+    by the program and database (the paper lets Δ fix the universe; tests of
+    Theorem 2/3 use this to stress larger universes).
+    """
+    universe = universe_of(program, database, extra_constants)
+    if mode == "full":
+        return _ground_full(program, database, universe, max_instances)
+    if mode in ("relevant", "edb"):
+        return _ground_joined(
+            program, database, universe, max_instances, prune_false_negative_edb, mode
+        )
+    raise ValueError(f"unknown grounding mode {mode!r}")

@@ -1,0 +1,128 @@
+"""Datalog¬ programs: validated, immutable collections of rules.
+
+A :class:`Program` owns its rules and derives the EDB/IDB split exactly as
+in the paper (§2): *IDB* predicates are those appearing at the head of some
+rule; every other predicate mentioned in the program is *EDB*.
+
+Programs validate that each predicate is used with a single arity
+(:class:`repro.errors.ArityError` otherwise) — the standard well-formedness
+assumption that the paper makes implicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.errors import ArityError, ValidationError
+
+__all__ = ["Program"]
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable Datalog program with negation.
+
+    >>> from repro.datalog.atoms import atom, neg
+    >>> from repro.datalog.rules import rule
+    >>> prog = Program((rule(atom("p", "X"), atom("e", "X"), neg("q", "X")),
+    ...                 rule(atom("q", "X"), atom("e", "X"), neg("p", "X"))))
+    >>> sorted(prog.idb_predicates), sorted(prog.edb_predicates)
+    (['p', 'q'], ['e'])
+    """
+
+    rules: tuple[Rule, ...]
+
+    def __init__(self, rules: Iterable[Rule]):
+        object.__setattr__(self, "rules", tuple(rules))
+        self._validate()
+
+    def _validate(self) -> None:
+        arities: dict[str, int] = {}
+        for r in self.rules:
+            if not isinstance(r, Rule):
+                raise ValidationError(f"expected Rule, got {type(r).__name__}")
+            for atom_ in self._atoms_of(r):
+                known = arities.setdefault(atom_.predicate, atom_.arity)
+                if known != atom_.arity:
+                    raise ArityError(
+                        f"predicate {atom_.predicate!r} used with arity {atom_.arity} "
+                        f"and {known}"
+                    )
+
+    @staticmethod
+    def _atoms_of(r: Rule) -> Iterator[Atom]:
+        yield r.head
+        for lit in r.body:
+            yield lit.atom
+
+    @cached_property
+    def arities(self) -> Mapping[str, int]:
+        """Mapping predicate name → arity for every predicate in the program."""
+        result: dict[str, int] = {}
+        for r in self.rules:
+            for atom_ in self._atoms_of(r):
+                result[atom_.predicate] = atom_.arity
+        return result
+
+    @cached_property
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates appearing at the head of at least one rule."""
+        return frozenset(r.head.predicate for r in self.rules)
+
+    @cached_property
+    def edb_predicates(self) -> frozenset[str]:
+        """Predicates mentioned in the program but never at a head."""
+        mentioned = set(self.arities)
+        return frozenset(mentioned - self.idb_predicates)
+
+    @cached_property
+    def predicates(self) -> frozenset[str]:
+        """All predicate symbols mentioned in the program."""
+        return frozenset(self.arities)
+
+    @cached_property
+    def constants(self) -> frozenset[Constant]:
+        """All constant symbols appearing in the rules."""
+        return frozenset(c for r in self.rules for c in r.constants())
+
+    @cached_property
+    def is_propositional(self) -> bool:
+        """True iff every predicate has arity zero."""
+        return all(a == 0 for a in self.arities.values())
+
+    @cached_property
+    def is_positive(self) -> bool:
+        """True iff no rule body contains a negative literal."""
+        return all(lit.positive for r in self.rules for lit in r.body)
+
+    def rules_for(self, predicate: str) -> tuple[Rule, ...]:
+        """All rules whose head predicate is ``predicate``, in program order."""
+        return self._rules_by_head.get(predicate, ())
+
+    @cached_property
+    def _rules_by_head(self) -> Mapping[str, tuple[Rule, ...]]:
+        grouped: dict[str, list[Rule]] = {}
+        for r in self.rules:
+            grouped.setdefault(r.head.predicate, []).append(r)
+        return {p: tuple(rs) for p, rs in grouped.items()}
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+    def __repr__(self) -> str:
+        return f"Program(<{len(self.rules)} rules>)"
+
+    def with_rules(self, extra: Iterable[Rule]) -> "Program":
+        """A new program with ``extra`` rules appended."""
+        return Program(self.rules + tuple(extra))

@@ -1,0 +1,103 @@
+"""Rules of a Datalog program with negation.
+
+A rule has the form ``head :- L1, ..., Ls`` where the head is an atom and
+each ``Li`` is a (positive or negative) literal.  A rule with an empty body
+is a *fact schema*; if moreover its head is ground, it is a plain fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.terms import Constant, Variable
+
+__all__ = ["Rule", "rule"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """An immutable Datalog¬ rule: ``head :- body``.
+
+    >>> from repro.datalog.atoms import atom, pos, neg
+    >>> r = Rule(atom("win", "X"), (pos("move", "X", "Y"), neg("win", "Y")))
+    >>> str(r)
+    'win(X) :- move(X, Y), ¬win(Y).'
+    """
+
+    head: Atom
+    body: tuple[Literal, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        """True iff the rule has an empty body and a ground head."""
+        return not self.body and self.head.is_ground
+
+    @property
+    def is_ground(self) -> bool:
+        """True iff the head and every body literal are ground."""
+        return self.head.is_ground and all(lit.is_ground for lit in self.body)
+
+    def positive_body(self) -> tuple[Literal, ...]:
+        """The positive literals of the body, in order."""
+        return tuple(lit for lit in self.body if lit.positive)
+
+    def negative_body(self) -> tuple[Literal, ...]:
+        """The negative literals of the body, in order."""
+        return tuple(lit for lit in self.body if not lit.positive)
+
+    def variables(self) -> tuple[Variable, ...]:
+        """All distinct variables of the rule, in first-occurrence order.
+
+        The order is significant: the full grounder enumerates substitutions
+        as tuples aligned with this sequence, mirroring the paper's rule
+        nodes ``r(a1, ..., ak)``.
+        """
+        seen: dict[Variable, None] = {}
+        for v in self.head.variables():
+            seen.setdefault(v)
+        for lit in self.body:
+            for v in lit.variables():
+                seen.setdefault(v)
+        return tuple(seen)
+
+    def constants(self) -> Iterator[Constant]:
+        """Yield every constant occurring in the rule (with repeats)."""
+        yield from self.head.constants()
+        for lit in self.body:
+            yield from lit.atom.constants()
+
+    def predicates(self) -> Iterator[str]:
+        """Yield every predicate symbol occurring in the rule (head first)."""
+        yield self.head.predicate
+        for lit in self.body:
+            yield lit.predicate
+
+    def substitute(self, binding: Mapping[Variable, Constant]) -> "Rule":
+        """Apply ``binding`` throughout the rule, returning a new rule."""
+        return Rule(
+            self.head.substitute(binding),
+            tuple(lit.substitute(binding) for lit in self.body),
+        )
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(lit) for lit in self.body)}."
+
+    def __repr__(self) -> str:
+        return f"Rule({self.head!r}, {self.body!r})"
+
+
+def rule(head: Atom, *body: Union[Literal, Atom]) -> Rule:
+    """Convenience constructor accepting atoms (treated as positive literals).
+
+    >>> from repro.datalog.atoms import atom, neg
+    >>> str(rule(atom("p", "X"), atom("e", "X"), neg("q", "X")))
+    'p(X) :- e(X), ¬q(X).'
+    """
+    literals = tuple(
+        lit if isinstance(lit, Literal) else Literal(lit, True) for lit in body
+    )
+    return Rule(head, literals)

@@ -1,0 +1,123 @@
+"""Skeletons (propositional forms) and alphabetic variants.
+
+Section 4 of the paper: the *skeleton* of a program is the program "with all
+parentheses, variables, and constants omitted" — only the pattern of
+predicate symbols and signs remains.  Two programs are *alphabetic variants*
+of one another iff they have the same skeleton.  A program is *structurally
+total* iff every program with its skeleton is total.
+
+Skeletons are first-class here because several results quantify over them:
+the Theorem 2/3 constructions build concrete alphabetic variants of a given
+skeleton, and useless-predicate analysis (§4) is defined on the skeleton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+
+__all__ = ["SkeletonRule", "Skeleton", "skeleton_of", "is_alphabetic_variant"]
+
+
+@dataclass(frozen=True, slots=True)
+class SkeletonRule:
+    """One rule with arguments erased: a head predicate and signed body symbols.
+
+    ``body`` preserves order and multiplicity: ``(("e", True), ("p", False))``
+    is the skeleton of any rule ``p(...) :- e(...), ¬p(...)``.
+    """
+
+    head: str
+    body: tuple[tuple[str, bool], ...]
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        parts = [(name if positive else f"¬{name}") for name, positive in self.body]
+        return f"{self.head} :- {', '.join(parts)}."
+
+
+@dataclass(frozen=True, slots=True)
+class Skeleton:
+    """The propositional form of a program: a tuple of :class:`SkeletonRule`.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> sk = skeleton_of(parse_program("p(a) :- not p(X), e(b)."))
+    >>> str(sk)
+    'p :- ¬p, e.'
+    """
+
+    rules: tuple[SkeletonRule, ...]
+
+    def __iter__(self) -> Iterator[SkeletonRule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def predicates(self) -> frozenset[str]:
+        """All predicate symbols of the skeleton."""
+        names = {r.head for r in self.rules}
+        names.update(name for r in self.rules for name, _ in r.body)
+        return frozenset(names)
+
+    def idb_predicates(self) -> frozenset[str]:
+        """Predicates appearing as a head."""
+        return frozenset(r.head for r in self.rules)
+
+    def edb_predicates(self) -> frozenset[str]:
+        """Predicates never appearing as a head."""
+        return self.predicates() - self.idb_predicates()
+
+    def as_propositional_program(self) -> Program:
+        """The skeleton read back as a program of zero-ary predicates.
+
+        This is the program Π_S of §4 used to define useless predicates via
+        the well-founded semantics of the skeleton.
+        """
+        rules = [
+            Rule(
+                Atom(r.head),
+                tuple(Literal(Atom(name), positive) for name, positive in r.body),
+            )
+            for r in self.rules
+        ]
+        return Program(rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+
+def skeleton_of(program: Program | Iterable[Rule]) -> Skeleton:
+    """Erase arguments from every rule of ``program``.
+
+    >>> from repro.datalog.parser import parse_program
+    >>> a = parse_program("p(a) :- not p(X), e(b).")
+    >>> b = parse_program("p(x, y) :- not p(y, y), e(x).")
+    >>> skeleton_of(a) == skeleton_of(b)
+    True
+    """
+    rules = program.rules if isinstance(program, Program) else tuple(program)
+    return Skeleton(
+        tuple(
+            SkeletonRule(
+                r.head.predicate,
+                tuple((lit.predicate, lit.positive) for lit in r.body),
+            )
+            for r in rules
+        )
+    )
+
+
+def is_alphabetic_variant(a: Program, b: Program) -> bool:
+    """True iff ``a`` and ``b`` have the same skeleton (§4).
+
+    Rule order is significant, matching the definition "the two programs only
+    differ in the arity of the predicates and the names of the variables and
+    constants in each rule".
+    """
+    return skeleton_of(a) == skeleton_of(b)

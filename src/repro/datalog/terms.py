@@ -1,0 +1,90 @@
+"""Terms of the Datalog language: variables and constants.
+
+A *term* is either a :class:`Variable` (written with a leading uppercase
+letter or underscore in the concrete syntax, e.g. ``X``) or a
+:class:`Constant` (a lowercase identifier, an integer, or a quoted string,
+e.g. ``a``, ``42``, ``"new york"``).
+
+Both classes are immutable and hashable so they can be used freely in sets,
+dictionaries, and as members of frozen atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Variable", "Constant", "Term", "term_from_value"]
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A Datalog variable, identified by its name.
+
+    >>> Variable("X")
+    Variable('X')
+    >>> str(Variable("X"))
+    'X'
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A Datalog constant symbol.
+
+    The payload may be a string or an integer.  Constants compare equal iff
+    their payloads are equal, so ``Constant(1) != Constant("1")``.
+
+    >>> str(Constant("a")), str(Constant(3))
+    ('a', '3')
+    """
+
+    value: Union[str, int]
+
+    def __str__(self) -> str:
+        value = self.value
+        if isinstance(value, int):
+            return str(value)
+        if value and (value[0].islower() or value[0] == "_") and value.replace("_", "").isalnum():
+            return value
+        return f'"{value}"'
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+"""Union type of the two kinds of terms."""
+
+
+def term_from_value(value: Union[str, int, Variable, Constant]) -> Term:
+    """Coerce a Python value into a :class:`Term`.
+
+    Strings beginning with an uppercase letter or ``_`` become variables
+    (matching the concrete syntax); anything else becomes a constant.
+    Existing terms pass through unchanged.
+
+    >>> term_from_value("X")
+    Variable('X')
+    >>> term_from_value("a")
+    Constant('a')
+    >>> term_from_value(7)
+    Constant(7)
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)

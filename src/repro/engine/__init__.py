@@ -1,0 +1,22 @@
+"""Evaluation engine: fact stores, indexed joins, semi-naive least fixpoints."""
+
+from repro.engine.facts import FactStore
+from repro.engine.matching import (
+    Binding,
+    enumerate_bindings,
+    match_atom_row,
+    match_literal,
+    order_body_for_join,
+)
+from repro.engine.seminaive import least_model, upper_bound_model
+
+__all__ = [
+    "Binding",
+    "FactStore",
+    "enumerate_bindings",
+    "least_model",
+    "match_atom_row",
+    "match_literal",
+    "order_body_for_join",
+    "upper_bound_model",
+]

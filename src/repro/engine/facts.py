@@ -1,0 +1,122 @@
+"""Fact stores: indexed collections of ground tuples, grouped by predicate.
+
+The evaluation engine (joins, semi-naive iteration, relevant grounding)
+works over a :class:`FactStore` — a thin, mutable wrapper around
+``{predicate: set[tuple[Constant, ...]]}`` with on-demand hash indexes on
+argument positions, so that matching a partially bound literal does not
+scan the whole relation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.terms import Constant
+
+__all__ = ["FactStore"]
+
+Row = tuple[Constant, ...]
+
+
+class FactStore:
+    """Ground facts with per-(predicate, positions) hash indexes.
+
+    >>> store = FactStore()
+    >>> _ = store.add("edge", (Constant(1), Constant(2)))
+    >>> _ = store.add("edge", (Constant(1), Constant(3)))
+    >>> sorted(r[1].value for r in store.rows_matching("edge", {0: Constant(1)}))
+    [2, 3]
+    """
+
+    def __init__(self) -> None:
+        self._rows: dict[str, set[Row]] = defaultdict(set)
+        # (predicate, positions) -> key tuple -> list of rows
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Row]]] = {}
+
+    @classmethod
+    def from_database(cls, database: Database) -> "FactStore":
+        """Copy every fact of ``database`` into a fresh store."""
+        store = cls()
+        for pred in database.predicates():
+            for row in database[pred]:
+                store.add(pred, row)
+        return store
+
+    def add(self, predicate: str, row: Row) -> bool:
+        """Insert a row; returns True iff it was new."""
+        rows = self._rows[predicate]
+        if row in rows:
+            return False
+        rows.add(row)
+        for (pred, positions), index in self._indexes.items():
+            if pred == predicate:
+                key = tuple(row[i] for i in positions)
+                index.setdefault(key, []).append(row)
+        return True
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Insert a ground atom; returns True iff it was new."""
+        return self.add(atom.predicate, tuple(atom.args))  # type: ignore[arg-type]
+
+    def contains(self, predicate: str, row: Row) -> bool:
+        """True iff the row is present."""
+        return row in self._rows.get(predicate, ())
+
+    def contains_atom(self, atom: Atom) -> bool:
+        """True iff the ground atom is present."""
+        return self.contains(atom.predicate, tuple(atom.args))  # type: ignore[arg-type]
+
+    def rows(self, predicate: str) -> frozenset[Row]:
+        """All rows of a predicate (frozen snapshot)."""
+        return frozenset(self._rows.get(predicate, ()))
+
+    def count(self, predicate: str) -> int:
+        """Number of rows of a predicate."""
+        return len(self._rows.get(predicate, ()))
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._rows.values())
+
+    def predicates(self) -> Iterator[str]:
+        """Predicates with at least one row."""
+        return (p for p, rows in self._rows.items() if rows)
+
+    def atoms(self) -> Iterator[Atom]:
+        """Yield every fact as a ground atom."""
+        for pred, rows in self._rows.items():
+            for row in rows:
+                yield Atom(pred, row)
+
+    def rows_matching(self, predicate: str, bound: Mapping[int, Constant]) -> Iterable[Row]:
+        """Rows of ``predicate`` agreeing with ``bound`` (position → constant).
+
+        Uses (and lazily builds) a hash index on the bound positions; with no
+        bound positions this is a full scan of the relation.
+        """
+        if not bound:
+            return self._rows.get(predicate, ())
+        positions = tuple(sorted(bound))
+        index_key = (predicate, positions)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = {}
+            for row in self._rows.get(predicate, ()):
+                key = tuple(row[i] for i in positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[index_key] = index
+        return index.get(tuple(bound[i] for i in positions), ())
+
+    def to_database(self) -> Database:
+        """Snapshot the store as a :class:`Database`."""
+        db = Database()
+        for pred, rows in self._rows.items():
+            for row in rows:
+                db.add(pred, *row)
+        return db
+
+    def __repr__(self) -> str:
+        preds = ", ".join(f"{p}:{len(rows)}" for p, rows in sorted(self._rows.items()))
+        return f"FactStore({preds})"

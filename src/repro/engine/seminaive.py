@@ -1,0 +1,138 @@
+"""Semi-naive least-fixpoint evaluation of positive Datalog programs.
+
+Two uses in the reproduction:
+
+* the **upper-bound model** U\\* — the least model of the *positivized*
+  program (negative literals dropped), which bounds every atom the
+  well-founded / well-founded-tie-breaking semantics can make true and
+  drives the relevant grounder;
+* the **GL-reduct least model** — the independent stable-model checker
+  evaluates the (positive) reduct with this same engine.
+
+Head variables not bound by the positive body (the paper's programs are not
+required to be range-restricted — see program (2) in §1) are enumerated
+over the universe.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.datalog.atoms import Literal
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.engine.facts import FactStore
+from repro.engine.matching import Binding, enumerate_bindings, match_literal, order_body_for_join
+from repro.errors import GroundingError
+
+__all__ = ["least_model", "upper_bound_model"]
+
+
+def _head_rows(rule: Rule, binding: Binding, universe: Sequence[Constant]):
+    """Yield head argument rows for ``binding``, enumerating unbound variables.
+
+    Over an empty universe a rule with unbound variables has no instances
+    at all (there are no ground atoms of positive arity), so nothing is
+    yielded.
+    """
+    unbound = [v for v in dict.fromkeys(rule.head.variables()) if v not in binding]
+    if not unbound:
+        yield tuple(
+            binding[t] if isinstance(t, Variable) else t for t in rule.head.args
+        )
+        return
+    for values in product(universe, repeat=len(unbound)):
+        extended = dict(binding)
+        extended.update(zip(unbound, values))
+        yield tuple(
+            extended[t] if isinstance(t, Variable) else t for t in rule.head.args
+        )
+
+
+def least_model(
+    program: Program | Iterable[Rule],
+    database: Database,
+    *,
+    universe: Sequence[Constant] = (),
+    positivize: bool = False,
+) -> FactStore:
+    """Least model of a positive program over ``database``.
+
+    With ``positivize=True`` negative body literals are dropped first (the
+    U\\* construction); otherwise the program must be positive.
+
+    Uses semi-naive iteration: each round re-joins only those rule bodies
+    through a literal matching the previous round's *delta*.
+    """
+    rules = list(program.rules if isinstance(program, Program) else program)
+    if positivize:
+        rules = [Rule(r.head, r.positive_body()) for r in rules]
+    elif any(not lit.positive for r in rules for lit in r.body):
+        raise GroundingError("least_model requires a positive program (or positivize=True)")
+
+    store = FactStore.from_database(database)
+    delta = FactStore()
+
+    # Precompute, per rule, the join orders with each body position promoted
+    # to the delta slot.
+    plans: list[tuple[Rule, list[list[Literal]]]] = []
+    for r in rules:
+        body = list(r.body)
+        orders: list[list[Literal]] = []
+        for i in range(len(body)):
+            rest = body[:i] + body[i + 1 :]
+            orders.append([body[i]] + order_body_for_join(rest))
+        plans.append((r, orders))
+
+    def fire(rule: Rule, ordered: list[Literal], delta_store: FactStore | None, sink: FactStore) -> bool:
+        """Join the body (first literal against delta if given); add heads to sink."""
+        changed = False
+        if not ordered:
+            bindings: Iterable[Binding] = [dict()]
+        elif delta_store is None:
+            bindings = enumerate_bindings(ordered, store)
+        else:
+            def chain() -> Iterable[Binding]:
+                for first in match_literal(ordered[0], delta_store, {}):
+                    yield from enumerate_bindings(ordered[1:], store, first)
+            bindings = chain()
+        for binding in bindings:
+            for row in _head_rows(rule, binding, universe):
+                if not store.contains(rule.head.predicate, row):
+                    if sink.add(rule.head.predicate, row):
+                        changed = True
+        return changed
+
+    # Round 0: full join of every rule.
+    new = FactStore()
+    for r, _orders in plans:
+        fire(r, order_body_for_join(list(r.body)), None, new)
+    while len(new):
+        for atom_ in new.atoms():
+            store.add_atom(atom_)
+        delta = new
+        new = FactStore()
+        for r, orders in plans:
+            for ordered in orders:
+                if delta.count(ordered[0].predicate) == 0:
+                    continue
+                fire(r, ordered, delta, new)
+    return store
+
+
+def upper_bound_model(
+    program: Program,
+    database: Database,
+    *,
+    universe: Sequence[Constant] = (),
+) -> FactStore:
+    """U\\*: the least model of the positivized program (§ DESIGN).
+
+    Every atom true under the well-founded or well-founded tie-breaking
+    semantics — and every atom of any *stable* model — lies in U\\*;
+    atoms outside it form an unfounded set.
+    """
+    return least_model(program, database, universe=universe, positivize=True)

@@ -1,0 +1,27 @@
+"""Language-level extensions built on the tie-breaking machinery.
+
+* :mod:`repro.extensions.default_logic` — default theories and the [PS]
+  extension-finding mechanism (§3's citation, executable);
+* :mod:`repro.extensions.choice` — the [KN]/[SZ] nondeterministic choice
+  idioms (§1/§6), compiled to tie-shaped program fragments.
+"""
+
+from repro.extensions.choice import inequality_facts, one_of, subset_choice
+from repro.extensions.default_logic import (
+    Default,
+    DefaultTheory,
+    extensions,
+    find_extension_tie_breaking,
+    theory_to_program,
+)
+
+__all__ = [
+    "Default",
+    "DefaultTheory",
+    "extensions",
+    "find_extension_tie_breaking",
+    "inequality_facts",
+    "one_of",
+    "subset_choice",
+    "theory_to_program",
+]

@@ -1,0 +1,75 @@
+"""The nondeterministic choice construct, compiled to ties ([KN], [SZ], §6).
+
+§1 cites Krishnamurthy-Naqvi's ``choice`` and Saccà-Zaniolo's stable-model
+account of nondeterminism; §6 argues the tie-breaking interpreter is a
+natural executor for such constructs.  This module provides the two
+standard idioms as program fragments:
+
+* :func:`subset_choice` — pick any subset of the candidates (one
+  independent tie per element; 2^n stable models);
+* :func:`one_of` — pick **exactly one** candidate: the mutual-exclusion
+  encoding ``chosen ← candidate, ¬rejected`` /
+  ``rejected ← candidate, chosen', candidate ≠ chosen'``.  Inequality is
+  not first-class in Datalog, so :func:`inequality_facts` materializes the
+  ``neq`` EDB relation over the candidate universe.
+
+For two candidates the ``one_of`` ground component is a single *tie* whose
+Lemma-1 sides are exactly the two outcomes — tie-breaking literally
+executes the choice; for three or more the component has odd cycles and
+only stable-model search enumerates the n outcomes (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datalog.atoms import Atom, Literal, atom, neg, pos
+from repro.datalog.database import Database
+from repro.datalog.rules import Rule, rule
+
+__all__ = ["subset_choice", "one_of", "inequality_facts"]
+
+NEQ = "neq"
+
+
+def subset_choice(chosen: str, candidate: str, *, rejected: str | None = None) -> list[Rule]:
+    """Rules choosing an arbitrary subset of ``candidate`` into ``chosen``.
+
+    >>> for r in subset_choice("invited", "person"):
+    ...     print(r)
+    invited(X) :- person(X), ¬invited_out(X).
+    invited_out(X) :- person(X), ¬invited(X).
+    """
+    out = rejected or f"{chosen}_out"
+    return [
+        rule(atom(chosen, "X"), pos(candidate, "X"), neg(out, "X")),
+        rule(atom(out, "X"), pos(candidate, "X"), neg(chosen, "X")),
+    ]
+
+
+def one_of(chosen: str, candidate: str, *, rejected: str | None = None) -> list[Rule]:
+    """Rules choosing **exactly one** ``candidate`` into ``chosen``.
+
+    Requires the ``neq`` EDB relation over the candidates (see
+    :func:`inequality_facts`).  Stable models correspond one-to-one with
+    the candidates (given at least one candidate).
+
+    >>> for r in one_of("leader", "member"):
+    ...     print(r)
+    leader(X) :- member(X), ¬leader_out(X).
+    leader_out(X) :- member(X), leader(Y), neq(X, Y).
+    """
+    out = rejected or f"{chosen}_out"
+    return [
+        rule(atom(chosen, "X"), pos(candidate, "X"), neg(out, "X")),
+        rule(atom(out, "X"), pos(candidate, "X"), pos(chosen, "Y"), pos(NEQ, "X", "Y")),
+    ]
+
+
+def inequality_facts(database: Database, universe: Iterable) -> None:
+    """Materialize ``neq(a, b)`` for every pair of distinct universe values."""
+    values = list(universe)
+    for left in values:
+        for right in values:
+            if left != right:
+                database.add(NEQ, left, right)

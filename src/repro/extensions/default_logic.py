@@ -1,0 +1,142 @@
+"""Default logic and extension finding — the [PS] connection of §3.
+
+The paper notes that "a version of the tie-breaking semantics was proposed
+in [PS] as an extension-finding mechanism in the context of default
+logic".  This module makes the connection executable for the standard
+fragment whose extensions coincide with stable models:
+
+a *default* ``(α₁, ..., αₙ : ¬β₁, ..., ¬βₘ / γ)`` — "if the prerequisites
+α hold and each β can consistently be assumed false, conclude γ" —
+translates to the Datalog¬ rule ``γ :- α₁, ..., αₙ, ¬β₁, ..., ¬βₘ``, and
+the extensions of the theory are exactly the stable models of the program
+plus the theory's facts (Gelfond-Lifschitz / Marek-Truszczyński).
+
+:func:`find_extension_tie_breaking` is the [PS] mechanism itself: run the
+well-founded tie-breaking interpreter; by Lemma 3 a total run *is* an
+extension, found in polynomial time — whereas extension existence is
+NP-hard in general (§2's stable-model hardness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.errors import ValidationError
+from repro.semantics.choices import ChoicePolicy
+from repro.semantics.stable import enumerate_stable_models
+from repro.semantics.tie_breaking import well_founded_tie_breaking
+
+__all__ = [
+    "Default",
+    "DefaultTheory",
+    "theory_to_program",
+    "extensions",
+    "find_extension_tie_breaking",
+]
+
+
+@dataclass(frozen=True)
+class Default:
+    """One default rule ``(prerequisites : ¬justifications / conclusion)``.
+
+    All components are propositional symbols.  The justification list holds
+    the atoms that must be *consistently assumable as false* (the normal
+    default ``: ¬β / ¬β`` pattern is expressed via a conclusion symbol for
+    the negation, as usual in the atomic fragment).
+
+    >>> str(Default(("bird",), ("abnormal",), "flies"))
+    '(bird : ¬abnormal / flies)'
+    """
+
+    prerequisites: tuple[str, ...]
+    justifications: tuple[str, ...]
+    conclusion: str
+
+    def __post_init__(self) -> None:
+        if not self.conclusion:
+            raise ValidationError("a default needs a conclusion")
+
+    def __str__(self) -> str:
+        pre = ", ".join(self.prerequisites)
+        just = ", ".join(f"¬{j}" for j in self.justifications)
+        return f"({pre} : {just} / {self.conclusion})"
+
+
+@dataclass(frozen=True)
+class DefaultTheory:
+    """A propositional default theory: hard facts plus defaults."""
+
+    facts: frozenset[str]
+    defaults: tuple[Default, ...]
+
+    def symbols(self) -> frozenset[str]:
+        """Every propositional symbol mentioned by the theory."""
+        names = set(self.facts)
+        for d in self.defaults:
+            names.add(d.conclusion)
+            names.update(d.prerequisites)
+            names.update(d.justifications)
+        return frozenset(names)
+
+
+def theory_to_program(theory: DefaultTheory) -> tuple[Program, Database]:
+    """Translate to Datalog¬: one rule per default, facts as Δ."""
+    rules = []
+    for d in theory.defaults:
+        body = tuple(
+            [Literal(Atom(p), True) for p in d.prerequisites]
+            + [Literal(Atom(j), False) for j in d.justifications]
+        )
+        rules.append(Rule(Atom(d.conclusion), body))
+    # Facts that conclude nothing still need to exist as predicates: they
+    # enter through Δ, which the Database carries.
+    db = Database()
+    for fact in sorted(theory.facts):
+        db.add(fact)
+    return Program(rules), db
+
+
+def extensions(theory: DefaultTheory, *, limit: int | None = None) -> Iterator[frozenset[str]]:
+    """All extensions of the theory, as sets of true symbols.
+
+    Exact (stable-model enumeration over the translation); worst-case
+    exponential, as extension existence is NP-hard.
+
+    >>> nixon = DefaultTheory(
+    ...     frozenset({"quaker", "republican"}),
+    ...     (
+    ...         Default(("quaker",), ("hawk",), "pacifist"),
+    ...         Default(("republican",), ("pacifist",), "hawk"),
+    ...     ),
+    ... )
+    >>> sorted(sorted(e - {"quaker", "republican"}) for e in extensions(nixon))
+    [['hawk'], ['pacifist']]
+    """
+    program, db = theory_to_program(theory)
+    for model in enumerate_stable_models(program, db, grounding="full", limit=limit):
+        yield frozenset(a.predicate for a in model)
+
+
+def find_extension_tie_breaking(
+    theory: DefaultTheory,
+    *,
+    policy: Optional[ChoicePolicy] = None,
+) -> Optional[frozenset[str]]:
+    """The [PS] mechanism: find one extension by breaking ties.
+
+    Runs the well-founded tie-breaking interpreter on the translation; a
+    total run is a stable model (Lemma 3), i.e. an extension — obtained in
+    polynomial time.  Returns ``None`` when the interpreter stalls (an odd
+    component), which can happen even for theories that *do* have
+    extensions, mirroring the incompleteness discussed after Lemma 3.
+    """
+    program, db = theory_to_program(theory)
+    run = well_founded_tie_breaking(program, db, policy=policy, grounding="full")
+    if not run.is_total:
+        return None
+    return frozenset(a.predicate for a in run.model.true_set())

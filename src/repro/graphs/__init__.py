@@ -1,0 +1,29 @@
+"""Signed-graph substrate: SCCs, ties (Lemma 1), odd cycles, condensation."""
+
+from repro.graphs.condensation import bottom_components, component_ids, topological_component_order
+from repro.graphs.odd_cycles import (
+    component_analyses,
+    find_odd_cycle,
+    has_odd_cycle,
+    is_cycle_balanced,
+)
+from repro.graphs.scc import scc_of_signed_digraph, strongly_connected_components
+from repro.graphs.signed_digraph import SignedDigraph, SignedEdge
+from repro.graphs.ties import TieAnalysis, analyze_component, extract_simple_odd_cycle
+
+__all__ = [
+    "SignedDigraph",
+    "SignedEdge",
+    "TieAnalysis",
+    "analyze_component",
+    "bottom_components",
+    "component_analyses",
+    "component_ids",
+    "extract_simple_odd_cycle",
+    "find_odd_cycle",
+    "has_odd_cycle",
+    "is_cycle_balanced",
+    "scc_of_signed_digraph",
+    "strongly_connected_components",
+    "topological_component_order",
+]

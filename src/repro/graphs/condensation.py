@@ -1,0 +1,73 @@
+"""Condensation helpers: component ids, bottom components, topological order.
+
+The tie-breaking interpreters need the *bottom* strongly connected
+components of the live ground graph — components with no incoming edges
+from outside themselves (§3).  These helpers are index-based so they work
+on both :class:`~repro.graphs.signed_digraph.SignedDigraph` and the ground
+graph's live adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["component_ids", "bottom_components", "topological_component_order"]
+
+
+def component_ids(node_count: int, components: Sequence[Sequence[int]]) -> list[int]:
+    """Map each node index to the index of its component in ``components``.
+
+    Nodes not covered by any component (e.g. dead ground-graph nodes) get
+    id ``-1``.
+    """
+    ids = [-1] * node_count
+    for cid, comp in enumerate(components):
+        for node in comp:
+            ids[node] = cid
+    return ids
+
+
+def bottom_components(
+    components: Sequence[Sequence[int]],
+    successors: Callable[[int], Iterable[int]],
+    node_count: int,
+) -> list[int]:
+    """Indices (into ``components``) of components with no incoming cross edges.
+
+    ``successors`` ranges over the same node set the components cover; edges
+    to nodes with id ``-1`` are ignored.
+    """
+    ids = component_ids(node_count, components)
+    has_incoming = [False] * len(components)
+    for comp in components:
+        for u in comp:
+            cu = ids[u]
+            for v in successors(u):
+                cv = ids[v]
+                if cv != -1 and cv != cu:
+                    has_incoming[cv] = True
+    return [cid for cid, incoming in enumerate(has_incoming) if not incoming]
+
+
+def topological_component_order(
+    components: Sequence[Sequence[int]],
+    successors: Callable[[int], Iterable[int]],
+    node_count: int,
+) -> list[int]:
+    """Component indices ordered so that edges go from later to earlier.
+
+    Tarjan already emits components in reverse topological order, so this
+    simply validates and returns ``range(len(components))``; it exists as a
+    named operation (and a checked invariant) for callers that process the
+    condensation bottom-up, e.g. the perfect-model evaluator.
+    """
+    ids = component_ids(node_count, components)
+    for comp_index, comp in enumerate(components):
+        for u in comp:
+            for v in successors(u):
+                cv = ids[v]
+                if cv != -1 and cv > comp_index:
+                    raise AssertionError(
+                        "components are not in reverse topological order"
+                    )
+    return list(range(len(components)))

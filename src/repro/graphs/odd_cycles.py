@@ -1,0 +1,121 @@
+"""Odd-cycle detection on whole signed digraphs.
+
+A signed digraph is *cycle-balanced* (Harary) iff no cycle carries an odd
+number of negative edges — equivalently, iff every strongly connected
+component is a tie (Lemma 1).  These helpers run the tie analysis across
+all components and surface either the verdict or a concrete simple odd
+cycle as a witness, reported in node labels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graphs.scc import strongly_connected_components
+from repro.graphs.signed_digraph import SignedDigraph, SignedEdge
+from repro.graphs.ties import TieAnalysis, analyze_component
+
+__all__ = [
+    "find_odd_cycle",
+    "has_odd_cycle",
+    "is_cycle_balanced",
+    "component_analyses",
+    "find_negative_cycle",
+]
+
+
+def _indexed_successors(graph: SignedDigraph):
+    succ = graph.successor_lists()
+    return lambda u: succ[u]
+
+
+def component_analyses(graph: SignedDigraph) -> list[tuple[list[int], TieAnalysis]]:
+    """Tie analysis of every SCC, in reverse topological order.
+
+    Returns ``(component_indices, analysis)`` pairs; indices are the graph's
+    dense node indices (``graph.label_of`` maps them back).
+    """
+    succ = _indexed_successors(graph)
+    components = strongly_connected_components(
+        graph.node_count, lambda u: (v for v, _ in succ(u))
+    )
+    return [(comp, analyze_component(comp, succ)) for comp in components]
+
+
+def find_odd_cycle(graph: SignedDigraph) -> Optional[list[SignedEdge]]:
+    """A simple cycle with an odd number of negative edges, or ``None``.
+
+    The cycle is returned as a list of :class:`SignedEdge` over node labels,
+    in traversal order (the target of the last edge is the source of the
+    first).
+    """
+    for _, analysis in component_analyses(graph):
+        if not analysis.is_tie:
+            assert analysis.odd_cycle is not None
+            return [
+                SignedEdge(graph.label_of(u), graph.label_of(v), positive)
+                for u, v, positive in analysis.odd_cycle
+            ]
+    return None
+
+
+def has_odd_cycle(graph: SignedDigraph) -> bool:
+    """True iff some cycle of ``graph`` has an odd number of negative edges."""
+    return find_odd_cycle(graph) is not None
+
+
+def is_cycle_balanced(graph: SignedDigraph) -> bool:
+    """True iff no cycle has an odd number of negative edges (Harary)."""
+    return not has_odd_cycle(graph)
+
+
+def find_negative_cycle(graph: SignedDigraph) -> Optional[list[SignedEdge]]:
+    """A simple cycle containing at least one negative edge, or ``None``.
+
+    This is the witness for *non-stratification* (Theorem 5's premise): a
+    cycle with a negative edge exists iff some SCC contains a negative edge.
+    The returned cycle is the negative edge followed by a shortest path from
+    its target back to its source within the SCC; BFS paths visit distinct
+    vertices, so the cycle is simple by construction.
+    """
+    from collections import deque
+
+    succ = graph.successor_lists()
+    components = strongly_connected_components(
+        graph.node_count, lambda u: (v for v, _ in succ[u])
+    )
+    comp_id = [0] * graph.node_count
+    for cid, comp in enumerate(components):
+        for node in comp:
+            comp_id[node] = cid
+    for u in range(graph.node_count):
+        for v, positive in succ[u]:
+            if positive or comp_id[u] != comp_id[v]:
+                continue
+            # BFS v -> u inside the component.
+            members = set(components[comp_id[u]])
+            parent: dict[int, tuple[int, int, bool]] = {}
+            queue: deque[int] = deque([v])
+            seen = {v}
+            while queue and u not in seen:
+                x = queue.popleft()
+                for y, sign in succ[x]:
+                    if y in members and y not in seen:
+                        seen.add(y)
+                        parent[y] = (x, y, sign)
+                        queue.append(y)
+            path: list[tuple[int, int, bool]] = []
+            node = u
+            while node != v:
+                arc = parent[node]
+                path.append(arc)
+                node = arc[0]
+            path.reverse()
+            cycle = [(u, v, False)] + path
+            sources = [a for a, _, _ in cycle]
+            assert len(set(sources)) == len(sources), "BFS cycle must be simple"
+            return [
+                SignedEdge(graph.label_of(a), graph.label_of(b), sign)
+                for a, b, sign in cycle
+            ]
+    return None

@@ -1,0 +1,97 @@
+"""Strongly connected components via an iterative Tarjan algorithm.
+
+The paper's interpreters repeatedly compute the SCCs of the (remaining)
+ground graph to find *bottom components* (no incoming edges from other
+components).  The implementation here works on index-based adjacency lists
+so it can serve both :class:`~repro.graphs.signed_digraph.SignedDigraph`
+and the live ground-graph state, and it is iterative so deep recursion on
+long chains cannot hit the Python recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["strongly_connected_components", "scc_of_signed_digraph"]
+
+
+def strongly_connected_components(
+    node_count: int,
+    successors: Callable[[int], Iterable[int]],
+    nodes: Iterable[int] | None = None,
+) -> list[list[int]]:
+    """Tarjan's algorithm, iteratively, over nodes ``0..node_count-1``.
+
+    ``successors(u)`` must yield the out-neighbours of ``u``.  ``nodes``
+    optionally restricts the traversal to a subset (used on the live ground
+    graph, where dead nodes are skipped); successors must then also stay
+    within the subset.
+
+    Returns the list of components, each a list of node indices, in
+    *reverse topological order* (every edge leaving a component points to a
+    component earlier in the list).  This is the natural output order of
+    Tarjan's algorithm and is relied upon by callers that need bottom-up
+    processing.
+    """
+    index = [-1] * node_count  # discovery index, -1 = unvisited
+    lowlink = [0] * node_count
+    on_stack = [False] * node_count
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+
+    roots = range(node_count) if nodes is None else nodes
+    for root in roots:
+        if index[root] != -1:
+            continue
+        # Explicit DFS stack of (node, iterator over successors).
+        work: list[tuple[int, object]] = [(root, iter(successors(root)))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            u, it = work[-1]
+            advanced = False
+            for v in it:  # type: ignore[union-attr]
+                if index[v] == -1:
+                    index[v] = lowlink[v] = counter
+                    counter += 1
+                    stack.append(v)
+                    on_stack[v] = True
+                    work.append((v, iter(successors(v))))
+                    advanced = True
+                    break
+                if on_stack[v]:
+                    if index[v] < lowlink[u]:
+                        lowlink[u] = index[v]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[u] < lowlink[parent]:
+                    lowlink[parent] = lowlink[u]
+            if lowlink[u] == index[u]:
+                component: list[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == u:
+                        break
+                components.append(component)
+    return components
+
+
+def scc_of_signed_digraph(graph) -> list[list[object]]:
+    """SCCs of a :class:`SignedDigraph`, as lists of node *labels*.
+
+    Components are returned in reverse topological order (see
+    :func:`strongly_connected_components`).
+    """
+    succ = graph.successor_lists()
+    components = strongly_connected_components(
+        graph.node_count, lambda u: (v for v, _ in succ[u])
+    )
+    return [[graph.label_of(i) for i in comp] for comp in components]

@@ -1,0 +1,155 @@
+"""Signed directed graphs: digraphs whose edges carry a +/− sign.
+
+This is the graph model used throughout the paper: the program graph G(Π)
+and the ground graph G(Π, Δ) are both signed digraphs ``(V, E+, E−)``.
+
+Nodes are arbitrary hashable objects; internally they are mapped to dense
+integer indices so the algorithms in :mod:`repro.graphs.scc` and
+:mod:`repro.graphs.ties` can run on flat adjacency lists.
+
+Parallel edges with different signs are allowed (e.g. a predicate occurring
+both positively and negatively in one rule body), and are significant: a
+positive and a negative edge between the same pair of nodes immediately
+create cycles of both parities once the pair lies on a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterable, Iterator, Sequence, TypeVar
+
+__all__ = ["SignedDigraph", "SignedEdge"]
+
+N = TypeVar("N", bound=Hashable)
+
+POSITIVE = True
+NEGATIVE = False
+
+
+@dataclass(frozen=True, slots=True)
+class SignedEdge(Generic[N]):
+    """A directed edge ``source → target`` with a sign.
+
+    ``positive`` is ``True`` for E+ membership, ``False`` for E−.
+    """
+
+    source: N
+    target: N
+    positive: bool
+
+    def __str__(self) -> str:
+        arrow = "→" if self.positive else "⊸"
+        return f"{self.source} {arrow} {self.target}"
+
+
+class SignedDigraph(Generic[N]):
+    """A mutable signed digraph over hashable node labels.
+
+    >>> g = SignedDigraph()
+    >>> g.add_edge("p", "q", positive=False)
+    >>> g.add_edge("q", "p", positive=True)
+    >>> sorted(g.nodes)
+    ['p', 'q']
+    >>> g.edge_count
+    2
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[N, int] = {}
+        self._labels: list[N] = []
+        # adjacency: per node index, list of (neighbour_index, sign)
+        self._succ: list[list[tuple[int, bool]]] = []
+        self._pred: list[list[tuple[int, bool]]] = []
+        self._edge_count = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: N) -> int:
+        """Ensure ``node`` exists; return its dense integer index."""
+        idx = self._index.get(node)
+        if idx is None:
+            idx = len(self._labels)
+            self._index[node] = idx
+            self._labels.append(node)
+            self._succ.append([])
+            self._pred.append([])
+        return idx
+
+    def add_edge(self, source: N, target: N, *, positive: bool) -> None:
+        """Add a signed edge; duplicate (source, target, sign) triples are kept once."""
+        u = self.add_node(source)
+        v = self.add_node(target)
+        if (v, positive) in self._succ[u]:
+            return
+        self._succ[u].append((v, positive))
+        self._pred[v].append((u, positive))
+        self._edge_count += 1
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[N, N, bool]]) -> "SignedDigraph[N]":
+        """Build a graph from ``(source, target, positive)`` triples."""
+        g: SignedDigraph[N] = cls()
+        for source, target, positive in edges:
+            g.add_edge(source, target, positive=positive)
+        return g
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def nodes(self) -> Sequence[N]:
+        """Node labels in insertion order (index order)."""
+        return tuple(self._labels)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._labels)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of distinct signed edges."""
+        return self._edge_count
+
+    def index_of(self, node: N) -> int:
+        """Dense index of ``node`` (KeyError if absent)."""
+        return self._index[node]
+
+    def label_of(self, index: int) -> N:
+        """Node label at dense ``index``."""
+        return self._labels[index]
+
+    def __contains__(self, node: N) -> bool:
+        return node in self._index
+
+    def successors(self, node: N) -> Iterator[tuple[N, bool]]:
+        """Yield ``(target, positive)`` pairs for edges out of ``node``."""
+        for v, sign in self._succ[self._index[node]]:
+            yield self._labels[v], sign
+
+    def predecessors(self, node: N) -> Iterator[tuple[N, bool]]:
+        """Yield ``(source, positive)`` pairs for edges into ``node``."""
+        for u, sign in self._pred[self._index[node]]:
+            yield self._labels[u], sign
+
+    def edges(self) -> Iterator[SignedEdge[N]]:
+        """Yield every edge as a :class:`SignedEdge`."""
+        for u, adjacency in enumerate(self._succ):
+            for v, sign in adjacency:
+                yield SignedEdge(self._labels[u], self._labels[v], sign)
+
+    def has_negative_edge(self) -> bool:
+        """True iff E− is non-empty."""
+        return any(not sign for adjacency in self._succ for _, sign in adjacency)
+
+    # -- low-level access for algorithms ------------------------------------
+
+    def successor_lists(self) -> Sequence[Sequence[tuple[int, bool]]]:
+        """Raw adjacency (index-based); used by the SCC / tie algorithms."""
+        return self._succ
+
+    def predecessor_lists(self) -> Sequence[Sequence[tuple[int, bool]]]:
+        """Raw reverse adjacency (index-based)."""
+        return self._pred
+
+    def __repr__(self) -> str:
+        return f"SignedDigraph({self.node_count} nodes, {self.edge_count} edges)"

@@ -1,0 +1,133 @@
+"""Truth values and interpretations (the paper's partial models).
+
+A *partial model* maps ground atoms to true/false, leaving some undefined;
+it is *total* when every atom has a value (§2).  :class:`Interpretation`
+is the immutable result object returned by every interpreter: it wraps the
+ground program's atom table plus a status array, and answers queries both
+for materialized atoms and — under relevant grounding — for the
+closed-world remainder (EDB atoms by Δ, unmaterialized IDB atoms false).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.grounding import GroundProgram
+
+__all__ = ["UNDEF", "TRUE", "FALSE", "Interpretation"]
+
+UNDEF = 0
+TRUE = 1
+FALSE = 2
+
+_BOOL_OF = {TRUE: True, FALSE: False, UNDEF: None}
+
+
+@dataclass(frozen=True)
+class Interpretation:
+    """A (possibly partial) model of a ground program.
+
+    ``status[i]`` is the truth value of atom ``i`` in the ground program's
+    atom table.  Atoms that were never materialized (possible only under
+    relevant grounding) are resolved by the closed-world convention: EDB
+    atoms by membership in Δ, IDB atoms false — this matches the paper's
+    semantics because unmaterialized atoms always lie outside the
+    upper-bound model U\\* and are false in every run of the well-founded
+    (tie-breaking) interpreter.
+    """
+
+    ground_program: GroundProgram
+    status: tuple[int, ...]
+
+    def value(self, atom: Atom) -> Optional[bool]:
+        """Truth value of a ground atom: True / False / None (undefined)."""
+        index = self.ground_program.atoms.get(atom)
+        if index is not None:
+            return _BOOL_OF[self.status[index]]
+        if atom.predicate in self.ground_program.program.edb_predicates:
+            return self.ground_program.database.contains_atom(atom)
+        return False
+
+    def __getitem__(self, atom: Atom) -> Optional[bool]:
+        return self.value(atom)
+
+    @property
+    def is_total(self) -> bool:
+        """True iff no materialized atom is undefined."""
+        return UNDEF not in self.status
+
+    @property
+    def undefined_count(self) -> int:
+        """Number of materialized atoms left undefined."""
+        return sum(1 for s in self.status if s == UNDEF)
+
+    def _atoms_with(self, wanted: int) -> Iterator[Atom]:
+        table = self.ground_program.atoms
+        for index, s in enumerate(self.status):
+            if s == wanted:
+                yield table.atom(index)
+
+    def true_atoms(self) -> Iterator[Atom]:
+        """Materialized atoms with value true."""
+        return self._atoms_with(TRUE)
+
+    def false_atoms(self) -> Iterator[Atom]:
+        """Materialized atoms with value false."""
+        return self._atoms_with(FALSE)
+
+    def undefined_atoms(self) -> Iterator[Atom]:
+        """Materialized atoms left without a truth value."""
+        return self._atoms_with(UNDEF)
+
+    def true_set(self) -> frozenset[Atom]:
+        """The set of true atoms (the model's positive part)."""
+        return frozenset(self.true_atoms())
+
+    def true_rows(self, predicate: str) -> frozenset[tuple]:
+        """Constant tuples of the true atoms of one predicate."""
+        return frozenset(
+            a.args for a in self.true_atoms() if a.predicate == predicate
+        )
+
+    def holds(self, atom: Atom) -> bool:
+        """True iff the atom is *true* (undefined counts as not holding)."""
+        return self.value(atom) is True
+
+    def as_database(self) -> Database:
+        """The true atoms as a :class:`Database` (the output instance)."""
+        return Database.from_atoms(self.true_atoms())
+
+    def agrees_with(self, other: "Interpretation") -> bool:
+        """True iff both models give identical values on *shared* atoms.
+
+        Used to compare runs under different groundings: atoms materialized
+        in only one interpretation are compared through :meth:`value`, so a
+        full-grounding FALSE matches a relevant-grounding closed-world
+        default.
+        """
+        mine = {self.ground_program.atoms.atom(i): s for i, s in enumerate(self.status)}
+        for atom, s in mine.items():
+            if _BOOL_OF[s] != other.value(atom):
+                return False
+        theirs = {
+            other.ground_program.atoms.atom(i): s for i, s in enumerate(other.status)
+        }
+        for atom, s in theirs.items():
+            if _BOOL_OF[s] != self.value(atom):
+                return False
+        return True
+
+    def summary(self) -> str:
+        """Counts of true/false/undefined materialized atoms."""
+        true = sum(1 for s in self.status if s == TRUE)
+        false = sum(1 for s in self.status if s == FALSE)
+        return (
+            f"Interpretation(true={true}, false={false}, "
+            f"undefined={len(self.status) - true - false}, total={self.is_total})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()

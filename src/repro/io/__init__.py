@@ -1,0 +1,20 @@
+"""Interchange formats: Graphviz DOT export and JSON (de)serialization."""
+
+from repro.io.dot import ground_graph_dot, program_graph_dot
+from repro.io.json_io import (
+    database_from_json,
+    database_to_json,
+    interpretation_to_json,
+    program_from_json,
+    program_to_json,
+)
+
+__all__ = [
+    "database_from_json",
+    "database_to_json",
+    "ground_graph_dot",
+    "interpretation_to_json",
+    "program_from_json",
+    "program_graph_dot",
+    "program_to_json",
+]

@@ -1,0 +1,118 @@
+"""JSON (de)serialization of programs, databases, and models.
+
+The JSON shape is deliberately simple and stable:
+
+* term: ``{"var": "X"}`` or ``{"const": "a"}`` / ``{"const": 3}``;
+* atom: ``{"predicate": "p", "args": [term, ...]}``;
+* literal: ``{"atom": atom, "positive": bool}``;
+* rule: ``{"head": atom, "body": [literal, ...]}``;
+* program: ``{"rules": [rule, ...]}``;
+* database: ``{"facts": [atom, ...]}``;
+* model: ``{"true": [atom...], "false": [atom...], "undefined": [atom...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Term, Variable
+from repro.errors import ValidationError
+from repro.ground.model import Interpretation
+
+__all__ = [
+    "program_to_json",
+    "program_from_json",
+    "database_to_json",
+    "database_from_json",
+    "interpretation_to_json",
+]
+
+
+def _term_to_obj(term: Term) -> dict[str, Any]:
+    if isinstance(term, Variable):
+        return {"var": term.name}
+    return {"const": term.value}
+
+
+def _term_from_obj(obj: dict[str, Any]) -> Term:
+    if "var" in obj:
+        return Variable(obj["var"])
+    if "const" in obj:
+        return Constant(obj["const"])
+    raise ValidationError(f"not a term object: {obj!r}")
+
+
+def _atom_to_obj(atom: Atom) -> dict[str, Any]:
+    return {"predicate": atom.predicate, "args": [_term_to_obj(t) for t in atom.args]}
+
+
+def _atom_from_obj(obj: dict[str, Any]) -> Atom:
+    return Atom(obj["predicate"], tuple(_term_from_obj(t) for t in obj.get("args", ())))
+
+
+def program_to_json(program: Program, *, indent: int | None = 2) -> str:
+    """Serialize a program to a JSON string."""
+    payload = {
+        "rules": [
+            {
+                "head": _atom_to_obj(rule.head),
+                "body": [
+                    {"atom": _atom_to_obj(lit.atom), "positive": lit.positive}
+                    for lit in rule.body
+                ],
+            }
+            for rule in program.rules
+        ]
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def program_from_json(text: str) -> Program:
+    """Parse a program from its JSON serialization (round-trips exactly).
+
+    >>> from repro.datalog.parser import parse_program
+    >>> prog = parse_program("win(X) :- move(X, Y), not win(Y).")
+    >>> program_from_json(program_to_json(prog)) == prog
+    True
+    """
+    payload = json.loads(text)
+    rules = []
+    for obj in payload["rules"]:
+        head = _atom_from_obj(obj["head"])
+        body = tuple(
+            Literal(_atom_from_obj(lit["atom"]), bool(lit["positive"]))
+            for lit in obj.get("body", ())
+        )
+        rules.append(Rule(head, body))
+    return Program(rules)
+
+
+def database_to_json(database: Database, *, indent: int | None = 2) -> str:
+    """Serialize a database to a JSON string."""
+    payload = {"facts": [_atom_to_obj(a) for a in database.atoms()]}
+    return json.dumps(payload, indent=indent)
+
+
+def database_from_json(text: str) -> Database:
+    """Parse a database from its JSON serialization."""
+    payload = json.loads(text)
+    db = Database()
+    for obj in payload["facts"]:
+        db.add_atom(_atom_from_obj(obj))
+    return db
+
+
+def interpretation_to_json(model: Interpretation, *, indent: int | None = 2) -> str:
+    """Serialize a (possibly partial) model's three value classes."""
+    payload = {
+        "true": [_atom_to_obj(a) for a in model.true_atoms()],
+        "false": [_atom_to_obj(a) for a in model.false_atoms()],
+        "undefined": [_atom_to_obj(a) for a in model.undefined_atoms()],
+        "total": model.is_total,
+    }
+    return json.dumps(payload, indent=indent)

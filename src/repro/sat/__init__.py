@@ -1,0 +1,6 @@
+"""A from-scratch DPLL SAT substrate (CNF, solver, model enumeration)."""
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, enumerate_models, solve
+
+__all__ = ["CNF", "Solver", "enumerate_models", "solve"]

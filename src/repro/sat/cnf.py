@@ -1,0 +1,76 @@
+"""CNF formulas in DIMACS-style integer encoding.
+
+Literals are nonzero integers: ``v`` asserts variable ``v`` true, ``-v``
+asserts it false.  Variables are allocated densely from 1.  This tiny
+substrate backs the Clark-completion encoding of supported models
+(fixpoint existence is NP-complete even propositionally, §2 [KP], so an
+exact enumerator needs a SAT search underneath).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A growable CNF formula.
+
+    >>> cnf = CNF()
+    >>> x, y = cnf.new_var(), cnf.new_var()
+    >>> cnf.add_clause([x, y]); cnf.add_clause([-x, y])
+    >>> cnf.num_vars, len(cnf.clauses)
+    (2, 2)
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: list[tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable (positive integer)."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause (a disjunction of literals).
+
+        Duplicate literals are removed; tautological clauses (containing
+        ``v`` and ``-v``) are dropped.  An empty clause makes the formula
+        trivially unsatisfiable and is kept so the solver reports it.
+        """
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in literals:
+            if not isinstance(lit, int) or lit == 0:
+                raise ValueError(f"invalid literal {lit!r}")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+            self.num_vars = max(self.num_vars, abs(lit))
+        self.clauses.append(tuple(clause))
+
+    def add_unit(self, literal: int) -> None:
+        """Add a single-literal clause."""
+        self.add_clause([literal])
+
+    def copy(self) -> "CNF":
+        """An independent copy (clauses list duplicated)."""
+        out = CNF()
+        out.num_vars = self.num_vars
+        out.clauses = list(self.clauses)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,96 @@
+"""Semantics of Datalog¬: every interpreter and model-checker in the paper.
+
+* fixpoints (supported models): :mod:`repro.semantics.fixpoint`,
+  exact SAT enumeration in :mod:`repro.semantics.completion`;
+* stable models: :mod:`repro.semantics.stable` (paper's close-based test +
+  GL-reduct cross-check);
+* well-founded: :mod:`repro.semantics.well_founded`;
+* tie-breaking (pure and well-founded): :mod:`repro.semantics.tie_breaking`
+  with choice policies in :mod:`repro.semantics.choices`;
+* stratified / perfect / Fitting baselines.
+"""
+
+from repro.semantics.alternating import (
+    alternating_fixpoint_model,
+    gamma_operator,
+    is_stable_via_gamma,
+)
+from repro.semantics.choices import (
+    ChoicePolicy,
+    FewestTrue,
+    FirstSideTrue,
+    MostTrue,
+    RandomChoice,
+    SecondSideTrue,
+)
+from repro.semantics.completion import (
+    clark_completion,
+    count_fixpoints,
+    enumerate_fixpoints,
+    find_fixpoint,
+    has_fixpoint,
+)
+from repro.semantics.fitting import fitting_model
+from repro.semantics.fixpoint import FixpointViolation, check_fixpoint, is_fixpoint
+from repro.semantics.modular import ModularResult, modular_well_founded_model
+from repro.semantics.perfect import is_locally_stratified, perfect_model
+from repro.semantics.stable import (
+    enumerate_stable_models,
+    find_stable_model,
+    has_stable_model,
+    is_stable_model,
+    reduct_least_model,
+)
+from repro.semantics.stratified import Stratification, is_stratified, stratification, stratified_model
+from repro.semantics.tie_breaking import (
+    TieBreakingRun,
+    TieChoice,
+    enumerate_tie_breaking_models,
+    pure_tie_breaking,
+    well_founded_tie_breaking,
+)
+from repro.semantics.queries import QueryResult, query
+from repro.semantics.well_founded import WellFoundedRun, well_founded_model
+
+__all__ = [
+    "ChoicePolicy",
+    "ModularResult",
+    "QueryResult",
+    "modular_well_founded_model",
+    "alternating_fixpoint_model",
+    "gamma_operator",
+    "is_stable_via_gamma",
+    "query",
+    "FewestTrue",
+    "FirstSideTrue",
+    "FixpointViolation",
+    "MostTrue",
+    "RandomChoice",
+    "SecondSideTrue",
+    "Stratification",
+    "TieBreakingRun",
+    "TieChoice",
+    "WellFoundedRun",
+    "check_fixpoint",
+    "clark_completion",
+    "count_fixpoints",
+    "enumerate_fixpoints",
+    "enumerate_stable_models",
+    "enumerate_tie_breaking_models",
+    "find_fixpoint",
+    "find_stable_model",
+    "fitting_model",
+    "has_fixpoint",
+    "has_stable_model",
+    "is_fixpoint",
+    "is_locally_stratified",
+    "is_stable_model",
+    "is_stratified",
+    "perfect_model",
+    "pure_tie_breaking",
+    "reduct_least_model",
+    "stratification",
+    "stratified_model",
+    "well_founded_model",
+    "well_founded_tie_breaking",
+]

@@ -1,0 +1,186 @@
+"""Fixpoints (supported models) — §2 of the paper.
+
+A *fixpoint* of Π for Δ is a total model M in which an atom is true iff it
+belongs to Δ or is the head of an instantiated rule whose body is true
+under M ("supported model" [ABW]).  Since a total model is determined by
+its true set (everything else false), candidates are passed as sets of
+ground atoms.
+
+:func:`check_fixpoint` verifies a candidate *exactly and without grounding
+the whole universe*: supportedness joins rule bodies against the
+candidate's true set, and closure violations are found by the same joins —
+so the check is polynomial in ``|M| + |Π|`` even for programs whose full
+grounding is astronomically large (used heavily by the Theorem 6 tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterable, Optional
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.grounding import universe_of
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+from repro.engine.facts import FactStore
+from repro.engine.matching import (
+    Binding,
+    enumerate_bindings,
+    match_atom_row,
+    order_body_for_join,
+)
+from repro.errors import SemanticsError
+from repro.ground.model import Interpretation
+
+__all__ = ["FixpointViolation", "check_fixpoint", "is_fixpoint", "normalize_candidate"]
+
+
+@dataclass(frozen=True)
+class FixpointViolation:
+    """Why a candidate model is not a fixpoint.
+
+    ``kind`` is one of:
+
+    * ``"edb-mismatch"`` — a true EDB atom outside Δ, or a Δ atom missing;
+    * ``"unsupported"``  — a true IDB atom outside Δ with no rule instance
+      whose body is true;
+    * ``"unsatisfied-rule"`` — a rule instance with a true body whose head
+      is false (``rule`` carries the instantiated rule).
+    """
+
+    kind: str
+    atom: Atom
+    rule: Optional[Rule] = None
+
+    def __str__(self) -> str:
+        if self.kind == "unsatisfied-rule":
+            return f"unsatisfied rule instance {self.rule} (head {self.atom} is false)"
+        return f"{self.kind}: {self.atom}"
+
+
+def normalize_candidate(candidate: Iterable[Atom] | Interpretation) -> frozenset[Atom]:
+    """Accept an interpretation or an iterable of atoms; return the true set."""
+    if isinstance(candidate, Interpretation):
+        if not candidate.is_total:
+            raise SemanticsError("fixpoint candidates must be total models")
+        return candidate.true_set()
+    atoms = frozenset(candidate)
+    for a in atoms:
+        if not a.is_ground:
+            raise SemanticsError(f"candidate contains non-ground atom {a}")
+    return atoms
+
+
+def _negatives_satisfiable(
+    rule: Rule,
+    binding: Binding,
+    store: FactStore,
+    universe: tuple[Constant, ...],
+    max_branch: int,
+) -> Iterable[Binding]:
+    """Extensions of ``binding`` (over the rule's remaining variables) whose
+    negative literals are all false in the candidate (i.e. atoms not in the
+    true store)."""
+    unbound = [v for v in rule.variables() if v not in binding]
+    if unbound and not universe:
+        return
+    total = len(universe) ** len(unbound) if unbound else 1
+    if total > max_branch:
+        raise SemanticsError(
+            f"rule {rule} needs {total} instantiations of unbound variables; "
+            "raise max_branch to allow this"
+        )
+    for values in product(universe, repeat=len(unbound)):
+        extended = dict(binding)
+        extended.update(zip(unbound, values))
+        if all(
+            not store.contains_atom(lit.atom.substitute(extended))
+            for lit in rule.negative_body()
+        ):
+            yield extended
+
+
+def check_fixpoint(
+    program: Program,
+    database: Database,
+    candidate: Iterable[Atom] | Interpretation,
+    *,
+    max_branch: int = 200_000,
+) -> Optional[FixpointViolation]:
+    """Verify the fixpoint conditions; return the first violation or None.
+
+    >>> from repro.datalog.parser import parse_database, parse_program
+    >>> from repro.datalog.atoms import atom
+    >>> prog = parse_program("p(X) :- e(X), not q(X). q(X) :- e(X), not p(X).")
+    >>> db = parse_database("e(1).")
+    >>> check_fixpoint(prog, db, {atom("e", 1), atom("p", 1)}) is None
+    True
+    >>> check_fixpoint(prog, db, {atom("e", 1)}).kind
+    'unsatisfied-rule'
+    """
+    true_atoms = normalize_candidate(candidate)
+    universe = universe_of(program, database)
+
+    # EDB part must equal Δ's EDB part; Δ must be contained in M.
+    edb = program.edb_predicates
+    for a in true_atoms:
+        if a.predicate in edb and not database.contains_atom(a):
+            return FixpointViolation("edb-mismatch", a)
+    for a in database.atoms():
+        if a not in true_atoms:
+            return FixpointViolation("edb-mismatch", a)
+
+    store = FactStore()
+    for a in true_atoms:
+        store.add_atom(a)
+
+    # Support: every true atom outside Δ needs a rule instance with true body.
+    for a in true_atoms:
+        if database.contains_atom(a):
+            continue
+        if not _is_supported(program, a, store, universe, max_branch):
+            return FixpointViolation("unsupported", a)
+
+    # Closure: no rule instance may have a true body and a false head.
+    for rule in program.rules:
+        ordered = order_body_for_join(list(rule.positive_body()))
+        for binding in enumerate_bindings(ordered, store):
+            for full in _negatives_satisfiable(rule, binding, store, universe, max_branch):
+                head = rule.head.substitute(full)
+                if not store.contains_atom(head):
+                    return FixpointViolation(
+                        "unsatisfied-rule", head, rule.substitute(full)
+                    )
+    return None
+
+
+def _is_supported(
+    program: Program,
+    atom: Atom,
+    store: FactStore,
+    universe: tuple[Constant, ...],
+    max_branch: int,
+) -> bool:
+    for rule in program.rules_for(atom.predicate):
+        seed = match_atom_row(rule.head, atom.args, {})
+        if seed is None:
+            continue
+        ordered = order_body_for_join(list(rule.positive_body()))
+        for binding in enumerate_bindings(ordered, store, seed):
+            for _ in _negatives_satisfiable(rule, binding, store, universe, max_branch):
+                return True
+    return False
+
+
+def is_fixpoint(
+    program: Program,
+    database: Database,
+    candidate: Iterable[Atom] | Interpretation,
+    *,
+    max_branch: int = 200_000,
+) -> bool:
+    """True iff the candidate is a fixpoint of Π for Δ (§2)."""
+    return check_fixpoint(program, database, candidate, max_branch=max_branch) is None

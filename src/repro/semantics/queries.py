@@ -1,0 +1,102 @@
+"""Query-level API: ask for a predicate's rows under a chosen semantics.
+
+The downstream-friendly wrapper over the interpreters: restrict the program
+to the query's support cone (a sound cut — see
+:func:`repro.analysis.dependencies.relevant_subprogram`), evaluate under
+the requested semantics, and return the rows with three-valued results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal as TypingLiteral, Optional
+
+from repro.analysis.dependencies import relevant_subprogram
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.errors import SemanticsError
+from repro.ground.model import Interpretation
+from repro.semantics.choices import ChoicePolicy
+from repro.semantics.tie_breaking import well_founded_tie_breaking
+from repro.semantics.well_founded import well_founded_model
+
+__all__ = ["QueryResult", "query"]
+
+Semantics = TypingLiteral["well-founded", "tie-breaking"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Rows of one queried predicate, three-valued.
+
+    ``true_rows`` / ``undefined_rows`` are sets of constant-value tuples;
+    everything else over the universe is false (closed world).
+    """
+
+    predicate: str
+    true_rows: frozenset[tuple]
+    undefined_rows: frozenset[tuple]
+    total: bool
+
+    def holds(self, *values) -> bool:
+        """True iff the row is true (undefined rows do not hold)."""
+        return tuple(values) in self.true_rows
+
+    def __len__(self) -> int:
+        return len(self.true_rows)
+
+
+def query(
+    program: Program,
+    database: Database,
+    predicate: str,
+    *,
+    semantics: Semantics = "well-founded",
+    policy: Optional[ChoicePolicy] = None,
+    grounding: str = "relevant",
+) -> QueryResult:
+    """Evaluate ``predicate`` under the chosen semantics.
+
+    Only the rules in the predicate's support cone are grounded and
+    evaluated; the rest of the program cannot influence the answer.
+
+    >>> from repro.datalog.parser import parse_database, parse_program
+    >>> prog = parse_program("win(X) :- move(X, Y), not win(Y). junk :- not junk.")
+    >>> db = parse_database("move(1, 2).")
+    >>> result = query(prog, db, "win")
+    >>> result.holds(1), result.total
+    (True, True)
+    """
+    if predicate not in program.predicates and predicate not in database.predicates():
+        raise SemanticsError(f"unknown predicate {predicate!r}")
+    restricted = relevant_subprogram(program, [predicate])
+    if semantics == "well-founded":
+        model: Interpretation = well_founded_model(
+            restricted, database, grounding=grounding  # type: ignore[arg-type]
+        ).model
+    elif semantics == "tie-breaking":
+        model = well_founded_tie_breaking(
+            restricted, database, policy=policy, grounding=grounding  # type: ignore[arg-type]
+        ).model
+    else:
+        raise SemanticsError(f"unknown semantics {semantics!r}")
+
+    true_rows = frozenset(
+        tuple(c.value for c in a.args) for a in model.true_atoms() if a.predicate == predicate
+    )
+    undefined_rows = frozenset(
+        tuple(c.value for c in a.args)
+        for a in model.undefined_atoms()
+        if a.predicate == predicate
+    )
+    if predicate in database.predicates():
+        true_rows |= frozenset(
+            tuple(c.value for c in row) for row in database[predicate]
+        )
+    return QueryResult(
+        predicate=predicate,
+        true_rows=true_rows,
+        undefined_rows=undefined_rows,
+        total=model.is_total,
+    )

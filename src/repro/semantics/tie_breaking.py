@@ -1,0 +1,281 @@
+"""The tie-breaking semantics — §3 of the paper, the primary contribution.
+
+Two interpreters:
+
+* **Pure tie-breaking** (Algorithm Pure Tie-Breaking): after ``close``,
+  repeatedly find a bottom strongly connected component that is a tie,
+  orient its Lemma-1 partition (K true, L false), and close again.
+* **Well-founded tie-breaking** (Algorithm Well-Founded Tie-Breaking):
+  interleave the well-founded unfounded-set step with tie-breaking, trying
+  the unfounded step first — ties are only broken when no nonempty
+  unfounded set exists, which keeps the result consistent with the
+  well-founded semantics, and (Lemma 3) makes every total result a
+  *stable* model.
+
+  The paper's pseudocode for this algorithm contains a typo ("for each
+  atom a ∈ K set M(a) := true; for each atom a ∈ K set M(a) := false");
+  the second K is L, exactly as in the pure version — we implement the
+  corrected algorithm.
+
+Both are polynomial-time.  Tie orientation is nondeterministic; a
+:class:`~repro.semantics.choices.ChoicePolicy` resolves it and every run
+records its trace of :class:`TieChoice` decisions.
+:func:`enumerate_tie_breaking_models` explores *all* orientations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.grounding import GroundingMode, GroundProgram, ground
+from repro.datalog.program import Program
+from repro.ground.model import FALSE, TRUE, Interpretation
+from repro.ground.state import BottomComponent, GroundGraphState
+from repro.semantics.choices import ChoicePolicy, FirstSideTrue, forced_orientation
+
+__all__ = [
+    "TieChoice",
+    "TieBreakingRun",
+    "pure_tie_breaking",
+    "well_founded_tie_breaking",
+    "enumerate_tie_breaking_models",
+]
+
+
+@dataclass(frozen=True)
+class TieChoice:
+    """One recorded tie orientation.
+
+    ``forced`` marks decisions where one side of the partition was empty
+    (no real nondeterminism); ``made_true`` / ``made_false`` are the atom
+    sets assigned by the decision, as ground atoms.
+    """
+
+    made_true: frozenset[Atom]
+    made_false: frozenset[Atom]
+    forced: bool
+
+
+@dataclass(frozen=True)
+class TieBreakingRun:
+    """Result of one tie-breaking run: the model plus the decision trace.
+
+    ``state`` retains the final evaluation state for provenance queries
+    (:func:`repro.ground.explain.explain`).
+    """
+
+    model: Interpretation
+    choices: tuple[TieChoice, ...]
+    variant: str  # "pure" or "well-founded"
+    state: GroundGraphState | None = None
+
+    @property
+    def is_total(self) -> bool:
+        """True iff the interpreter assigned every materialized atom."""
+        return self.model.is_total
+
+    @property
+    def free_choice_count(self) -> int:
+        """Number of genuinely nondeterministic decisions taken."""
+        return sum(1 for c in self.choices if not c.forced)
+
+
+def _select_tie(state: GroundGraphState) -> BottomComponent | None:
+    """Deterministically pick a bottom tie (smallest atom id first).
+
+    Bottom components are disjoint and breaking one cannot affect another
+    bottom component (it has no incoming edges), so the processing *order*
+    does not change the set of reachable outcomes — only the orientation
+    choices do.
+    """
+    best: BottomComponent | None = None
+    best_key: int | None = None
+    for component in state.bottom_components_live():
+        if not component.is_tie:
+            continue
+        key = min(component.atom_ids)
+        if best_key is None or key < best_key:
+            best, best_key = component, key
+    return best
+
+
+def _break_tie(
+    state: GroundGraphState, component: BottomComponent, policy: ChoicePolicy
+) -> TieChoice:
+    """Orient one tie: assign K's atoms true and L's atoms false."""
+    assert component.analysis.sides is not None
+    side_nodes = [0, 0]
+    for side in component.analysis.sides.values():
+        side_nodes[side] += 1
+    atom_sides = component.side_of_atom()
+    side_atoms: tuple[list[int], list[int]] = ([], [])
+    for atom_id, side in atom_sides.items():
+        side_atoms[side].append(atom_id)
+
+    true_side = forced_orientation(side_nodes[0], side_nodes[1])
+    forced = true_side is not None
+    if true_side is None:
+        true_side = policy.choose_true_side(side_atoms[0], side_atoms[1])
+
+    made_true = side_atoms[true_side]
+    made_false = side_atoms[1 - true_side]
+    state.assign_many(made_true, TRUE, ("tie", true_side))
+    state.assign_many(made_false, FALSE, ("tie", 1 - true_side))
+    table = state.gp.atoms
+    return TieChoice(
+        made_true=frozenset(table.atom(i) for i in made_true),
+        made_false=frozenset(table.atom(i) for i in made_false),
+        forced=forced,
+    )
+
+
+def _run(
+    state: GroundGraphState,
+    policy: ChoicePolicy,
+    *,
+    well_founded: bool,
+) -> list[TieChoice]:
+    """Drive a (pure or well-founded) tie-breaking run to completion."""
+    choices: list[TieChoice] = []
+    state.close()
+    while True:
+        if well_founded:
+            unfounded = state.unfounded_atoms()
+            if unfounded:
+                state.assign_many(unfounded, FALSE, ("unfounded", None))
+                state.close()
+                continue
+        tie = _select_tie(state)
+        if tie is None:
+            return choices
+        choices.append(_break_tie(state, tie, policy))
+        state.close()
+
+
+def pure_tie_breaking(
+    program: Program,
+    database: Database | None = None,
+    *,
+    policy: ChoicePolicy | None = None,
+    grounding: GroundingMode = "full",
+    ground_program: GroundProgram | None = None,
+) -> TieBreakingRun:
+    """Algorithm Pure Tie-Breaking (§3).
+
+    Defaults to full grounding: pure tie-breaking is defined on the paper's
+    exact ground graph, and may assign unfounded atoms *true* (e.g.
+    ``p :- p, ¬q``/``q :- q, ¬p``), so the relevant grounding's pruning
+    would change its outcomes.
+    """
+    gp = ground_program or ground(program, database or Database(), mode=grounding)
+    state = GroundGraphState(gp)
+    choices = _run(state, policy or FirstSideTrue(), well_founded=False)
+    return TieBreakingRun(state.interpretation(), tuple(choices), "pure", state)
+
+
+def well_founded_tie_breaking(
+    program: Program,
+    database: Database | None = None,
+    *,
+    policy: ChoicePolicy | None = None,
+    grounding: GroundingMode = "relevant",
+    ground_program: GroundProgram | None = None,
+) -> TieBreakingRun:
+    """Algorithm Well-Founded Tie-Breaking (§3, with the K/L typo fixed).
+
+    Extends the well-founded semantics: deviates from it only where the
+    well-founded interpreter is stuck, and every total result is a stable
+    model (Lemma 3).  Relevant grounding is exact for this semantics.
+    """
+    gp = ground_program or ground(program, database or Database(), mode=grounding)
+    state = GroundGraphState(gp)
+    choices = _run(state, policy or FirstSideTrue(), well_founded=True)
+    return TieBreakingRun(state.interpretation(), tuple(choices), "well-founded", state)
+
+
+def enumerate_tie_breaking_models(
+    program: Program,
+    database: Database | None = None,
+    *,
+    variant: str = "well-founded",
+    grounding: GroundingMode | None = None,
+    ground_program: GroundProgram | None = None,
+    limit: int | None = None,
+) -> Iterator[TieBreakingRun]:
+    """Every outcome of the tie-breaking interpreter over all free choices.
+
+    Performs a depth-first search over tie orientations (two branches per
+    genuinely free decision).  Distinct choice sequences may converge to
+    the same model; runs are yielded per *sequence* — deduplicate on
+    ``run.model.true_set()`` if only models matter.
+
+    Worst-case exponential in the number of free choices — this is the
+    exhaustive verifier behind the paper's "for all choices" statements,
+    not an interpreter.
+    """
+    if variant not in ("pure", "well-founded"):
+        raise ValueError(f"variant must be 'pure' or 'well-founded', not {variant!r}")
+    well_founded = variant == "well-founded"
+    if grounding is None:
+        grounding = "relevant" if well_founded else "full"
+    gp = ground_program or ground(program, database or Database(), mode=grounding)
+
+    emitted = 0
+
+    def explore(state: GroundGraphState, trail: list[TieChoice]) -> Iterator[TieBreakingRun]:
+        nonlocal emitted
+        state.close()
+        while True:
+            if limit is not None and emitted >= limit:
+                return
+            if well_founded:
+                unfounded = state.unfounded_atoms()
+                if unfounded:
+                    state.assign_many(unfounded, FALSE, ("unfounded", None))
+                    state.close()
+                    continue
+            tie = _select_tie(state)
+            if tie is None:
+                emitted += 1
+                yield TieBreakingRun(state.interpretation(), tuple(trail), variant, state)
+                return
+            assert tie.analysis.sides is not None
+            side_nodes = [0, 0]
+            for side in tie.analysis.sides.values():
+                side_nodes[side] += 1
+            forced = forced_orientation(side_nodes[0], side_nodes[1])
+            if forced is not None:
+                trail.append(_break_tie_with_side(state, tie, forced, forced=True))
+                state.close()
+                continue
+            for true_side in (0, 1):
+                branch = state.clone()
+                branch_trail = list(trail)
+                branch_trail.append(
+                    _break_tie_with_side(branch, tie, true_side, forced=False)
+                )
+                yield from explore(branch, branch_trail)
+            return
+
+    initial = GroundGraphState(gp)
+    yield from explore(initial, [])
+
+
+def _break_tie_with_side(
+    state: GroundGraphState, component: BottomComponent, true_side: int, *, forced: bool
+) -> TieChoice:
+    """Orient a tie with an explicit side choice (enumeration path)."""
+    atom_sides = component.side_of_atom()
+    made_true = [a for a, s in atom_sides.items() if s == true_side]
+    made_false = [a for a, s in atom_sides.items() if s != true_side]
+    state.assign_many(made_true, TRUE, ("tie", true_side))
+    state.assign_many(made_false, FALSE, ("tie", 1 - true_side))
+    table = state.gp.atoms
+    return TieChoice(
+        made_true=frozenset(table.atom(i) for i in made_true),
+        made_false=frozenset(table.atom(i) for i in made_false),
+        forced=forced,
+    )

@@ -1,0 +1,29 @@
+"""Workload generators: named families and random program distributions."""
+
+from repro.workloads.families import (
+    committee,
+    negation_tower,
+    tie_chain,
+    unfounded_tower,
+    win_move_cycle,
+    win_move_line,
+    win_move_program,
+)
+from repro.workloads.random_programs import (
+    random_call_consistent_program,
+    random_propositional_program,
+    random_stratified_program,
+)
+
+__all__ = [
+    "committee",
+    "negation_tower",
+    "random_call_consistent_program",
+    "random_propositional_program",
+    "random_stratified_program",
+    "tie_chain",
+    "unfounded_tower",
+    "win_move_cycle",
+    "win_move_line",
+    "win_move_program",
+]

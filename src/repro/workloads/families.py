@@ -1,0 +1,146 @@
+"""Named program families: the parametric workloads of the benchmark suite.
+
+Each generator returns ``(program, database)`` scaled by a size parameter,
+chosen to stress one code path:
+
+* :func:`win_move_line` / :func:`win_move_cycle` — the classic game
+  workload of the Datalog¬ literature (the win-move query motivates the
+  well-founded semantics); lines resolve by ``close`` alone, even cycles
+  are draws that only tie-breaking totalizes;
+* :func:`unfounded_tower` — forces the well-founded loop through many
+  unfounded-set iterations;
+* :func:`tie_chain` — a sequence of gated ties, forcing the tie-breaking
+  interpreter through many free choices;
+* :func:`negation_tower` — a deeply stratified program (stratified
+  evaluation and level computation stress);
+* :func:`committee` — one independent tie per element: the
+  nondeterministic-choice idiom of §6 / [SZ].
+"""
+
+from __future__ import annotations
+
+from repro.datalog.atoms import Atom, Literal, atom, neg, pos
+from repro.datalog.database import Database
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule, rule
+from repro.datalog.terms import Constant, Variable
+
+__all__ = [
+    "win_move_program",
+    "win_move_line",
+    "win_move_cycle",
+    "unfounded_tower",
+    "tie_chain",
+    "negation_tower",
+    "layered_games",
+    "committee",
+]
+
+
+def win_move_program() -> Program:
+    """``win(X) :- move(X, Y), ¬win(Y)`` — the pebble-game query."""
+    return Program([rule(atom("win", "X"), pos("move", "X", "Y"), neg("win", "Y"))])
+
+
+def win_move_line(n: int) -> tuple[Program, Database]:
+    """A line of moves 0 → 1 → ... → n: fully resolved by ``close`` alone."""
+    db = Database.from_dict({"move": [(i, i + 1) for i in range(n)]})
+    return win_move_program(), db
+
+
+def win_move_cycle(n: int) -> tuple[Program, Database]:
+    """A cycle of n moves: for even n a draw (a tie the WF semantics cannot
+    break); for odd n an odd ground cycle (no fixpoint at all)."""
+    db = Database.from_dict({"move": [(i, (i + 1) % n) for i in range(n)]})
+    return win_move_program(), db
+
+
+def unfounded_tower(n: int) -> tuple[Program, Database]:
+    """n layers, each needing its own unfounded-set iteration.
+
+    Layer i has a self-loop core ``c_i :- c_i`` with an entry
+    ``c_i :- z_{i-1}`` from the previous layer, plus ``t_i :- ¬c_i`` and
+    ``z_i :- ¬t_i``.  In round i the core ``c_i`` is the *only* unfounded
+    atom: every later core is still positively supported through its entry
+    ``z`` in G⁺.  Falsifying ``c_i`` makes ``t_i`` true, which kills
+    ``z_i``'s rule, which kills layer i+1's entry — leaving only its
+    self-loop for the next round.  The well-founded interpreter therefore
+    runs exactly n unfounded iterations (a worst case for its outer loop).
+    """
+    rules = []
+    for i in range(n):
+        c_i, t_i, z_i = Atom(f"c{i}"), Atom(f"t{i}"), Atom(f"z{i}")
+        rules.append(Rule(c_i, (Literal(c_i, True),)))
+        if i > 0:
+            rules.append(Rule(c_i, (Literal(Atom(f"z{i-1}"), True),)))
+        rules.append(Rule(t_i, (Literal(c_i, False),)))
+        rules.append(Rule(z_i, (Literal(t_i, False),)))
+    return Program(rules), Database()
+
+
+def tie_chain(n: int) -> tuple[Program, Database]:
+    """n ties, each exposed only after the previous one is broken.
+
+    Tie i is ``p_i :- ¬q_i, done_{i-1}`` / ``q_i :- ¬p_i, done_{i-1}``
+    with ``done_i`` derived from either side — so every run of the
+    tie-breaking interpreter makes exactly n free choices, one at a time.
+    """
+    rules = []
+    for i in range(n):
+        p_i, q_i, done = Atom(f"p{i}"), Atom(f"q{i}"), Atom(f"done{i}")
+        gate = [] if i == 0 else [Literal(Atom(f"done{i-1}"), True)]
+        rules.append(Rule(p_i, tuple([Literal(q_i, False)] + gate)))
+        rules.append(Rule(q_i, tuple([Literal(p_i, False)] + gate)))
+        rules.append(Rule(done, (Literal(p_i, True),)))
+        rules.append(Rule(done, (Literal(q_i, True),)))
+    return Program(rules), Database()
+
+
+def negation_tower(n: int) -> tuple[Program, Database]:
+    """A strictly stratified tower: ``l_0 :- base`` and ``l_{i+1} :- ¬l_i``."""
+    rules = [Rule(Atom("l0"), (Literal(Atom("base"), True),))]
+    for i in range(1, n + 1):
+        rules.append(Rule(Atom(f"l{i}"), (Literal(Atom(f"l{i-1}"), False),)))
+    return Program(rules), Database.from_dict({"base": [()]})
+
+
+def layered_games(layers: int, positions: int) -> tuple[Program, Database]:
+    """Independent win-move games stacked through negation gates.
+
+    Layer i plays win-move on its own board (predicates ``winᵢ``/``moveᵢ``
+    over a shared position set); layer i+1 opens only where layer i's
+    opening position lost: ``openᵢ₊₁ :- ¬winᵢ(0)``.  The program graph
+    condensation has one SCC per layer — the best case for modular
+    evaluation, and a scaling knob for monolithic-vs-modular ablations.
+    """
+    rules: list[Rule] = []
+    db = Database()
+    for layer in range(layers):
+        win, move, gate = f"win{layer}", f"move{layer}", f"open{layer}"
+        body = [pos(move, "X", "Y"), neg(win, "Y")]
+        if layer > 0:
+            body.append(Literal(Atom(gate), True))
+            rules.append(
+                Rule(Atom(gate), (Literal(Atom(f"win{layer-1}", (Constant(0),)), False),))
+            )
+        rules.append(Rule(Atom(win, (Variable("X"),)), tuple(body)))
+        for i in range(positions - 1):
+            db.add(move, i, i + 1)
+    return Program(rules), db
+
+
+def committee(n: int) -> tuple[Program, Database]:
+    """One independent tie per member: in/out via mutual negation (§6).
+
+    ``in(x) :- member(x), ¬out(x)`` and ``out(x) :- member(x), ¬in(x)`` —
+    the archetypical nondeterministic-choice program: 2^n stable models,
+    each reachable under some sequence of tie orientations.
+    """
+    program = Program(
+        [
+            rule(atom("in", "X"), pos("member", "X"), neg("out", "X")),
+            rule(atom("out", "X"), pos("member", "X"), neg("in", "X")),
+        ]
+    )
+    db = Database.from_dict({"member": [(i,) for i in range(n)]})
+    return program, db

@@ -1,0 +1,132 @@
+"""Random program generators with documented distributions.
+
+Three generators, each targeting a paper class:
+
+* :func:`random_propositional_program` — unrestricted Datalog¬ over 0-ary
+  predicates (the §5 setting); rule bodies draw predicates uniformly and
+  negate each literal independently;
+* :func:`random_call_consistent_program` — guaranteed **no odd cycle** by
+  construction: predicates are pre-assigned to two sides and every literal's
+  sign is forced by the Lemma-1 discipline (positive within a side,
+  negative across), so every cycle has even negative parity (Theorem 1
+  workloads);
+* :func:`random_stratified_program` — predicates are pre-assigned levels;
+  bodies reference equal-or-lower levels positively and strictly lower
+  levels negatively.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datalog.atoms import Atom, Literal
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+
+__all__ = [
+    "random_propositional_program",
+    "random_call_consistent_program",
+    "random_stratified_program",
+]
+
+
+def _predicates(count: int) -> list[str]:
+    return [f"r{i}" for i in range(count)]
+
+
+def random_propositional_program(
+    n_predicates: int,
+    n_rules: int,
+    *,
+    max_body: int = 3,
+    negation_probability: float = 0.4,
+    edb_predicates: int = 0,
+    seed: int | None = None,
+) -> Program:
+    """Unrestricted random propositional Datalog¬.
+
+    The first ``edb_predicates`` predicates never head a rule (they stay
+    extensional); everything else is fair game.  No structural guarantees —
+    expect odd cycles at any decent negation probability.
+    """
+    rng = random.Random(seed)
+    names = _predicates(n_predicates)
+    if edb_predicates >= n_predicates:
+        raise ValueError("need at least one IDB predicate")
+    idb = names[edb_predicates:]
+    rules = []
+    for _ in range(n_rules):
+        head = Atom(rng.choice(idb))
+        body = tuple(
+            Literal(Atom(rng.choice(names)), rng.random() >= negation_probability)
+            for _ in range(rng.randint(1, max_body))
+        )
+        rules.append(Rule(head, body))
+    return Program(rules)
+
+
+def random_call_consistent_program(
+    n_predicates: int,
+    n_rules: int,
+    *,
+    max_body: int = 3,
+    edb_predicates: int = 0,
+    seed: int | None = None,
+) -> Program:
+    """Random programs with no odd cycle in G(Π), by construction.
+
+    Every predicate gets a fixed side (0/1); a body literal is positive iff
+    its predicate shares the head's side.  Any cycle alternates sides an
+    even number of times, so its negative count is even: the program is
+    call-consistent and Theorem 1 applies.
+    """
+    rng = random.Random(seed)
+    names = _predicates(n_predicates)
+    if edb_predicates >= n_predicates:
+        raise ValueError("need at least one IDB predicate")
+    side = {name: rng.randrange(2) for name in names}
+    idb = names[edb_predicates:]
+    rules = []
+    for _ in range(n_rules):
+        head_name = rng.choice(idb)
+        body = []
+        for _ in range(rng.randint(1, max_body)):
+            body_name = rng.choice(names)
+            positive = side[body_name] == side[head_name]
+            body.append(Literal(Atom(body_name), positive))
+        rules.append(Rule(Atom(head_name), tuple(body)))
+    return Program(rules)
+
+
+def random_stratified_program(
+    n_predicates: int,
+    n_rules: int,
+    *,
+    n_levels: int = 3,
+    max_body: int = 3,
+    seed: int | None = None,
+) -> Program:
+    """Random stratified programs: negation only into strictly lower levels."""
+    rng = random.Random(seed)
+    names = _predicates(n_predicates)
+    level = {name: rng.randrange(n_levels) for name in names}
+    # Level-0 predicates with no rule act as the EDB.
+    idb = [name for name in names if level[name] > 0] or [names[0]]
+    rules = []
+    for _ in range(n_rules):
+        head_name = rng.choice(idb)
+        body = []
+        for _ in range(rng.randint(1, max_body)):
+            body_name = rng.choice(names)
+            if level[body_name] < level[head_name]:
+                positive = rng.random() < 0.5
+            elif level[body_name] == level[head_name]:
+                positive = True
+            else:
+                continue  # would violate stratification: skip
+            body.append(Literal(Atom(body_name), positive))
+        if body:
+            rules.append(Rule(Atom(head_name), tuple(body)))
+    return Program(rules)

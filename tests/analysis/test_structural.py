@@ -1,0 +1,190 @@
+"""Tests for program graphs, useless predicates, and structural totality."""
+
+import pytest
+
+from repro.analysis.classify import classification_table, classify_program
+from repro.analysis.program_graph import program_graph, skeleton_graph
+from repro.analysis.structural import (
+    is_call_consistent,
+    is_structurally_nonuniformly_total,
+    is_structurally_total,
+    odd_cycle_in_program_graph,
+    structural_report,
+)
+from repro.analysis.useless import reduced_program, useful_predicates, useless_predicates
+from repro.datalog.parser import parse_program
+from repro.datalog.skeleton import skeleton_of
+
+
+class TestProgramGraph:
+    def test_edges_with_signs(self):
+        g = program_graph(parse_program("p(X) :- e(X), not q(X)."))
+        edges = {(e.source, e.target, e.positive) for e in g.edges()}
+        assert edges == {("e", "p", True), ("q", "p", False)}
+
+    def test_all_predicates_are_nodes(self):
+        g = program_graph(parse_program("p :- e."))
+        assert set(g.nodes) == {"e", "p"}
+
+    def test_skeleton_graph_matches(self):
+        prog = parse_program("p(X, Y) :- not p(Y, Y), e(X).")
+        a = program_graph(prog)
+        b = skeleton_graph(skeleton_of(prog))
+        assert {(e.source, e.target, e.positive) for e in a.edges()} == {
+            (e.source, e.target, e.positive) for e in b.edges()
+        }
+
+    def test_parallel_signed_edges(self):
+        g = program_graph(parse_program("p :- q, not q."))
+        assert g.edge_count == 2
+
+
+class TestUselessPredicates:
+    def test_self_loop_is_useless(self):
+        assert useless_predicates(parse_program("u :- u.")) == {"u"}
+
+    def test_mutual_recursion_without_base_is_useless(self):
+        prog = parse_program("a :- b. b :- a.")
+        assert useless_predicates(prog) == {"a", "b"}
+
+    def test_base_case_makes_useful(self):
+        prog = parse_program("a :- b. b :- a. a :- e.")
+        assert useless_predicates(prog) == set()
+
+    def test_negative_leaves_are_fine(self):
+        """Expansions may end in negative literals: q :- ¬r is useful."""
+        prog = parse_program("q :- not r. r :- r.")
+        assert useful_predicates(prog) >= {"q"}
+        assert useless_predicates(prog) == {"r"}
+
+    def test_usefulness_propagates_through_conjunction(self):
+        prog = parse_program("p :- q, u. q :- e. u :- u.")
+        # p needs u positively; u is useless, so p is useless too.
+        assert useless_predicates(prog) == {"p", "u"}
+
+    def test_edb_always_useful(self):
+        prog = parse_program("p :- e.")
+        assert "e" in useful_predicates(prog)
+
+    def test_facts_are_useful(self):
+        assert useless_predicates(parse_program("p. q :- p.")) == set()
+
+    def test_matches_skeleton_unfounded_set(self):
+        """§4: useless predicates = largest unfounded set of the skeleton
+        as a propositional program with EDB propositions true."""
+        from repro.datalog.database import Database
+        from repro.datalog.grounding import ground
+        from repro.ground.state import GroundGraphState
+
+        source = "p :- q, e. q :- not r. r :- r. s :- r, e. t :- not s."
+        prog = parse_program(source)
+        skeleton = skeleton_of(prog)
+        prop = skeleton.as_propositional_program()
+        db = Database.from_dict({name: [()] for name in skeleton.edb_predicates()})
+        gp = ground(prop, db, mode="full")
+        state = GroundGraphState(gp)
+        state.close()
+        unfounded = {gp.atoms.atom(i).predicate for i in state.unfounded_atoms()}
+        assert unfounded == set(useless_predicates(prog))
+
+
+class TestReducedProgram:
+    def test_drops_rules_with_positive_useless(self):
+        prog = parse_program("u :- u. p :- e, u.")
+        assert str(reduced_program(prog)) == ""
+
+    def test_erases_negative_useless_occurrences(self):
+        prog = parse_program("u :- u. p :- e, not u.")
+        assert str(reduced_program(prog)) == "p :- e."
+
+    def test_no_useless_returns_same_program(self):
+        prog = parse_program("p :- e.")
+        assert reduced_program(prog) is prog
+
+    def test_cascading_uselessness(self):
+        prog = parse_program("a :- b. b :- a. c :- not a, e. d :- b, e.")
+        red = reduced_program(prog)
+        assert str(red) == "c :- e."
+
+
+class TestStructuralTotality:
+    def test_odd_self_loop(self):
+        prog = parse_program("p :- not p.")
+        assert not is_structurally_total(prog)
+        cycle = odd_cycle_in_program_graph(prog)
+        assert cycle.predicates == ("p",) and cycle.negative_count == 1
+
+    def test_even_negative_cycle_total(self):
+        assert is_structurally_total(parse_program("p :- not q. q :- not p."))
+
+    def test_paper_program_1_not_structurally_total(self):
+        """§1: program (1) is total but NOT structurally total."""
+        assert not is_structurally_total(parse_program("p(a) :- not p(X), e(b)."))
+
+    def test_three_negative_triangle(self):
+        prog = parse_program("p1 :- not p2. p2 :- not p3. p3 :- not p1.")
+        assert not is_structurally_total(prog)
+        assert odd_cycle_in_program_graph(prog).negative_count == 3
+
+    def test_positive_cycles_harmless(self):
+        assert is_structurally_total(parse_program("p :- q. q :- p."))
+
+    def test_mixed_cycle_parity(self):
+        # cycle p -> q (neg) -> p (neg): two negatives, even; plus odd one via r
+        prog = parse_program("p :- not q. q :- not p. q :- not r. r :- q.")
+        # cycle q -> r(pos) -> q(neg): one negative => odd
+        assert not is_structurally_total(prog)
+
+    def test_call_consistent_alias(self):
+        prog = parse_program("p :- not q. q :- not p.")
+        assert is_call_consistent(prog)
+
+    def test_nonuniform_ignores_useless_odd_cycles(self):
+        """Theorem 3 + Lemma 4: odd cycles through useless predicates don't
+        matter when IDBs start empty."""
+        prog = parse_program("u :- u. p :- not p, u.")
+        assert not is_structurally_total(prog)
+        assert is_structurally_nonuniformly_total(prog)
+
+    def test_nonuniform_detects_surviving_odd_cycle(self):
+        prog = parse_program("p :- not p, e.")
+        assert not is_structurally_nonuniformly_total(prog)
+
+    def test_odd_cycle_partly_useless_still_counts_if_reduced_keeps_it(self):
+        # q is useful (q :- e); odd cycle p -> q -> p survives reduction.
+        prog = parse_program("p :- not q. q :- p. q :- e.")
+        assert not is_structurally_total(prog)
+        assert not is_structurally_nonuniformly_total(prog)
+
+    def test_report_witnesses(self):
+        report = structural_report(parse_program("u :- u. p :- not p, u. z :- not z, e."))
+        assert not report.structurally_total
+        assert not report.structurally_nonuniformly_total
+        assert report.useless == {"u", "p"}
+        # hmm: p has only rule with positive useless u -> p useless too
+        assert report.reduced_odd_cycle.predicates == ("z",)
+
+
+class TestClassification:
+    def test_tightest_class_ladder(self):
+        cases = {
+            "tc(X,Y) :- e(X,Y).": "positive",
+            "p :- e, not q. q :- f.": "stratified",
+            "p :- not q. q :- not p.": "call-consistent",
+            "u :- u. p :- not p, u.": "structurally nonuniformly total",
+            "p :- not p.": "not structurally total",
+        }
+        for source, expected in cases.items():
+            assert classify_program(parse_program(source)).tightest_class == expected, source
+
+    def test_table_renders(self):
+        programs = {
+            "winmove": parse_program("win(X) :- move(X, Y), not win(Y)."),
+            "oddloop": parse_program("p :- not p."),
+        }
+        table = classification_table(programs)
+        assert "winmove" in table and "oddloop" in table
+
+    def test_str_rendering(self):
+        text = str(classify_program(parse_program("p :- not p.")))
+        assert "not structurally total" in text and "odd cycle" in text

@@ -1,0 +1,129 @@
+"""Experiment E10: the §5 Proposition (Π₂ᵖ-completeness of totality)."""
+
+import pytest
+
+from repro.constructions.proposition import (
+    formula_to_program,
+    is_total_propositional,
+    propositional_databases,
+)
+from repro.constructions.qbf import ForallExistsCNF, forall_exists_holds, random_formula
+from repro.datalog.parser import parse_program
+from repro.errors import ConstructionError, SemanticsError
+
+
+class TestQBF:
+    def test_trivially_true(self):
+        f = ForallExistsCNF((), ("y1",), ((("y1", True),),))
+        assert forall_exists_holds(f)
+
+    def test_trivially_false(self):
+        # clause y1 and clause ¬y1: unsatisfiable for any y
+        f = ForallExistsCNF((), ("y1",), ((("y1", True),), (("y1", False),)))
+        assert not forall_exists_holds(f)
+
+    def test_universal_dependence(self):
+        # ∀x ∃y (x ∨ y) ∧ (¬x ∨ ¬y): y must equal ¬x — holds.
+        f = ForallExistsCNF(
+            ("x1",),
+            ("y1",),
+            ((("x1", True), ("y1", True)), (("x1", False), ("y1", False))),
+        )
+        assert forall_exists_holds(f)
+
+    def test_failing_universal(self):
+        # ∀x ∃y (x): fails for x = false regardless of y.
+        f = ForallExistsCNF(("x1",), ("y1",), ((("x1", True),),))
+        assert not forall_exists_holds(f)
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            ForallExistsCNF(("v",), ("v",), ())
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError):
+            ForallExistsCNF(("x1",), (), ((("zz", True),),))
+
+    def test_str(self):
+        f = ForallExistsCNF(("x1",), ("y1",), ((("x1", True), ("y1", False)),))
+        assert "∀x1" in str(f) and "¬y1" in str(f)
+
+
+class TestTotalityBruteForce:
+    def test_odd_trap_not_total(self):
+        assert not is_total_propositional(parse_program("p :- not p, e."))
+
+    def test_even_cycle_total(self):
+        assert is_total_propositional(parse_program("p :- not q. q :- not p."))
+
+    def test_useless_guard_nonuniform_total_but_uniform_not(self):
+        """u :- u; p :- ¬p, u: with empty IDBs u stays empty (total); the
+        uniform case can seed u true and kill all fixpoints."""
+        prog = parse_program("u :- u. p :- not p, u.")
+        assert is_total_propositional(prog, nonuniform=True)
+        assert not is_total_propositional(prog, nonuniform=False)
+
+    def test_database_guard(self):
+        prog = parse_program(
+            "p :- a1, a2, a3, a4, a5, a6, a7, a8, a9, a10, a11, a12, a13, a14, a15, a16, a17."
+        )
+        with pytest.raises(ConstructionError):
+            is_total_propositional(prog, max_databases=1 << 10)
+
+    def test_requires_propositional(self):
+        with pytest.raises(SemanticsError):
+            list(propositional_databases(parse_program("p(X) :- e(X)."), nonuniform=True))
+
+    def test_database_enumeration_counts(self):
+        prog = parse_program("p :- e, not q. q :- f.")
+        uniform = list(propositional_databases(prog, nonuniform=False))
+        nonuniform = list(propositional_databases(prog, nonuniform=True))
+        assert len(uniform) == 2 ** 4  # e, f, p, q
+        assert len(nonuniform) == 2 ** 2  # e, f
+
+
+class TestReduction:
+    def test_program_shape(self):
+        f = ForallExistsCNF(
+            ("x1",), ("y1",), ((("x1", True), ("y1", False)),)
+        )
+        prog = formula_to_program(f)
+        text = str(prog)
+        assert "p :- ¬p, ¬q, ¬edb_x1, idb_y1." in text
+        assert "idb_y1 :- idb_y1, ¬q." in text
+        assert "q :- idb_y1, q." in text
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_reduction_matches_brute_force_nonuniform(self, seed):
+        f = random_formula(1, 1, 2, seed=seed)
+        expected = forall_exists_holds(f)
+        assert is_total_propositional(formula_to_program(f), nonuniform=True) == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_reduction_matches_brute_force_uniform(self, seed):
+        """'We give a construction that works for both uniform and nonuniform
+        totality.'"""
+        f = random_formula(1, 1, 2, seed=seed)
+        expected = forall_exists_holds(f)
+        assert is_total_propositional(formula_to_program(f), nonuniform=False) == expected
+
+    def test_two_universals(self):
+        # ∀x1 x2 ∃y1: (x1 ∨ x2 ∨ y1) ∧ (¬y1 ∨ x1): for x1=0,x2=0 need y1 and ¬y1...
+        f = ForallExistsCNF(
+            ("x1", "x2"),
+            ("y1",),
+            (
+                (("x1", True), ("x2", True), ("y1", True)),
+                (("y1", False), ("x1", True)),
+            ),
+        )
+        expected = forall_exists_holds(f)
+        assert expected is False
+        assert is_total_propositional(formula_to_program(f), nonuniform=True) is False
+
+    def test_always_satisfiable_formula_total(self):
+        f = ForallExistsCNF(("x1",), ("y1", "y2"), ((("y1", True), ("y2", True)),))
+        assert forall_exists_holds(f)
+        prog = formula_to_program(f)
+        assert is_total_propositional(prog, nonuniform=True)
+        assert is_total_propositional(prog, nonuniform=False)

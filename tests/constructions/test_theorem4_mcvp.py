@@ -1,0 +1,107 @@
+"""Experiment E8: circuits and the Theorem 4 P-completeness reduction."""
+
+import pytest
+
+from repro.constructions.circuits import (
+    AND,
+    INPUT,
+    OR,
+    Gate,
+    MonotoneCircuit,
+    alternating_circuit,
+    random_monotone_circuit,
+)
+from repro.constructions.theorem4 import (
+    mcvp_program,
+    mcvp_via_structural_totality,
+    useful_gates,
+)
+
+
+class TestCircuits:
+    def test_and_or_evaluation(self):
+        c = MonotoneCircuit(
+            (Gate(INPUT), Gate(INPUT), Gate(AND, (0, 1)), Gate(OR, (0, 2))),
+            output=3,
+        )
+        assert c.evaluate([True, False]) is True  # OR picks up input 0
+        assert c.evaluate([False, True]) is False
+
+    def test_topological_order_enforced(self):
+        with pytest.raises(ValueError):
+            MonotoneCircuit((Gate(AND, (1,)), Gate(INPUT)), output=0)
+
+    def test_input_gate_without_operands(self):
+        with pytest.raises(ValueError):
+            MonotoneCircuit((Gate(INPUT, (0,)),), output=0)
+
+    def test_gate_values_consistent_with_evaluate(self):
+        c = random_monotone_circuit(5, 12, seed=3)
+        x = [True, False, True, True, False]
+        assert c.gate_values(x)[c.output] == c.evaluate(x)
+
+    def test_alternating_circuit_shape(self):
+        c = alternating_circuit(3)
+        assert c.input_count == 8
+        assert c.gates[c.output].kind == AND  # top layer of odd depth
+        assert c.evaluate([True] * 8) is True
+        assert c.evaluate([False] * 8) is False
+        # killing one whole half of the bottom AND layer flips the output
+        assert c.evaluate([False, True] * 4) is False
+
+    def test_monotonicity(self):
+        c = random_monotone_circuit(4, 10, seed=9)
+        low = [False, True, False, True]
+        high = [True, True, False, True]
+        assert not (c.evaluate(low) and not c.evaluate(high))
+
+    def test_wrong_input_length(self):
+        c = random_monotone_circuit(3, 4, seed=0)
+        with pytest.raises(ValueError):
+            c.evaluate([True])
+
+
+class TestMCVPReduction:
+    def test_program_shape(self):
+        c = MonotoneCircuit(
+            (Gate(INPUT), Gate(INPUT), Gate(OR, (0, 1)), Gate(AND, (2, 0))),
+            output=3,
+        )
+        prog = mcvp_program(c, [True, False])
+        text = str(prog)
+        assert "g1 :- g1." in text  # 0-input becomes a useless self-loop
+        assert "g2 :- g0." in text and "g2 :- g1." in text  # OR: one rule each
+        assert "g3 :- g2, g0." in text  # AND: one rule
+        assert "p_trap :- ¬p_trap, g3." in text
+
+    def test_true_input_is_edb(self):
+        c = MonotoneCircuit((Gate(INPUT), Gate(AND, (0, 0))), output=1)
+        prog = mcvp_program(c, [True])
+        assert "g0" in prog.edb_predicates
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_reduction_agrees_with_evaluation(self, seed):
+        c = random_monotone_circuit(4, 12, seed=seed)
+        for bits in [(0, 0, 0, 0), (1, 1, 1, 1), (1, 0, 1, 0), (0, 1, 1, 0)]:
+            x = [bool(b) for b in bits]
+            assert c.evaluate(x) == mcvp_via_structural_totality(c, x), (seed, bits)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_useful_iff_value_one(self, seed):
+        """The proof's invariant: G_i useful ⇔ gate i evaluates to 1."""
+        c = random_monotone_circuit(3, 10, seed=seed)
+        for bits in [(0, 0, 0), (1, 1, 1), (1, 0, 1)]:
+            x = [bool(b) for b in bits]
+            expected = {i for i, v in enumerate(c.gate_values(x)) if v}
+            assert useful_gates(c, x) == expected, (seed, bits)
+
+    def test_alternating_circuit_reduction(self):
+        c = alternating_circuit(2)
+        for bits in range(2**4):
+            x = [bool((bits >> i) & 1) for i in range(4)]
+            assert c.evaluate(x) == mcvp_via_structural_totality(c, x)
+
+    def test_wrong_assignment_length(self):
+        c = random_monotone_circuit(3, 4, seed=1)
+        with pytest.raises(ValueError):
+            mcvp_program(c, [True])

@@ -1,0 +1,92 @@
+"""Unit tests for databases, skeletons, and alphabetic variants."""
+
+import pytest
+
+from repro.datalog.atoms import atom
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.skeleton import is_alphabetic_variant, skeleton_of
+from repro.errors import ValidationError
+
+
+class TestDatabase:
+    def test_add_and_contains(self):
+        db = Database()
+        db.add("edge", 1, 2)
+        assert db.contains("edge", 1, 2)
+        assert not db.contains("edge", 2, 1)
+
+    def test_add_atom_requires_ground(self):
+        db = Database()
+        with pytest.raises(ValidationError):
+            db.add_atom(atom("p", "X"))
+
+    def test_arity_consistency(self):
+        db = Database()
+        db.add("p", 1)
+        with pytest.raises(ValidationError):
+            db.add("p", 1, 2)
+
+    def test_from_dict(self):
+        db = Database.from_dict({"edge": [(1, 2)], "zero": [(0,)]})
+        assert db.contains("zero", 0)
+
+    def test_atoms_roundtrip(self):
+        db = Database.from_dict({"e": [(1, 2), (2, 3)]})
+        assert Database.from_atoms(db.atoms()) == db
+
+    def test_equality_ignores_empty_relations(self):
+        a = Database.from_dict({"e": [(1,)]})
+        b = Database.from_dict({"e": [(1,)], "f": []})
+        assert a == b
+
+    def test_copy_is_deep(self):
+        a = Database.from_dict({"e": [(1,)]})
+        b = a.copy()
+        b.add("e", 2)
+        assert not a.contains("e", 2)
+
+    def test_restrict(self):
+        db = Database.from_dict({"e": [(1,)], "f": [(2,)]})
+        assert db.restrict(["e"]).predicates() == {"e"}
+
+    def test_constants(self):
+        db = Database.from_dict({"e": [(1, "a")]})
+        values = {c.value for c in db.constants()}
+        assert values == {1, "a"}
+
+    def test_len(self):
+        assert len(Database.from_dict({"e": [(1,), (2,)], "f": [(3,)]})) == 3
+
+
+class TestSkeleton:
+    def test_paper_variants_share_skeleton(self):
+        """Programs (1) and (2) of the paper are alphabetic variants."""
+        one = parse_program("p(a) :- not p(X), e(b).")
+        two = parse_program("p(X, Y) :- not p(Y, Y), e(X).")
+        assert is_alphabetic_variant(one, two)
+
+    def test_sign_pattern_matters(self):
+        a = parse_program("p :- not q.")
+        b = parse_program("p :- q.")
+        assert not is_alphabetic_variant(a, b)
+
+    def test_body_order_matters(self):
+        a = parse_program("p :- q, not r.")
+        b = parse_program("p :- not r, q.")
+        assert not is_alphabetic_variant(a, b)
+
+    def test_predicate_sets(self):
+        sk = skeleton_of(parse_program("p(X) :- e(X), not q(X). q(Y) :- e(Y)."))
+        assert sk.idb_predicates() == {"p", "q"}
+        assert sk.edb_predicates() == {"e"}
+
+    def test_as_propositional_program(self):
+        sk = skeleton_of(parse_program("p(X) :- e(X), not q(X)."))
+        prop = sk.as_propositional_program()
+        assert prop.is_propositional
+        assert str(prop) == "p :- e, ¬q."
+
+    def test_str(self):
+        sk = skeleton_of(parse_program("p(a) :- not p(X), e(b)."))
+        assert str(sk) == "p :- ¬p, e."

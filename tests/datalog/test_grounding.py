@@ -1,0 +1,125 @@
+"""Tests for full and relevant grounding."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, atom
+from repro.datalog.database import Database
+from repro.datalog.grounding import ground, universe_of
+from repro.datalog.parser import parse_database, parse_program
+from repro.datalog.terms import Constant
+from repro.errors import GroundingError
+
+
+class TestUniverse:
+    def test_constants_from_program_and_db(self):
+        prog = parse_program("p(a) :- e(X).")
+        db = parse_database("e(b).")
+        assert {c.value for c in universe_of(prog, db)} == {"a", "b"}
+
+    def test_extra_constants(self):
+        prog = parse_program("p :- q.")
+        u = universe_of(prog, Database(), [Constant(1), Constant(2)])
+        assert len(u) == 2
+
+
+class TestFullGrounding:
+    def test_propositional_program(self):
+        prog = parse_program("p :- p, not q. q :- q, not p.")
+        gp = ground(prog, Database(), mode="full")
+        assert gp.rule_count == 2
+        assert gp.atom_count == 2  # p and q
+
+    def test_all_atoms_materialized(self):
+        prog = parse_program("p(X) :- e(X, Y).")
+        db = parse_database("e(1, 2).")
+        gp = ground(prog, db, mode="full")
+        # universe {1,2}: p has 2 atoms, e has 4 atoms
+        assert gp.atom_count == 2 + 4
+        assert gp.rule_count == 4  # |U|^2 instances
+
+    def test_instances_cover_all_substitutions(self):
+        prog = parse_program("p(X, Y) :- not p(Y, Y), e(X).")
+        db = parse_database("e(a).")
+        gp = ground(prog, db, mode="full")
+        assert gp.rule_count == 1  # universe = {a}: one substitution
+        gr = gp.rules[0]
+        assert gp.atoms.atom(gr.head) == atom("p", "a", "a")
+
+    def test_dedup_of_body_atoms(self):
+        prog = parse_program("p :- q, q, not q.")
+        gp = ground(prog, Database(), mode="full")
+        gr = gp.rules[0]
+        assert len(gr.pos) == 1 and len(gr.neg) == 1
+        assert gr.pos[0] == gr.neg[0]
+
+    def test_max_instances_guard(self):
+        prog = parse_program("p(A,B,C,D,E,F,G,H) :- e(A), e(B), e(C), e(D), e(E), e(F), e(G), e(H).")
+        db = Database.from_dict({"e": [(i,) for i in range(10)]})
+        with pytest.raises(GroundingError):
+            ground(prog, db, mode="full", max_instances=10_000)
+
+    def test_instantiated_rule_roundtrip(self):
+        prog = parse_program("p(X) :- e(X), not q(X).")
+        db = parse_database("e(1).")
+        gp = ground(prog, db, mode="full")
+        inst = gp.instantiated_rule(gp.rules[0])
+        assert str(inst) == "p(1) :- e(1), ¬q(1)."
+
+
+class TestRelevantGrounding:
+    def test_restricts_to_upper_bound(self):
+        prog = parse_program("win(X) :- move(X, Y), not win(Y).")
+        db = parse_database("move(1, 2). move(2, 3).")
+        full = ground(prog, db, mode="full")
+        relevant = ground(prog, db, mode="relevant")
+        assert relevant.rule_count == 2  # only (1,2) and (2,3) moves
+        assert full.rule_count == 9  # |U|^2
+
+    def test_prunes_violated_negative_edb(self):
+        prog = parse_program("p(X) :- e(X), not f(X).")
+        db = parse_database("e(1). e(2). f(1).")
+        gp = ground(prog, db, mode="relevant")
+        heads = {gp.atoms.atom(r.head) for r in gp.rules}
+        assert heads == {atom("p", 2)}
+
+    def test_keeps_violated_negative_edb_when_asked(self):
+        prog = parse_program("p(X) :- e(X), not f(X).")
+        db = parse_database("e(1). f(1).")
+        gp = ground(prog, db, mode="relevant", prune_false_negative_edb=False)
+        assert gp.rule_count == 1
+
+    def test_negative_idb_literals_kept(self):
+        prog = parse_program("p(X) :- e(X), not q(X). q(X) :- e(X).")
+        db = parse_database("e(1).")
+        gp = ground(prog, db, mode="relevant")
+        p_rule = next(r for r in gp.rules if gp.atoms.atom(r.head).predicate == "p")
+        assert len(p_rule.neg) == 1
+
+    def test_unbound_variables_enumerate_universe(self):
+        prog = parse_program("p(X, Y) :- e(X), not p(Y, Y).")
+        db = parse_database("e(a). e(b).")
+        gp = ground(prog, db, mode="relevant")
+        assert gp.rule_count == 4  # X in {a,b} via e, Y in {a,b} enumerated
+
+    def test_counter_machine_style_chain_is_small(self):
+        # [S = 2] chains: zero(A0), succ(A0, A1), succ(A1, S) — full grounding
+        # would be |U|^4 per rule; relevant grounding follows the chain.
+        prog = parse_program(
+            "at(S) :- zero(A0), succ(A0, A1), succ(A1, S)."
+        )
+        db = parse_database("zero(0). succ(0, 1). succ(1, 2). succ(2, 3).")
+        gp = ground(prog, db, mode="relevant")
+        assert gp.rule_count == 1
+        assert gp.atoms.atom(gp.rules[0].head) == atom("at", 2)
+
+    def test_heads_subset_of_upper_bound(self):
+        prog = parse_program("p(X) :- e(X). q(X) :- p(X), not r(X). r(X) :- e(X), e(X).")
+        db = parse_database("e(1). e(2).")
+        gp = ground(prog, db, mode="relevant")
+        for gr in gp.rules:
+            head_atom = gp.atoms.atom(gr.head)
+            assert head_atom.predicate in prog.idb_predicates
+
+    def test_describe(self):
+        gp = ground(parse_program("p :- q."), Database(), mode="relevant")
+        assert "relevant" in gp.describe()

@@ -1,0 +1,63 @@
+"""Unit tests for terms: variables, constants, coercion."""
+
+import pytest
+
+from repro.datalog.terms import Constant, Variable, term_from_value
+
+
+class TestVariable:
+    def test_str(self):
+        assert str(Variable("X")) == "X"
+
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_immutable(self):
+        v = Variable("X")
+        with pytest.raises(AttributeError):
+            v.name = "Y"  # type: ignore[misc]
+
+
+class TestConstant:
+    def test_str_of_symbol(self):
+        assert str(Constant("a")) == "a"
+
+    def test_str_of_int(self):
+        assert str(Constant(3)) == "3"
+
+    def test_str_quotes_nonidentifier(self):
+        assert str(Constant("New York")) == '"New York"'
+
+    def test_int_and_str_payloads_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+
+class TestTermFromValue:
+    def test_uppercase_becomes_variable(self):
+        assert term_from_value("X") == Variable("X")
+
+    def test_underscore_becomes_variable(self):
+        assert term_from_value("_foo") == Variable("_foo")
+
+    def test_lowercase_becomes_constant(self):
+        assert term_from_value("a") == Constant("a")
+
+    def test_int_becomes_constant(self):
+        assert term_from_value(42) == Constant(42)
+
+    def test_terms_pass_through(self):
+        v = Variable("X")
+        c = Constant("a")
+        assert term_from_value(v) is v
+        assert term_from_value(c) is c

@@ -1,0 +1,112 @@
+"""Tests for the fact store and join primitives."""
+
+import pytest
+
+from repro.datalog.atoms import atom, neg, pos
+from repro.datalog.database import Database
+from repro.datalog.terms import Constant, Variable
+from repro.engine.facts import FactStore
+from repro.engine.matching import (
+    enumerate_bindings,
+    match_atom_row,
+    match_literal,
+    order_body_for_join,
+)
+
+
+def store_with(**relations):
+    db = Database.from_dict({k: v for k, v in relations.items()})
+    return FactStore.from_database(db)
+
+
+class TestFactStore:
+    def test_add_dedupes(self):
+        s = FactStore()
+        assert s.add("p", (Constant(1),))
+        assert not s.add("p", (Constant(1),))
+        assert s.count("p") == 1
+
+    def test_rows_matching_uses_index(self):
+        s = store_with(edge=[(1, 2), (1, 3), (2, 3)])
+        rows = list(s.rows_matching("edge", {0: Constant(1)}))
+        assert sorted(r[1].value for r in rows) == [2, 3]
+
+    def test_rows_matching_unbound_scans_all(self):
+        s = store_with(edge=[(1, 2), (2, 3)])
+        assert len(list(s.rows_matching("edge", {}))) == 2
+
+    def test_index_stays_fresh_after_adds(self):
+        s = store_with(edge=[(1, 2)])
+        list(s.rows_matching("edge", {0: Constant(1)}))  # build index
+        s.add("edge", (Constant(1), Constant(9)))
+        rows = list(s.rows_matching("edge", {0: Constant(1)}))
+        assert sorted(r[1].value for r in rows) == [2, 9]
+
+    def test_to_database_roundtrip(self):
+        db = Database.from_dict({"e": [(1, 2)], "z": [(0,)]})
+        assert FactStore.from_database(db).to_database() == db
+
+    def test_missing_predicate(self):
+        s = FactStore()
+        assert s.count("nope") == 0
+        assert list(s.rows_matching("nope", {})) == []
+
+
+class TestMatchAtomRow:
+    def test_binds_variables(self):
+        binding = match_atom_row(atom("e", "X", "Y"), (Constant(1), Constant(2)), {})
+        assert binding == {Variable("X"): Constant(1), Variable("Y"): Constant(2)}
+
+    def test_repeated_variable_must_agree(self):
+        assert match_atom_row(atom("e", "X", "X"), (Constant(1), Constant(1)), {}) is not None
+        assert match_atom_row(atom("e", "X", "X"), (Constant(1), Constant(2)), {}) is None
+
+    def test_constant_mismatch(self):
+        assert match_atom_row(atom("e", "a", "X"), (Constant("b"), Constant(2)), {}) is None
+
+    def test_existing_binding_respected(self):
+        prior = {Variable("X"): Constant(1)}
+        assert match_atom_row(atom("e", "X"), (Constant(2),), prior) is None
+        out = match_atom_row(atom("e", "X"), (Constant(1),), prior)
+        assert out == prior and out is not prior
+
+
+class TestEnumerateBindings:
+    def test_two_literal_join(self):
+        s = store_with(edge=[(1, 2), (2, 3), (3, 4)])
+        body = [pos("edge", "X", "Y"), pos("edge", "Y", "Z")]
+        results = {
+            (b[Variable("X")].value, b[Variable("Z")].value)
+            for b in enumerate_bindings(body, s)
+        }
+        assert results == {(1, 3), (2, 4)}
+
+    def test_empty_body_single_empty_binding(self):
+        assert list(enumerate_bindings([], FactStore())) == [{}]
+
+    def test_rejects_negative_literals(self):
+        with pytest.raises(ValueError):
+            list(enumerate_bindings([neg("p", "X")], FactStore()))
+
+    def test_initial_binding_constrains(self):
+        s = store_with(edge=[(1, 2), (2, 3)])
+        out = list(
+            enumerate_bindings([pos("edge", "X", "Y")], s, {Variable("X"): Constant(2)})
+        )
+        assert len(out) == 1 and out[0][Variable("Y")] == Constant(3)
+
+
+class TestOrderBodyForJoin:
+    def test_constants_first(self):
+        body = [pos("a", "X", "Y"), pos("b", "c", "X")]
+        ordered = order_body_for_join(body)
+        assert ordered[0].predicate == "b"
+
+    def test_chains_follow_bound_variables(self):
+        body = [pos("succ", "A1", "A2"), pos("zero", "A0"), pos("succ", "A0", "A1")]
+        ordered = order_body_for_join(body)
+        assert [l.predicate for l in ordered] == ["zero", "succ", "succ"]
+        assert ordered[1].atom.args[0] == Variable("A0")
+
+    def test_empty(self):
+        assert order_body_for_join([]) == []

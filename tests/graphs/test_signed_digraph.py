@@ -1,0 +1,75 @@
+"""Unit tests for the SignedDigraph container and condensation helpers."""
+
+import pytest
+
+from repro.graphs.condensation import topological_component_order
+from repro.graphs.scc import strongly_connected_components
+from repro.graphs.signed_digraph import SignedDigraph, SignedEdge
+
+
+class TestSignedDigraph:
+    def test_nodes_keep_insertion_order(self):
+        g = SignedDigraph()
+        for node in ["c", "a", "b"]:
+            g.add_node(node)
+        assert g.nodes == ("c", "a", "b")
+        assert g.index_of("a") == 1 and g.label_of(2) == "b"
+
+    def test_duplicate_edges_collapse(self):
+        g = SignedDigraph()
+        g.add_edge("x", "y", positive=True)
+        g.add_edge("x", "y", positive=True)
+        assert g.edge_count == 1
+
+    def test_parallel_opposite_signs_kept(self):
+        g = SignedDigraph()
+        g.add_edge("x", "y", positive=True)
+        g.add_edge("x", "y", positive=False)
+        assert g.edge_count == 2
+        signs = {s for _, s in g.successors("x")}
+        assert signs == {True, False}
+
+    def test_successors_predecessors(self):
+        g = SignedDigraph.from_edges([("a", "b", True), ("c", "b", False)])
+        assert set(g.predecessors("b")) == {("a", True), ("c", False)}
+        assert list(g.successors("a")) == [("b", True)]
+
+    def test_contains(self):
+        g = SignedDigraph()
+        g.add_node("n")
+        assert "n" in g and "m" not in g
+
+    def test_has_negative_edge(self):
+        g = SignedDigraph.from_edges([("a", "b", True)])
+        assert not g.has_negative_edge()
+        g.add_edge("b", "a", positive=False)
+        assert g.has_negative_edge()
+
+    def test_signed_edge_str(self):
+        assert "→" in str(SignedEdge("a", "b", True))
+        assert "⊸" in str(SignedEdge("a", "b", False))
+
+
+class TestTopologicalOrderValidation:
+    def test_valid_order_accepted(self):
+        g = SignedDigraph.from_edges([("a", "b", True), ("b", "c", True)])
+        succ = g.successor_lists()
+        comps = strongly_connected_components(
+            g.node_count, lambda u: (v for v, _ in succ[u])
+        )
+        order = topological_component_order(
+            comps, lambda u: (v for v, _ in succ[u]), g.node_count
+        )
+        assert order == list(range(len(comps)))
+
+    def test_corrupted_order_rejected(self):
+        g = SignedDigraph.from_edges([("a", "b", True)])
+        succ = g.successor_lists()
+        comps = strongly_connected_components(
+            g.node_count, lambda u: (v for v, _ in succ[u])
+        )
+        reversed_comps = list(reversed(comps))
+        with pytest.raises(AssertionError):
+            topological_component_order(
+                reversed_comps, lambda u: (v for v, _ in succ[u]), g.node_count
+            )

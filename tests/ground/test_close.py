@@ -1,0 +1,203 @@
+"""Tests for close(M, G), unfounded sets, and bottom tie components."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, atom
+from repro.datalog.database import Database
+from repro.datalog.grounding import ground
+from repro.datalog.parser import parse_database, parse_program
+from repro.errors import CloseConflictError, SemanticsError
+from repro.ground.model import FALSE, TRUE, UNDEF
+from repro.ground.state import GroundGraphState
+
+
+def state_for(source, db_source="", mode="full"):
+    prog = parse_program(source)
+    db = parse_database(db_source) if db_source else Database()
+    gp = ground(prog, db, mode=mode)
+    return gp, GroundGraphState(gp)
+
+
+def value_of(gp, state, atom_):
+    return state.status[gp.atoms.get(atom_)]
+
+
+class TestCloseBasics:
+    def test_fact_propagates(self):
+        gp, st = state_for("p :- q. q.")
+        st.close()
+        assert value_of(gp, st, Atom("q")) == TRUE
+        assert value_of(gp, st, Atom("p")) == TRUE
+
+    def test_unsupported_atom_false(self):
+        gp, st = state_for("p :- q.")
+        st.close()
+        assert value_of(gp, st, Atom("q")) == FALSE
+        assert value_of(gp, st, Atom("p")) == FALSE
+
+    def test_negation_fires_when_body_atom_false(self):
+        gp, st = state_for("p :- not q.")
+        st.close()
+        assert value_of(gp, st, Atom("q")) == FALSE
+        assert value_of(gp, st, Atom("p")) == TRUE
+
+    def test_negation_blocks_when_body_atom_true(self):
+        gp, st = state_for("p :- not q. q.")
+        st.close()
+        assert value_of(gp, st, Atom("p")) == FALSE
+
+    def test_positive_loop_left_undefined_by_close_alone(self):
+        gp, st = state_for("p :- p.")
+        st.close()
+        assert value_of(gp, st, Atom("p")) == UNDEF
+        assert st.live_atom_count == 1
+
+    def test_negative_loop_left_undefined(self):
+        gp, st = state_for("p :- not p.")
+        st.close()
+        assert value_of(gp, st, Atom("p")) == UNDEF
+
+    def test_edb_values_from_database(self):
+        gp, st = state_for("p(X) :- e(X).", "e(1).")
+        st.close()
+        assert value_of(gp, st, atom("e", 1)) == TRUE
+        assert value_of(gp, st, atom("p", 1)) == TRUE
+
+    def test_initial_idb_facts_true_in_uniform_case(self):
+        prog = parse_program("p :- q.")
+        db = parse_database("p.")
+        gp = ground(prog, db, mode="full")
+        st = GroundGraphState(gp)
+        st.close()
+        assert st.status[gp.atoms.get(Atom("p"))] == TRUE
+        assert st.status[gp.atoms.get(Atom("q"))] == FALSE
+
+    def test_paper_program_1_total_via_close(self):
+        """P(a) :- ¬P(x), E(b): with E = {b}, close alone resolves everything."""
+        gp, st = state_for("p(a) :- not p(X), e(b).", "e(b).")
+        st.close()
+        # p(b) has no rule head p(b): false; then rule instance X=b fires: p(a) true;
+        # instance X=a is killed by p(a) true.
+        assert value_of(gp, st, atom("p", "b")) == FALSE
+        assert value_of(gp, st, atom("p", "a")) == TRUE
+        assert st.live_atom_count == 0
+
+
+class TestAssignAndConflicts:
+    def test_assign_then_close(self):
+        gp, st = state_for("p :- q. q :- q.")
+        st.close()
+        st.assign(gp.atoms.get(Atom("q")), TRUE)
+        st.close()
+        assert value_of(gp, st, Atom("p")) == TRUE
+
+    def test_conflicting_assign_raises(self):
+        gp, st = state_for("p :- q. q :- q.")
+        st.close()
+        q = gp.atoms.get(Atom("q"))
+        st.assign(q, TRUE)
+        with pytest.raises(CloseConflictError):
+            st.assign(q, FALSE)
+
+    def test_same_value_assign_is_noop(self):
+        gp, st = state_for("p :- q. q :- q.")
+        st.close()
+        q = gp.atoms.get(Atom("q"))
+        st.assign(q, TRUE)
+        st.assign(q, TRUE)
+
+    def test_close_conflict_when_forced_head_is_false(self):
+        # q :- p ; if we force q false and p true, close must derive q: conflict.
+        gp, st = state_for("q :- p. p :- p.")
+        st.close()
+        st.assign(gp.atoms.get(Atom("q")), FALSE)
+        st.close()
+        st.assign(gp.atoms.get(Atom("p")), TRUE)
+        with pytest.raises(CloseConflictError):
+            st.close()
+
+    def test_assign_requires_truth_value(self):
+        gp, st = state_for("p :- q.")
+        with pytest.raises(SemanticsError):
+            st.assign(0, UNDEF)
+
+
+class TestUnfounded:
+    def test_positive_loop_is_unfounded(self):
+        gp, st = state_for("p :- p.")
+        st.close()
+        unfounded = {gp.atoms.atom(i) for i in st.unfounded_atoms()}
+        assert unfounded == {Atom("p")}
+
+    def test_paper_example_unfounded_pair(self):
+        """p :- p, ¬q and q :- q, ¬p: {p, q} is the largest unfounded set."""
+        gp, st = state_for("p :- p, not q. q :- q, not p.")
+        st.close()
+        unfounded = {gp.atoms.atom(i) for i in st.unfounded_atoms()}
+        assert unfounded == {Atom("p"), Atom("q")}
+
+    def test_negative_cycle_not_unfounded(self):
+        gp, st = state_for("p :- not q. q :- not p.")
+        st.close()
+        assert st.unfounded_atoms() == []
+
+    def test_mixed(self):
+        gp, st = state_for("a :- a. p :- not q. q :- not p.")
+        st.close()
+        unfounded = {gp.atoms.atom(i) for i in st.unfounded_atoms()}
+        assert unfounded == {Atom("a")}
+
+    def test_requires_closed_state(self):
+        gp, st = state_for("p :- p.")
+        with pytest.raises(SemanticsError):
+            st.unfounded_atoms()
+
+
+class TestBottomComponents:
+    def test_negative_two_cycle_is_bottom_tie(self):
+        gp, st = state_for("p :- not q. q :- not p.")
+        st.close()
+        bottoms = st.bottom_components_live()
+        assert len(bottoms) == 1
+        comp = bottoms[0]
+        assert comp.is_tie
+        sides = comp.side_of_atom()
+        p, q = gp.atoms.get(Atom("p")), gp.atoms.get(Atom("q"))
+        assert sides[p] != sides[q]
+
+    def test_odd_component_is_not_tie(self):
+        """The paper's 3-rule example: p1 :- ¬p2,¬p3; p2 :- ¬p1,¬p3; p3 :- ¬p1,¬p2."""
+        gp, st = state_for(
+            "p1 :- not p2, not p3. p2 :- not p1, not p3. p3 :- not p1, not p2."
+        )
+        st.close()
+        bottoms = st.bottom_components_live()
+        assert len(bottoms) == 1
+        assert not bottoms[0].is_tie
+
+    def test_upstream_component_not_bottom(self):
+        gp, st = state_for("p :- not q. q :- not p. r :- p, not s. s :- not r.")
+        st.close()
+        bottoms = st.bottom_components_live()
+        atoms = {gp.atoms.atom(i) for b in bottoms for i in b.atom_ids}
+        assert atoms == {Atom("p"), Atom("q")}
+
+    def test_positive_loop_is_trivial_tie(self):
+        gp, st = state_for("p :- p.")
+        st.close()
+        comp = st.bottom_components_live()[0]
+        assert comp.is_tie
+        sides = comp.side_of_atom()
+        assert set(sides.values()) == {0}  # all on one side: K or L empty
+
+    def test_breaking_a_tie_resolves_graph(self):
+        gp, st = state_for("p :- not q. q :- not p. r :- p.")
+        st.close()
+        comp = st.bottom_components_live()[0]
+        sides = comp.side_of_atom()
+        for a, side in sides.items():
+            st.assign(a, TRUE if side == 0 else FALSE)
+        st.close()
+        assert st.live_atom_count == 0
+        p, r = gp.atoms.get(Atom("p")), gp.atoms.get(Atom("r"))
+        assert st.status[r] == st.status[p]

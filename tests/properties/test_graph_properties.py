@@ -1,0 +1,109 @@
+"""Property tests at the signed-graph level: Lemma 1 and SCC machinery."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.scc import strongly_connected_components
+from repro.graphs.signed_digraph import SignedDigraph
+from repro.graphs.ties import analyze_component
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def signed_digraphs(draw, max_nodes=8, max_edges=20):
+    n = draw(st.integers(2, max_nodes))
+    edge_count = draw(st.integers(1, max_edges))
+    graph = SignedDigraph()
+    for node in range(n):
+        graph.add_node(node)
+    for _ in range(edge_count):
+        graph.add_edge(
+            draw(st.integers(0, n - 1)),
+            draw(st.integers(0, n - 1)),
+            positive=draw(st.booleans()),
+        )
+    return graph
+
+
+def brute_force_is_tie(graph, component):
+    """Exponential oracle: try all 2^|C| side assignments."""
+    members = list(component)
+    succ = graph.successor_lists()
+    for mask in range(1 << len(members)):
+        side = {node: (mask >> i) & 1 for i, node in enumerate(members)}
+        ok = True
+        for u in members:
+            for v, positive in succ[u]:
+                if v not in side:
+                    continue
+                if positive and side[u] != side[v]:
+                    ok = False
+                elif not positive and side[u] == side[v]:
+                    ok = False
+                if not ok:
+                    break
+            if not ok:
+                break
+        if ok:
+            return True
+    return False
+
+
+@settings(max_examples=200, **COMMON)
+@given(graph=signed_digraphs())
+def test_lemma1_against_brute_force(graph):
+    """The linear tie test agrees with the exponential bipartition oracle
+    on every SCC of random signed digraphs."""
+    succ = graph.successor_lists()
+    components = strongly_connected_components(
+        graph.node_count, lambda u: (v for v, _ in succ[u])
+    )
+    for component in components:
+        analysis = analyze_component(component, lambda u: succ[u])
+        expected = brute_force_is_tie(graph, component)
+        assert analysis.is_tie == expected
+        if analysis.is_tie:
+            # verify the produced partition satisfies Lemma 1's conditions
+            sides = analysis.sides
+            member_set = set(component)
+            for u in component:
+                for v, positive in succ[u]:
+                    if v not in member_set:
+                        continue
+                    if positive:
+                        assert sides[u] == sides[v]
+                    else:
+                        assert sides[u] != sides[v]
+        else:
+            # verify the witness: a closed simple cycle with odd negatives
+            cycle = analysis.odd_cycle
+            assert sum(1 for _, _, s in cycle if not s) % 2 == 1
+            assert cycle[-1][1] == cycle[0][0]
+            for (_, target, _), (source, _, _) in zip(cycle, cycle[1:]):
+                assert target == source
+            member_set = set(component)
+            edge_set = {
+                (u, v, s) for u in component for v, s in succ[u] if v in member_set
+            }
+            for arc in cycle:
+                assert arc in edge_set
+
+
+@settings(max_examples=200, **COMMON)
+@given(graph=signed_digraphs(max_nodes=10, max_edges=30))
+def test_scc_partition_properties(graph):
+    """SCCs partition the nodes; Tarjan order is reverse topological."""
+    succ = graph.successor_lists()
+    components = strongly_connected_components(
+        graph.node_count, lambda u: (v for v, _ in succ[u])
+    )
+    seen = [node for comp in components for node in comp]
+    assert sorted(seen) == list(range(graph.node_count))
+    position = {}
+    for index, comp in enumerate(components):
+        for node in comp:
+            position[node] = index
+    for u in range(graph.node_count):
+        for v, _ in succ[u]:
+            assert position[v] <= position[u]

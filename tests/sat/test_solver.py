@@ -1,0 +1,127 @@
+"""Unit and property tests for the DPLL solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF
+from repro.sat.solver import Solver, enumerate_models, solve
+
+
+def cnf_of(num_vars, clauses):
+    cnf = CNF()
+    cnf.new_vars(num_vars)
+    for c in clauses:
+        cnf.add_clause(c)
+    return cnf
+
+
+def brute_force_models(num_vars, clauses):
+    """All satisfying assignments by exhaustive enumeration."""
+    models = []
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any((lit > 0) == assignment[abs(lit)] for lit in clause)
+            for clause in clauses
+        ):
+            models.append(assignment)
+    return models
+
+
+class TestSolveBasics:
+    def test_empty_formula_sat(self):
+        assert solve(CNF()) == [False]
+
+    def test_single_unit(self):
+        model = solve(cnf_of(1, [[1]]))
+        assert model[1] is True
+
+    def test_contradictory_units(self):
+        assert solve(cnf_of(1, [[1], [-1]])) is None
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert solve(cnf) is None
+
+    def test_implication_chain(self):
+        # x1 and x1->x2->...->x6
+        clauses = [[1]] + [[-i, i + 1] for i in range(1, 6)]
+        model = solve(cnf_of(6, clauses))
+        assert all(model[v] for v in range(1, 7))
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # two pigeons, one hole: p1, p2, not both
+        assert solve(cnf_of(2, [[1], [2], [-1, -2]])) is None
+
+    def test_assumptions(self):
+        cnf = cnf_of(2, [[-1, 2]])
+        model = solve(cnf, assumptions=[1])
+        assert model[1] and model[2]
+        assert solve(cnf, assumptions=[1, -2]) is None
+
+    def test_tautology_dropped(self):
+        cnf = CNF()
+        cnf.add_clause([1, -1])
+        assert len(cnf.clauses) == 0
+
+    def test_invalid_literal_rejected(self):
+        cnf = CNF()
+        with pytest.raises(ValueError):
+            cnf.add_clause([0])
+
+
+class TestEnumerate:
+    def test_all_models_of_free_vars(self):
+        cnf = cnf_of(2, [[1, 2]])
+        models = list(enumerate_models(cnf, [1, 2]))
+        assert len(models) == 3
+
+    def test_projection_dedupes(self):
+        # y unconstrained: projecting on x alone gives 1 model
+        cnf = cnf_of(2, [[1]])
+        models = list(enumerate_models(cnf, [1]))
+        assert len(models) == 1 and models[0] == {1: True}
+
+    def test_limit(self):
+        cnf = cnf_of(3, [])
+        assert len(list(enumerate_models(cnf, [1, 2, 3], limit=4))) == 4
+
+    def test_unsat_yields_nothing(self):
+        cnf = cnf_of(1, [[1], [-1]])
+        assert list(enumerate_models(cnf, [1])) == []
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_solver_agrees_with_brute_force(data):
+    """Random small CNFs: solver verdict and model count match brute force."""
+    num_vars = data.draw(st.integers(2, 6))
+    num_clauses = data.draw(st.integers(1, 12))
+    clauses = []
+    for _ in range(num_clauses):
+        width = data.draw(st.integers(1, 3))
+        clause = [
+            data.draw(st.integers(1, num_vars)) * data.draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    expected = brute_force_models(num_vars, clauses)
+    model = solve(cnf_of(num_vars, clauses))
+    if expected:
+        assert model is not None
+        assignment = {v: model[v] for v in range(1, num_vars + 1)}
+        assert all(
+            any((lit > 0) == assignment[abs(lit)] for lit in clause)
+            for clause in clauses
+        )
+        found = list(
+            enumerate_models(cnf_of(num_vars, clauses), list(range(1, num_vars + 1)))
+        )
+        assert len(found) == len(expected)
+    else:
+        assert model is None

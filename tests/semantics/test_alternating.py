@@ -1,0 +1,104 @@
+"""Dedicated tests for the alternating-fixpoint implementation."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, atom
+from repro.datalog.database import Database
+from repro.datalog.grounding import ground
+from repro.datalog.parser import parse_database, parse_program
+from repro.semantics.alternating import (
+    alternating_fixpoint_model,
+    gamma_operator,
+    is_stable_via_gamma,
+)
+from repro.semantics.well_founded import well_founded_model
+
+
+class TestGammaOperator:
+    def test_gamma_of_empty_is_overestimate(self):
+        prog = parse_program("p :- not q. q :- not p.")
+        gp = ground(prog, Database(), mode="full")
+        gamma = gamma_operator(gp)
+        over = gamma(set())
+        # with no negative information, both rules fire
+        assert len(over) == 2
+
+    def test_gamma_is_antimonotone(self):
+        prog = parse_program("p :- not q. q :- not p. r :- p.")
+        gp = ground(prog, Database(), mode="full")
+        gamma = gamma_operator(gp)
+        q = gp.atoms.get(Atom("q"))
+        small = gamma(set())
+        large = gamma({q})
+        # adding q to the input can only remove conclusions
+        assert large <= small
+
+    def test_gamma_includes_delta_always(self):
+        prog = parse_program("p :- not q.")
+        db = parse_database("p. e.")
+        gp = ground(prog, db, mode="full")
+        gamma = gamma_operator(gp)
+        p = gp.atoms.get(Atom("p"))
+        assert p in gamma(set())
+        assert p in gamma(set(range(gp.atom_count)))
+
+    def test_stable_iff_gamma_fixpoint(self):
+        prog = parse_program("p :- not q. q :- not p.")
+        gp = ground(prog, Database(), mode="full")
+        gamma = gamma_operator(gp)
+        p, q = gp.atoms.get(Atom("p")), gp.atoms.get(Atom("q"))
+        assert gamma({p}) == {p}
+        assert gamma({q}) == {q}
+        assert gamma(set()) != set()
+        assert gamma({p, q}) != {p, q}
+
+
+class TestAlternatingModel:
+    def test_three_zones(self):
+        model = alternating_fixpoint_model(
+            parse_program("t :- not f. f :- u. p :- not q. q :- not p.")
+        )
+        assert model.value(Atom("t")) is True
+        assert model.value(Atom("f")) is False
+        assert model.value(Atom("u")) is False
+        assert model.value(Atom("p")) is None
+
+    def test_matches_wf_on_counter_machine(self):
+        from repro.constructions.counter_machines import alternating_machine
+        from repro.constructions.theorem6 import machine_to_program, natural_database
+
+        prog = machine_to_program(alternating_machine())
+        db = natural_database(3)
+        wf = well_founded_model(prog, db)
+        alt = alternating_fixpoint_model(prog, db)
+        assert wf.model.agrees_with(alt)
+
+    def test_uniform_case_delta_idb(self):
+        prog = parse_program("p :- q.")
+        db = parse_database("p.")
+        model = alternating_fixpoint_model(prog, db)
+        assert model.value(Atom("p")) is True
+        assert model.value(Atom("q")) is False
+
+
+class TestStableViaGamma:
+    def test_rejects_unmaterialized_true_atoms(self):
+        prog = parse_program("p :- p.")
+        # {p} is a fixpoint but p is outside U*; edb grounding does
+        # materialize it (no EDB literals to violate), so this checks the
+        # genuine non-stability, not the materialization escape hatch.
+        assert not is_stable_via_gamma(prog, Database(), frozenset({Atom("p")}))
+
+    def test_requires_delta_in_candidate(self):
+        prog = parse_program("p :- not q.")
+        db = parse_database("e.")
+        assert not is_stable_via_gamma(prog, db, frozenset({Atom("p")}))
+        assert is_stable_via_gamma(prog, db, frozenset({Atom("p"), Atom("e")}))
+
+    def test_predicate_case(self):
+        prog = parse_program("win(X) :- move(X, Y), not win(Y).")
+        db = parse_database("move(1, 2).")
+        candidate = frozenset({atom("move", 1, 2), atom("win", 1)})
+        assert is_stable_via_gamma(prog, db, candidate)
+        wrong = frozenset({atom("move", 1, 2), atom("win", 2)})
+        assert not is_stable_via_gamma(prog, db, wrong)
