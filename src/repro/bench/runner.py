@@ -1,0 +1,349 @@
+"""The ``repro bench`` pipeline: reproducible per-phase kernel timings.
+
+Runs the :mod:`repro.workloads.families` generators at a configurable
+scale, drives the well-founded / well-founded tie-breaking interpreters
+over both the production compiled kernel
+(:class:`~repro.ground.state.GroundGraphState`) and the frozen seed
+kernel (:class:`~repro.bench.seed_kernel.SeedGroundGraphState`), timing
+the grounding / close / unfounded-set / tie-query phases separately, and
+writes a ``BENCH_<rev>.json`` record — the repo's perf trajectory, one
+file per revision.
+
+The interpreter loop is re-implemented here (rather than calling
+:func:`repro.semantics.well_founded.well_founded_state`) only so each
+phase can be timed from the outside; decisions are identical: unfounded
+sets first, then the smallest-atom-id bottom tie oriented by
+:class:`~repro.semantics.choices.FirstSideTrue`, whose choice depends
+only on atom ids — so both kernels walk the same trajectory and their
+final models are asserted equal before any number is recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Mapping, Sequence
+
+from repro.datalog.database import Database
+from repro.datalog.grounding import GroundingMode, ground
+from repro.datalog.program import Program
+from repro.errors import ReproError
+from repro.ground.model import FALSE, TRUE
+from repro.ground.state import GroundGraphState
+from repro.bench.seed_kernel import SeedGroundGraphState
+from repro.semantics.choices import FirstSideTrue, forced_orientation
+from repro.workloads import families
+
+__all__ = [
+    "SCALES",
+    "FAMILIES",
+    "run_bench",
+    "write_bench",
+    "format_table",
+    "default_output_path",
+    "current_revision",
+]
+
+SCHEMA = "repro-bench/1"
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One benchmarkable workload family.
+
+    ``scale_factor`` rescales the base ``n`` of the chosen scale: the
+    quadratic-in-``n`` seed-kernel families (many interpreter iterations,
+    each a global query) are run at a fraction of the base size so the
+    baseline column stays affordable.
+    """
+
+    generator: Callable[[int], tuple[Program, Database]]
+    semantics: str  # "wf" or "wf-tb"
+    grounding: GroundingMode
+    scale_factor: float = 1.0
+
+    def size(self, base_n: int) -> int:
+        return max(2, int(base_n * self.scale_factor))
+
+
+SCALES: dict[str, int] = {
+    "smoke": 60,
+    "small": 250,
+    "medium": 1000,
+    "large": 2000,
+}
+
+FAMILIES: dict[str, FamilySpec] = {
+    "win_move_line": FamilySpec(families.win_move_line, "wf", "relevant"),
+    "win_move_cycle": FamilySpec(
+        lambda n: families.win_move_cycle(n - (n % 2)), "wf-tb", "relevant"
+    ),
+    "unfounded_tower": FamilySpec(
+        families.unfounded_tower, "wf", "relevant", scale_factor=0.25
+    ),
+    "tie_chain": FamilySpec(
+        families.tie_chain, "wf-tb", "relevant", scale_factor=0.25
+    ),
+    "committee": FamilySpec(
+        families.committee, "wf-tb", "relevant", scale_factor=0.5
+    ),
+}
+
+_KERNELS: dict[str, Callable] = {
+    "kernel": GroundGraphState,
+    "seed": SeedGroundGraphState,
+}
+
+
+def _drive(state, semantics: str) -> dict:
+    """Run one interpreter to completion, timing each phase separately."""
+    policy = FirstSideTrue()
+    close_s = unfounded_s = tie_s = 0.0
+    unfounded_iterations = 0
+    tie_choices = 0
+
+    t0 = perf_counter()
+    state.close()
+    close_s += perf_counter() - t0
+    while True:
+        t0 = perf_counter()
+        unfounded = state.unfounded_atoms()
+        unfounded_s += perf_counter() - t0
+        if unfounded:
+            unfounded_iterations += 1
+            state.assign_many(unfounded, FALSE, ("unfounded", unfounded_iterations))
+            t0 = perf_counter()
+            state.close()
+            close_s += perf_counter() - t0
+            continue
+        if semantics != "wf-tb":
+            break
+        t0 = perf_counter()
+        bottoms = state.bottom_components_live()
+        tie_s += perf_counter() - t0
+        tie = None
+        tie_key = None
+        for component in bottoms:
+            if not component.is_tie:
+                continue
+            key = min(component.atom_ids)
+            if tie_key is None or key < tie_key:
+                tie, tie_key = component, key
+        if tie is None:
+            break
+        sides = tie.side_of_atom()
+        side_atoms: tuple[list[int], list[int]] = ([], [])
+        for atom_id, side in sides.items():
+            side_atoms[side].append(atom_id)
+        side_nodes = [0, 0]
+        assert tie.analysis.sides is not None
+        for side in tie.analysis.sides.values():
+            side_nodes[side] += 1
+        true_side = forced_orientation(side_nodes[0], side_nodes[1])
+        if true_side is None:
+            true_side = policy.choose_true_side(side_atoms[0], side_atoms[1])
+        tie_choices += 1
+        state.assign_many(side_atoms[true_side], TRUE, ("tie", true_side))
+        state.assign_many(side_atoms[1 - true_side], FALSE, ("tie", 1 - true_side))
+        t0 = perf_counter()
+        state.close()
+        close_s += perf_counter() - t0
+
+    interp = state.interpretation()
+    return {
+        "close_s": close_s,
+        "unfounded_s": unfounded_s,
+        "tie_s": tie_s,
+        "unfounded_iterations": unfounded_iterations,
+        "tie_choices": tie_choices,
+        "is_total": interp.is_total,
+        "true_count": sum(1 for s in interp.status if s == TRUE),
+        "_true_set": frozenset(
+            i for i, s in enumerate(interp.status) if s == TRUE
+        ),
+    }
+
+
+def _measure_kernel(gp, kernel: str, semantics: str, repeat: int) -> dict:
+    """Best-of-``repeat`` timing of one kernel on one ground program."""
+    state_cls = _KERNELS[kernel]
+    best: dict | None = None
+    for _ in range(max(1, repeat)):
+        t0 = perf_counter()
+        state = state_cls(gp)
+        init_s = perf_counter() - t0
+        phases = _drive(state, semantics)
+        phases["init_s"] = init_s
+        phases["run_s"] = (
+            init_s + phases["close_s"] + phases["unfounded_s"] + phases["tie_s"]
+        )
+        if best is None or phases["run_s"] < best["run_s"]:
+            best = phases
+    assert best is not None
+    return best
+
+
+def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baseline: bool) -> dict:
+    n = spec.size(base_n)
+    program, database = spec.generator(n)
+    t0 = perf_counter()
+    gp = ground(program, database, mode=spec.grounding)
+    ground_s = perf_counter() - t0
+    t0 = perf_counter()
+    gp.index  # compile the CSR arrays once, shared by all kernel states
+    compile_s = perf_counter() - t0
+
+    kernels = {"kernel": _measure_kernel(gp, "kernel", spec.semantics, repeat)}
+    speedup = None
+    if baseline:
+        kernels["seed"] = _measure_kernel(gp, "seed", spec.semantics, repeat)
+        if kernels["seed"]["_true_set"] != kernels["kernel"]["_true_set"]:
+            raise ReproError(
+                f"bench family {name!r}: seed and compiled kernels disagree"
+            )
+        speedup = kernels["seed"]["run_s"] / max(kernels["kernel"]["run_s"], 1e-12)
+    for phases in kernels.values():
+        del phases["_true_set"]
+
+    return {
+        "n": n,
+        "semantics": spec.semantics,
+        "grounding": spec.grounding,
+        "atoms": gp.atom_count,
+        "rules": gp.rule_count,
+        "ground_s": ground_s,
+        # CSR compilation happens once per ground program (a grounding-time
+        # cost shared by every state and clone), so it is reported beside
+        # ground_s rather than inside either kernel's interpreter time.
+        "compile_s": compile_s,
+        "kernels": kernels,
+        "speedup": speedup,
+    }
+
+
+def current_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``.
+
+    A ``-dirty`` suffix marks records produced from uncommitted code, so
+    the per-revision perf trajectory (``BENCH_<rev>.json``) never
+    attributes numbers to a commit that cannot reproduce them.
+    """
+    cwd = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    if out.returncode != 0 or not rev:
+        return "unknown"
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=cwd,
+        )
+        if status.returncode == 0 and status.stdout.strip():
+            rev += "-dirty"
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return rev
+
+
+def run_bench(
+    *,
+    scale: str = "small",
+    family_names: Sequence[str] | None = None,
+    repeat: int = 1,
+    baseline: bool = True,
+) -> dict:
+    """Run the benchmark suite and return the JSON-ready record."""
+    if scale not in SCALES:
+        raise ReproError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    base_n = SCALES[scale]
+    names = list(family_names) if family_names else list(FAMILIES)
+    unknown = [f for f in names if f not in FAMILIES]
+    if unknown:
+        raise ReproError(
+            f"unknown families {unknown}; choose from {sorted(FAMILIES)}"
+        )
+    results = {
+        name: _bench_family(name, FAMILIES[name], base_n, repeat, baseline)
+        for name in names
+    }
+    speedups = [r["speedup"] for r in results.values() if r["speedup"]]
+    summary: dict = {}
+    if speedups:
+        geomean = 1.0
+        for s in speedups:
+            geomean *= s
+        geomean **= 1.0 / len(speedups)
+        summary = {
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "geomean_speedup": geomean,
+        }
+    return {
+        "schema": SCHEMA,
+        "revision": current_revision(),
+        "generated_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scale": scale,
+        "base_n": base_n,
+        "repeat": max(1, repeat),
+        "families": results,
+        "summary": summary,
+    }
+
+
+def default_output_path(record: Mapping) -> Path:
+    return Path(f"BENCH_{record['revision']}.json")
+
+
+def write_bench(record: Mapping, path: Path | None = None) -> Path:
+    """Write the bench record to ``BENCH_<rev>.json`` (or ``path``)."""
+    target = Path(path) if path is not None else default_output_path(record)
+    target.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def format_table(record: Mapping) -> str:
+    """Human-readable per-family summary of a bench record."""
+    lines = [
+        f"repro bench — scale={record['scale']} (base n={record['base_n']}), "
+        f"rev={record['revision']}, python={record['python']}",
+        f"{'family':<18} {'n':>6} {'atoms':>8} {'rules':>8} "
+        f"{'ground':>9} {'kernel':>9} {'seed':>9} {'speedup':>8}",
+    ]
+    for name, fam in record["families"].items():
+        kernel = fam["kernels"]["kernel"]["run_s"]
+        seed = fam["kernels"].get("seed", {}).get("run_s")
+        speedup = fam["speedup"]
+        lines.append(
+            f"{name:<18} {fam['n']:>6} {fam['atoms']:>8} {fam['rules']:>8} "
+            f"{fam['ground_s']:>8.3f}s {kernel:>8.3f}s "
+            f"{(f'{seed:>8.3f}s' if seed is not None else '       —')} "
+            f"{(f'{speedup:>7.2f}x' if speedup else '       —')}"
+        )
+    summary = record.get("summary") or {}
+    if summary:
+        lines.append(
+            f"speedup: min {summary['min_speedup']:.2f}x / "
+            f"geomean {summary['geomean_speedup']:.2f}x / "
+            f"max {summary['max_speedup']:.2f}x"
+        )
+    return "\n".join(lines)

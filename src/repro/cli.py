@@ -9,7 +9,9 @@ Subcommands:
 * ``variant FILE``            — emit a Theorem 2/3/5 no-fixpoint variant;
 * ``witness FILE``            — bounded search for a no-fixpoint database;
 * ``explain FILE ATOM``       — provenance of one atom's truth value;
-* ``dot FILE``                — Graphviz export of the program/ground graph.
+* ``dot FILE``                — Graphviz export of the program/ground graph;
+* ``bench``                   — per-phase kernel timings over the workload
+  families, written to ``BENCH_<rev>.json``.
 
 Program files use the Datalog syntax of :mod:`repro.datalog.parser`;
 databases are fact files (``--db``).
@@ -186,6 +188,26 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.runner import format_table, run_bench, write_bench
+
+    family_names = (
+        [f.strip() for f in args.families.split(",") if f.strip()]
+        if args.families
+        else None
+    )
+    record = run_bench(
+        scale=args.scale,
+        family_names=family_names,
+        repeat=args.repeat,
+        baseline=not args.no_baseline,
+    )
+    path = write_bench(record, Path(args.output) if args.output else None)
+    print(format_table(record))
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_dot(args) -> int:
     program, database = _load(args)
     if args.ground:
@@ -262,6 +284,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ground", action="store_true", help="ground graph instead of G(Π)")
     p.add_argument("--grounding", choices=["full", "relevant", "edb"], default="full")
     p.set_defaults(func=_cmd_dot)
+
+    from repro.bench.runner import FAMILIES, SCALES
+
+    p = sub.add_parser("bench", help="kernel benchmark suite (per-phase timings)")
+    p.add_argument("--scale", choices=list(SCALES), default="small")
+    p.add_argument(
+        "--families",
+        help=f"comma-separated subset of: {', '.join(FAMILIES)}",
+    )
+    p.add_argument("--output", help="output path (default: ./BENCH_<rev>.json)")
+    p.add_argument("--repeat", type=int, default=1, help="best-of-N timing runs")
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the seed-kernel baseline column (no speedup recorded)",
+    )
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -20,6 +20,7 @@ and the originating substitutions.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from itertools import product
 from typing import Iterable, Iterator, Literal as TypingLiteral, Mapping, Sequence
@@ -34,7 +35,15 @@ from repro.engine.matching import Binding, enumerate_bindings, order_body_for_jo
 from repro.engine.seminaive import upper_bound_model
 from repro.errors import GroundingError, ValidationError
 
-__all__ = ["AtomTable", "GroundRule", "GroundProgram", "ground", "universe_of", "GroundingMode"]
+__all__ = [
+    "AtomTable",
+    "GroundRule",
+    "GroundIndex",
+    "GroundProgram",
+    "ground",
+    "universe_of",
+    "GroundingMode",
+]
 
 GroundingMode = TypingLiteral["full", "relevant", "edb"]
 
@@ -91,6 +100,169 @@ class GroundRule:
     substitution: tuple[Constant, ...]
 
 
+class GroundIndex:
+    """The compiled, immutable kernel view of a ground program.
+
+    Flat CSR-style integer arrays replacing the per-state Python
+    list-of-lists the evaluation state used to rebuild on every
+    construction.  Built once per :class:`GroundProgram` (see
+    :attr:`GroundProgram.index`) and shared by every
+    :class:`~repro.ground.state.GroundGraphState` and all of its clones:
+
+    * ``head_of[r]`` — head atom id of rule instance ``r``;
+    * ``pos_off``/``pos_atoms`` (and ``neg_off``/``neg_atoms``) — rule →
+      positive (negative) body atom ids, ``pos_atoms[pos_off[r]:pos_off[r+1]]``;
+    * ``pos_occ_off``/``pos_occ`` (and ``neg_occ_off``/``neg_occ``) — the
+      transposed adjacency: atom → rule instances whose body contains the
+      atom positively (negatively), in ascending rule order;
+    * ``body_len[r]`` / ``pos_len[r]`` — body-literal counters, the initial
+      values of the state's ``rule_pending`` / ``pos_live`` arrays;
+    * ``support[a]`` — number of rule instances with head ``a``;
+    * ``initial_status`` / ``initial_valued`` — the paper's M₀(Δ): Δ atoms
+      true, EDB atoms outside Δ false, the rest undefined; ``initial_valued``
+      lists the valued atom ids in ascending order (the initial worklist);
+    * ``empty_body_rules`` / ``zero_support_atoms`` — the seeds of the first
+      ``close()`` sweep;
+    * ``edb_mask[a]`` — 1 iff atom ``a``'s predicate is extensional.
+
+    The flat arrays are ``array('i')`` / ``array('b')`` / ``bytearray``, so
+    state construction and cloning reduce to C-level copies.  Alongside
+    them, ``head_of_t`` / ``pos_occ_t`` / ``neg_occ_t`` are tuple *views*
+    of the same adjacency: CPython iterates and indexes tuples faster than
+    typed arrays, so the worklist hot loops read the views.  The flat CSR
+    form is the interchange surface (buffer-protocol arrays, ready for
+    serialization or a vectorized backend); view/CSR consistency is pinned
+    by ``tests/datalog/test_ground_index.py``.
+    """
+
+    __slots__ = (
+        "n_atoms",
+        "n_rules",
+        "head_of",
+        "head_of_t",
+        "body_len",
+        "pos_len",
+        "pos_off",
+        "pos_atoms",
+        "neg_off",
+        "neg_atoms",
+        "pos_occ_off",
+        "pos_occ",
+        "pos_occ_t",
+        "neg_occ_off",
+        "neg_occ",
+        "neg_occ_t",
+        "support",
+        "rules_by_head_t",
+        "initial_status",
+        "initial_valued",
+        "empty_body_rules",
+        "zero_support_atoms",
+        "edb_mask",
+        "iota_atoms",
+        "iota_rules",
+    )
+
+    def __init__(self, gp: "GroundProgram") -> None:
+        # Local imports of the truth values would be circular through
+        # repro.ground; the constants are fixed by the model module.
+        from repro.ground.model import FALSE, TRUE
+
+        n_atoms = len(gp.atoms)
+        n_rules = len(gp.rules)
+        self.n_atoms = n_atoms
+        self.n_rules = n_rules
+
+        rules = gp.rules
+        self.head_of_t = tuple(gr.head for gr in rules)
+        self.head_of = array("i", self.head_of_t)
+        self.body_len = array("i", (len(gr.pos) + len(gr.neg) for gr in rules))
+        self.pos_len = array("i", (len(gr.pos) for gr in rules))
+
+        support = array("i", bytes(4 * n_atoms))
+        pos_lists: list[list[int]] = [[] for _ in range(n_atoms)]
+        neg_lists: list[list[int]] = [[] for _ in range(n_atoms)]
+        head_lists: list[list[int]] = [[] for _ in range(n_atoms)]
+        for r_index, gr in enumerate(rules):
+            support[gr.head] += 1
+            head_lists[gr.head].append(r_index)
+            for a in gr.pos:
+                pos_lists[a].append(r_index)
+            for a in gr.neg:
+                neg_lists[a].append(r_index)
+        self.support = support
+        # Reverse head adjacency: atom → rule instances whose head it is
+        # (the in-edges of an atom node; used by the incremental bottom-SCC
+        # bookkeeping to recount a split component's incoming edges).
+        self.rules_by_head_t = tuple(tuple(rs) for rs in head_lists)
+
+        # Rule → body CSR.
+        pos_off = array("i", [0])
+        neg_off = array("i", [0])
+        pos_atoms = array("i")
+        neg_atoms = array("i")
+        for gr in rules:
+            pos_atoms.extend(gr.pos)
+            neg_atoms.extend(gr.neg)
+            pos_off.append(len(pos_atoms))
+            neg_off.append(len(neg_atoms))
+        self.pos_off, self.pos_atoms = pos_off, pos_atoms
+        self.neg_off, self.neg_atoms = neg_off, neg_atoms
+
+        # Atom → rule adjacency (the transposed occurrence lists), in
+        # ascending rule order — the append order of the old per-state
+        # list-of-lists, keeping traversals deterministic.  Tuple views for
+        # the hot loops; flat CSR alongside.
+        self.pos_occ_t = tuple(tuple(rs) for rs in pos_lists)
+        self.neg_occ_t = tuple(tuple(rs) for rs in neg_lists)
+        pos_occ_off = array("i", [0])
+        neg_occ_off = array("i", [0])
+        pos_occ = array("i")
+        neg_occ = array("i")
+        for a in range(n_atoms):
+            pos_occ.extend(pos_lists[a])
+            neg_occ.extend(neg_lists[a])
+            pos_occ_off.append(len(pos_occ))
+            neg_occ_off.append(len(neg_occ))
+        self.pos_occ_off, self.pos_occ = pos_occ_off, pos_occ
+        self.neg_occ_off, self.neg_occ = neg_occ_off, neg_occ
+
+        # M₀(Δ) and the EDB mask, computed once instead of per state.
+        # Δ membership is resolved by iterating the (typically much
+        # smaller) database once rather than hashing every table atom.
+        edb = gp.program.edb_predicates
+        table = gp.atoms
+        initial_status = array("b", bytes(n_atoms))
+        edb_mask = bytearray(n_atoms)
+        if edb:
+            for a, atom_ in enumerate(table.atoms()):
+                if atom_.predicate in edb:
+                    edb_mask[a] = 1
+                    initial_status[a] = FALSE
+        for atom_ in gp.database.atoms():
+            a = table.get(atom_)
+            if a is not None:
+                initial_status[a] = TRUE
+        self.initial_status = initial_status
+        self.initial_valued = array(
+            "i", (a for a in range(n_atoms) if initial_status[a])
+        )
+        self.edb_mask = edb_mask
+
+        body_len = self.body_len
+        self.empty_body_rules = array(
+            "i", (r for r in range(n_rules) if body_len[r] == 0)
+        )
+        self.zero_support_atoms = array(
+            "i", (a for a in range(n_atoms) if support[a] == 0)
+        )
+
+        # Identity permutations: copied (memcpy) into each state's live-set
+        # bookkeeping instead of being rebuilt element by element.
+        self.iota_atoms = array("i", range(n_atoms))
+        self.iota_rules = array("i", range(n_rules))
+
+
 @dataclass
 class GroundProgram:
     """The result of grounding: atoms, rule instances, and provenance."""
@@ -111,6 +283,25 @@ class GroundProgram:
     def rule_count(self) -> int:
         """Number of ground rule instances."""
         return len(self.rules)
+
+    @property
+    def index(self) -> GroundIndex:
+        """The compiled CSR kernel view (built once, then shared).
+
+        The index is invalidated automatically if the rule list or atom
+        table grew since it was built (the grounders append while
+        constructing); after grounding completes the same instance is
+        shared by every evaluation state and every ``clone()``.
+        """
+        cached: GroundIndex | None = getattr(self, "_index_cache", None)
+        if (
+            cached is None
+            or cached.n_rules != len(self.rules)
+            or cached.n_atoms != len(self.atoms)
+        ):
+            cached = GroundIndex(self)
+            object.__setattr__(self, "_index_cache", cached)
+        return cached
 
     def instantiated_rule(self, ground_rule: GroundRule) -> Rule:
         """The source rule with the instance's substitution applied."""

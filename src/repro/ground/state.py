@@ -14,27 +14,51 @@ interleaved with two *global* queries on the remaining graph: the greatest
 unfounded set ``Atoms[close(M, G+)]`` (well-founded steps) and the bottom
 strongly connected components that are ties (tie-breaking steps).
 
-:class:`GroundGraphState` implements all of this with O(edges) incremental
-counters: per rule node the number of still-alive body atoms, per atom node
-the number of still-alive rules supporting it.  ``close`` is confluent (the
-paper notes the result is independent of operation order); a property test
-shuffles worklist order to confirm.
+:class:`GroundGraphState` is a *compiled kernel* over the shared
+:class:`~repro.datalog.grounding.GroundIndex` (CSR arrays plus tuple
+views, built once per ground program):
+
+* ``close`` is an O(edges) worklist over the compiled adjacency with
+  per-rule pending counters and per-atom support counters;
+* the greatest-unfounded-set query touches only the *live* subgraph: a
+  persistent ``pos_live`` counter (live positive body atoms per rule) is
+  maintained by ``close`` itself, live atoms/rules sit in swap-remove
+  compaction lists, and the derivability cascade runs over epoch-marked
+  scratch arrays — nothing of size O(total) is rebuilt or cleared per
+  call;
+* the bottom-SCC query is fully incremental.  Evaluation only ever
+  *removes* nodes, so strongly connected components can split but never
+  merge: the cached condensation keeps stable component ids, Tarjan is
+  re-run only inside components that lost a node since the last query,
+  and each component carries a count of incoming cross edges that
+  ``close`` decrements as edges disappear — a component is a bottom
+  component exactly when that count hits zero, so the query itself is
+  O(answer) plus the refinement work.  Tie analyses and the returned
+  :class:`BottomComponent` objects are cached per component and reused
+  until the component is touched.  ``bottom_components_live(
+  full_recompute=True)`` bypasses all of it (the escape hatch the
+  property suite pins against the incremental path).
+
+``close`` is confluent (the paper notes the result is independent of
+operation order); a property test shuffles worklist order to confirm.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
-from repro.datalog.atoms import Atom
 from repro.datalog.grounding import GroundProgram
 from repro.errors import CloseConflictError, SemanticsError
-from repro.graphs.condensation import bottom_components
 from repro.graphs.scc import strongly_connected_components
 from repro.graphs.ties import TieAnalysis, analyze_component
 from repro.ground.model import FALSE, TRUE, UNDEF, Interpretation
 
 __all__ = ["GroundGraphState", "BottomComponent"]
+
+_DELTA = ("delta",)
+_EDB_ABSENT = ("edb-absent",)
+_NO_SUPPORT = ("no-support",)
 
 
 class BottomComponent:
@@ -66,6 +90,23 @@ class BottomComponent:
         }
 
 
+class _QueryScratch:
+    """Epoch-marked scratch for the unfounded-set cascade.
+
+    Shared (by reference) between a state and all of its clones: every
+    query bumps the shared epoch, so stale marks from any other state are
+    ignored without ever clearing the arrays.
+    """
+
+    __slots__ = ("epoch", "rule_mark", "rule_pend", "atom_mark")
+
+    def __init__(self, n_atoms: int, n_rules: int) -> None:
+        self.epoch = 0
+        self.rule_mark = [0] * n_rules
+        self.rule_pend = [0] * n_rules
+        self.atom_mark = [0] * n_atoms
+
+
 class GroundGraphState:
     """Mutable evaluation state over a :class:`GroundProgram`.
 
@@ -73,19 +114,27 @@ class GroundGraphState:
     of Δ, false for EDB atoms outside Δ, undefined for the remaining IDB
     atoms — but does **not** run ``close``; interpreters call
     :meth:`close` explicitly, mirroring the paper's pseudocode.
+
+    All per-state storage is flat (lists and bytearrays) and initialized
+    by C-level copies from the shared
+    :class:`~repro.datalog.grounding.GroundIndex`, so construction and
+    :meth:`clone` cost O(n) memcpy rather than O(edges) Python loops.
     """
 
     def __init__(self, ground_program: GroundProgram):
         gp = ground_program
+        idx = gp.index
         self.gp = gp
-        n_atoms = gp.atom_count
-        n_rules = gp.rule_count
+        self._idx = idx
+        n_atoms = idx.n_atoms
+        n_rules = idx.n_rules
         self.n_atoms = n_atoms
         self.n_rules = n_rules
 
-        self.status = [UNDEF] * n_atoms
-        self.atom_alive = [True] * n_atoms
-        self.rule_alive = [True] * n_rules
+        # M0(Δ): values for EDB atoms and for atoms of Δ, precompiled.
+        self.status: list[int] = list(idx.initial_status)
+        self.atom_alive = bytearray(b"\x01" * n_atoms)
+        self.rule_alive = bytearray(b"\x01" * n_rules)
         # Provenance: why each atom received its value.  Entries are tuples
         # whose first element is a kind tag:
         #   ("delta",)          — true because it is in Δ
@@ -95,33 +144,41 @@ class GroundGraphState:
         #   ("assigned", label) — external assignment (unfounded set / tie)
         self.reason: list[tuple | None] = [None] * n_atoms
         self._assign_label: tuple | None = None
-        # Occurrence lists: atom id -> rule indices where it occurs in body.
-        self.pos_occ: list[list[int]] = [[] for _ in range(n_atoms)]
-        self.neg_occ: list[list[int]] = [[] for _ in range(n_atoms)]
-        self.rule_pending = [0] * n_rules
-        self.atom_support = [0] * n_atoms
-        self.head_of = [0] * n_rules
+        self.rule_pending: list[int] = list(idx.body_len)
+        self.atom_support: list[int] = list(idx.support)
+        # Live positive body atoms per rule, maintained incrementally by
+        # close(); seeds the unfounded-set cascade without a rebuild.
+        self.pos_live: list[int] = list(idx.pos_len)
 
-        for r_index, gr in enumerate(gp.rules):
-            self.head_of[r_index] = gr.head
-            self.atom_support[gr.head] += 1
-            self.rule_pending[r_index] = len(gr.pos) + len(gr.neg)
-            for a in gr.pos:
-                self.pos_occ[a].append(r_index)
-            for a in gr.neg:
-                self.neg_occ[a].append(r_index)
+        # Swap-remove compaction of the live node sets: *_slot maps a node
+        # to its slot in the corresponding unordered live list (-1 = dead).
+        self._live_atoms: list[int] = list(idx.iota_atoms)
+        self._atom_slot: list[int] = list(idx.iota_atoms)
+        self._live_rules: list[int] = list(idx.iota_rules)
+        self._rule_slot: list[int] = list(idx.iota_rules)
+        self._live_atom_count = n_atoms
 
-        self._dirty: deque[int] = deque()
+        self._dirty: deque[int] = deque(idx.initial_valued)
+        status = self.status
+        reason = self.reason
+        for a in idx.initial_valued:
+            reason[a] = _DELTA if status[a] == TRUE else _EDB_ABSENT
 
-        # M0(Δ): values for EDB atoms and for atoms of Δ.
-        edb = gp.program.edb_predicates
-        table = gp.atoms
-        for index in range(n_atoms):
-            atom = table.atom(index)
-            if gp.database.contains_atom(atom):
-                self._set(index, TRUE, ("delta",))
-            elif atom.predicate in edb:
-                self._set(index, FALSE, ("edb-absent",))
+        self._scratch = _QueryScratch(n_atoms, n_rules)
+
+        # Cached condensation of the live graph (see bottom_components_live).
+        # Components have *stable* ids: a dict cid → sorted node list, a
+        # node → cid map, a per-cid count of incoming cross edges
+        # (decremented by close as edges disappear), the cids whose count
+        # reached zero (the bottom components), memoized BottomComponent
+        # objects, and the cids that lost a node since the last query.
+        self._scc_comps: dict[int, list[int]] | None = None
+        self._scc_comp_of: list[int] | None = None
+        self._scc_incross: dict[int, int] = {}
+        self._scc_bottom: set[int] = set()
+        self._scc_bottom_obj: dict[int, BottomComponent] = {}
+        self._scc_next_cid = 0
+        self._scc_dirty: set[int] = set()
 
         # Rule nodes that start with no incoming edges (empty bodies) fire
         # during the first close; atoms with no support start falsifiable.
@@ -160,43 +217,111 @@ class GroundGraphState:
 
     def close(self) -> None:
         """Run the paper's ``close(M, G)`` until no operation applies."""
+        idx = self._idx
         if self._initial:
             self._initial = False
-            for r_index in range(self.n_rules):
-                if self.rule_pending[r_index] == 0:
+            for r_index in idx.empty_body_rules:
+                if self.rule_alive[r_index]:
                     self._fire(r_index)
-            for index in range(self.n_atoms):
-                if (
-                    self.atom_alive[index]
-                    and self.status[index] == UNDEF
-                    and self.atom_support[index] == 0
-                ):
-                    self._set(index, FALSE, ("no-support",))
+            status = self.status
+            for index in idx.zero_support_atoms:
+                if status[index] == UNDEF and self.atom_support[index] == 0:
+                    self._set(index, FALSE, _NO_SUPPORT)
 
         dirty = self._dirty
+        if not dirty:
+            return
+        # Hot loop: everything in locals.  Rule fire/kill events happen at
+        # most once per rule and stay as method calls; per-edge work is
+        # inline.
+        status = self.status
+        atom_alive = self.atom_alive
+        rule_alive = self.rule_alive
+        rule_pending = self.rule_pending
+        pos_live = self.pos_live
+        pos_occ_t = idx.pos_occ_t
+        neg_occ_t = idx.neg_occ_t
+        live_atoms, atom_slot = self._live_atoms, self._atom_slot
+        comp_of = self._scc_comp_of
+        track = comp_of is not None
+        scc_dirty = self._scc_dirty
+        incross = self._scc_incross
+        bottom = self._scc_bottom
+        n_atoms = self.n_atoms
+
         while dirty:
             index = dirty.popleft()
-            if not self.atom_alive[index]:
+            if not atom_alive[index]:
                 continue
-            self.atom_alive[index] = False
-            value = self.status[index]
+            atom_alive[index] = 0
+            self._live_atom_count -= 1
+            slot = atom_slot[index]
+            last = live_atoms.pop()
+            if last != index:
+                live_atoms[slot] = last
+                atom_slot[last] = slot
+            atom_slot[index] = -1
+            cu = -1
+            if track:
+                cu = comp_of[index]
+                scc_dirty.add(cu)
+            value = status[index]
             if value == TRUE:
-                satisfied, violated = self.pos_occ[index], self.neg_occ[index]
+                # Positive occurrences are satisfied, negative ones violated.
+                for r in pos_occ_t[index]:
+                    pos_live[r] -= 1
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if count == 0:
+                                    bottom.add(cr)
+                        pending = rule_pending[r] - 1
+                        rule_pending[r] = pending
+                        if pending == 0:
+                            self._fire(r)
+                for r in neg_occ_t[index]:
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if count == 0:
+                                    bottom.add(cr)
+                        self._kill_rule(r)
             else:
-                satisfied, violated = self.neg_occ[index], self.pos_occ[index]
-            for r_index in violated:
-                if self.rule_alive[r_index]:
-                    self._kill_rule(r_index)
-            for r_index in satisfied:
-                if self.rule_alive[r_index]:
-                    self.rule_pending[r_index] -= 1
-                    if self.rule_pending[r_index] == 0:
-                        self._fire(r_index)
+                for r in pos_occ_t[index]:
+                    pos_live[r] -= 1
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if count == 0:
+                                    bottom.add(cr)
+                        self._kill_rule(r)
+                for r in neg_occ_t[index]:
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if count == 0:
+                                    bottom.add(cr)
+                        pending = rule_pending[r] - 1
+                        rule_pending[r] = pending
+                        if pending == 0:
+                            self._fire(r)
 
     def _fire(self, r_index: int) -> None:
         """Rule node with no incoming edges: its head becomes true."""
-        self.rule_alive[r_index] = False
-        head = self.head_of[r_index]
+        self._remove_rule(r_index)
+        head = self._idx.head_of_t[r_index]
         self.atom_support[head] -= 1
         if self.status[head] == FALSE:
             raise CloseConflictError(
@@ -208,26 +333,50 @@ class GroundGraphState:
 
     def _kill_rule(self, r_index: int) -> None:
         """Rule node deleted because a body literal became false."""
-        self.rule_alive[r_index] = False
-        head = self.head_of[r_index]
-        self.atom_support[head] -= 1
-        if (
-            self.atom_support[head] == 0
-            and self.atom_alive[head]
-            and self.status[head] == UNDEF
-        ):
-            self._set(head, FALSE, ("no-support",))
+        self._remove_rule(r_index)
+        head = self._idx.head_of_t[r_index]
+        support = self.atom_support[head] - 1
+        self.atom_support[head] = support
+        if support == 0 and self.status[head] == UNDEF:
+            self._set(head, FALSE, _NO_SUPPORT)
+
+    def _remove_rule(self, r_index: int) -> None:
+        """Mark a rule node dead; maintain compaction and the SCC cache.
+
+        The rule's outgoing edge (to its head atom, if still live)
+        disappears with it, so the head's component loses an incoming
+        edge unless the rule is in the same component.
+        """
+        self.rule_alive[r_index] = 0
+        slot = self._rule_slot[r_index]
+        last = self._live_rules.pop()
+        if last != r_index:
+            self._live_rules[slot] = last
+            self._rule_slot[last] = slot
+        self._rule_slot[r_index] = -1
+        comp_of = self._scc_comp_of
+        if comp_of is not None:
+            cr = comp_of[self.n_atoms + r_index]
+            self._scc_dirty.add(cr)
+            head = self._idx.head_of_t[r_index]
+            if self.atom_alive[head]:
+                ch = comp_of[head]
+                if ch != cr:
+                    count = self._scc_incross[ch] - 1
+                    self._scc_incross[ch] = count
+                    if count == 0:
+                        self._scc_bottom.add(ch)
 
     # -- global queries on the live graph -----------------------------------
 
     def live_atom_ids(self) -> list[int]:
-        """Atoms still in the graph (no truth value yet)."""
-        return [i for i in range(self.n_atoms) if self.atom_alive[i]]
+        """Atoms still in the graph (no truth value yet), ascending."""
+        return sorted(self._live_atoms)
 
     @property
     def live_atom_count(self) -> int:
-        """Number of atoms still undefined/alive."""
-        return sum(self.atom_alive)
+        """Number of atoms still undefined/alive (O(1), maintained)."""
+        return self._live_atom_count
 
     def unfounded_atoms(self) -> list[int]:
         """The greatest unfounded set: ``Atoms[close(M, G+)]`` (§2).
@@ -236,32 +385,44 @@ class GroundGraphState:
         graph restricted to positive edges; live atoms *not* derived form
         the largest set whose induced positive subgraph has no source.
         Must be called on a closed state.
+
+        Touches only the live subgraph: the persistent ``pos_live``
+        counters seed the cascade, and the scratch is epoch-marked instead
+        of being reallocated or cleared.
         """
         self._require_closed()
-        pos_pending = [0] * self.n_rules
-        queue: deque[int] = deque()
-        for r_index, gr in enumerate(self.gp.rules):
-            if not self.rule_alive[r_index]:
+        idx = self._idx
+        scratch = self._scratch
+        scratch.epoch += 1
+        epoch = scratch.epoch
+        rule_mark = scratch.rule_mark
+        rule_pend = scratch.rule_pend
+        atom_mark = scratch.atom_mark
+        pos_live = self.pos_live
+        rule_alive = self.rule_alive
+        atom_alive = self.atom_alive
+        head_of = idx.head_of_t
+        pos_occ_t = idx.pos_occ_t
+
+        # Sourceless rule nodes of the live positive subgraph: every
+        # positive body atom already left the graph (necessarily true).
+        stack = [r for r in self._live_rules if not pos_live[r]]
+        while stack:
+            r = stack.pop()
+            head = head_of[r]
+            if atom_mark[head] == epoch or not atom_alive[head]:
                 continue
-            count = sum(1 for a in gr.pos if self.atom_alive[a])
-            pos_pending[r_index] = count
-            if count == 0:
-                queue.append(r_index)
-        derived = [False] * self.n_atoms
-        while queue:
-            r_index = queue.popleft()
-            head = self.head_of[r_index]
-            if derived[head] or not self.atom_alive[head]:
-                continue
-            derived[head] = True
-            for r2 in self.pos_occ[head]:
-                if self.rule_alive[r2]:
-                    pos_pending[r2] -= 1
-                    if pos_pending[r2] == 0:
-                        queue.append(r2)
-        return [
-            i for i in range(self.n_atoms) if self.atom_alive[i] and not derived[i]
-        ]
+            atom_mark[head] = epoch
+            for r2 in pos_occ_t[head]:
+                if rule_alive[r2]:
+                    if rule_mark[r2] != epoch:
+                        rule_mark[r2] = epoch
+                        rule_pend[r2] = pos_live[r2]
+                    pending = rule_pend[r2] - 1
+                    rule_pend[r2] = pending
+                    if pending == 0:
+                        stack.append(r2)
+        return sorted(i for i in self._live_atoms if atom_mark[i] != epoch)
 
     def _require_closed(self) -> None:
         if self._dirty or self._initial:
@@ -269,53 +430,206 @@ class GroundGraphState:
 
     def _live_successors(self, node: int) -> Iterator[tuple[int, bool]]:
         """Signed out-edges of a live node (atoms: 0..n_atoms-1; rules shifted)."""
+        idx = self._idx
         n_atoms = self.n_atoms
         if node < n_atoms:
-            for r_index in self.pos_occ[node]:
-                if self.rule_alive[r_index]:
-                    yield n_atoms + r_index, True
-            for r_index in self.neg_occ[node]:
-                if self.rule_alive[r_index]:
-                    yield n_atoms + r_index, False
+            rule_alive = self.rule_alive
+            for r in idx.pos_occ_t[node]:
+                if rule_alive[r]:
+                    yield n_atoms + r, True
+            for r in idx.neg_occ_t[node]:
+                if rule_alive[r]:
+                    yield n_atoms + r, False
         else:
-            head = self.head_of[node - n_atoms]
+            head = idx.head_of_t[node - n_atoms]
             if self.atom_alive[head]:
                 yield head, True
 
-    def bottom_components_live(self) -> list[BottomComponent]:
-        """Bottom SCCs of the live graph with their tie analyses (§3).
-
-        Singleton components cannot be bottom after ``close`` (a sourceless
-        atom would have been falsified, a sourceless rule fired), so every
-        returned component is a genuine cyclic component.
-        """
-        self._require_closed()
+    def _rebuild_scc(self) -> None:
+        """Full Tarjan over the live graph; installs a fresh condensation."""
         n_atoms = self.n_atoms
-        live_nodes = [i for i in range(n_atoms) if self.atom_alive[i]]
-        live_nodes += [
-            n_atoms + r for r in range(self.n_rules) if self.rule_alive[r]
-        ]
+        node_count = n_atoms + self.n_rules
+        live_nodes = sorted(self._live_atoms)
+        live_nodes.extend(sorted(n_atoms + r for r in self._live_rules))
 
         def succ_ids(u: int) -> Iterator[int]:
             return (v for v, _ in self._live_successors(u))
 
         components = strongly_connected_components(
-            n_atoms + self.n_rules, succ_ids, nodes=live_nodes
+            node_count, succ_ids, nodes=live_nodes
         )
-        bottoms = bottom_components(components, succ_ids, n_atoms + self.n_rules)
+        if self._scc_comp_of is None:
+            self._scc_comp_of = [-1] * node_count
+        comp_of = self._scc_comp_of
+        comps: dict[int, list[int]] = {}
+        for cid, component in enumerate(components):
+            # Canonical node order inside each component: deterministic
+            # regardless of whether it came from a full or a partial
+            # (refinement) Tarjan run.
+            component.sort()
+            comps[cid] = component
+            for node in component:
+                comp_of[node] = cid
+        self._scc_comps = comps
+        self._scc_next_cid = len(components)
+        self._scc_bottom_obj = {}
+        self._scc_dirty.clear()
+
+        # Count incoming cross edges per component in one edge sweep.
+        incross = dict.fromkeys(comps, 0)
+        idx = self._idx
+        rule_alive = self.rule_alive
+        atom_alive = self.atom_alive
+        pos_occ_t, neg_occ_t = idx.pos_occ_t, idx.neg_occ_t
+        head_of = idx.head_of_t
+        for u in self._live_atoms:
+            cu = comp_of[u]
+            for r in pos_occ_t[u]:
+                if rule_alive[r]:
+                    cr = comp_of[n_atoms + r]
+                    if cr != cu:
+                        incross[cr] += 1
+            for r in neg_occ_t[u]:
+                if rule_alive[r]:
+                    cr = comp_of[n_atoms + r]
+                    if cr != cu:
+                        incross[cr] += 1
+        for r in self._live_rules:
+            head = head_of[r]
+            if atom_alive[head]:
+                ch = comp_of[head]
+                if ch != comp_of[n_atoms + r]:
+                    incross[ch] += 1
+        self._scc_incross = incross
+        self._scc_bottom = {cid for cid, count in incross.items() if count == 0}
+
+    def _refine_scc(self) -> None:
+        """Re-run Tarjan only inside components that lost a node.
+
+        Deletion-only dynamics make this sound: the live graph is a
+        subgraph of the one the cache was built on, so every current SCC
+        is contained in a cached component — components without deletions
+        are still exactly SCCs, and dirty ones split into the SCCs of
+        their surviving members.  Incoming-edge counts of surviving
+        components are exact (close decrements them per vanished edge);
+        only the new pieces are recounted, via the reverse adjacency.
+        """
+        comps = self._scc_comps
+        comp_of = self._scc_comp_of
+        assert comps is not None and comp_of is not None
+        dirty = self._scc_dirty
+        n_atoms = self.n_atoms
+        atom_alive = self.atom_alive
+        rule_alive = self.rule_alive
+        incross = self._scc_incross
+        bottom = self._scc_bottom
+        bottom_obj = self._scc_bottom_obj
+
+        affected: list[int] = []
+        for cid in dirty:
+            for node in comps[cid]:
+                alive = (
+                    atom_alive[node]
+                    if node < n_atoms
+                    else rule_alive[node - n_atoms]
+                )
+                if alive:
+                    affected.append(node)
+            del comps[cid]
+            del incross[cid]
+            bottom.discard(cid)
+            bottom_obj.pop(cid, None)
+        dirty.clear()
+        if not affected:
+            return
+
+        # Successors restricted to the same *old* component (comp_of still
+        # holds the old ids for affected nodes): refinement never crosses
+        # cached component boundaries.
+        def succ_ids(u: int) -> Iterator[int]:
+            cu = comp_of[u]
+            return (v for v, _ in self._live_successors(u) if comp_of[v] == cu)
+
+        pieces = strongly_connected_components(
+            n_atoms + self.n_rules, succ_ids, nodes=affected
+        )
+        fresh: list[tuple[int, list[int]]] = []
+        for piece in pieces:
+            piece.sort()
+            cid = self._scc_next_cid
+            self._scc_next_cid += 1
+            comps[cid] = piece
+            fresh.append((cid, piece))
+        for cid, piece in fresh:
+            for node in piece:
+                comp_of[node] = cid
+
+        # Recount incoming cross edges of each new piece from its reverse
+        # adjacency (edges from other pieces of the same old component
+        # became cross edges; edges from other components stayed).
+        idx = self._idx
+        rules_by_head_t = idx.rules_by_head_t
+        gp_rules = self.gp.rules
+        for cid, piece in fresh:
+            count = 0
+            for node in piece:
+                if node < n_atoms:
+                    for r in rules_by_head_t[node]:
+                        if rule_alive[r] and comp_of[n_atoms + r] != cid:
+                            count += 1
+                else:
+                    gr = gp_rules[node - n_atoms]
+                    for a in gr.pos:
+                        if atom_alive[a] and comp_of[a] != cid:
+                            count += 1
+                    for a in gr.neg:
+                        if atom_alive[a] and comp_of[a] != cid:
+                            count += 1
+            incross[cid] = count
+            if count == 0:
+                bottom.add(cid)
+
+    def bottom_components_live(
+        self, *, full_recompute: bool = False
+    ) -> list[BottomComponent]:
+        """Bottom SCCs of the live graph with their tie analyses (§3).
+
+        Singleton components cannot be bottom after ``close`` (a sourceless
+        atom would have been falsified, a sourceless rule fired), so every
+        returned component is a genuine cyclic component.
+
+        Incremental: the condensation, the per-component incoming-edge
+        counts, and the analyses/result objects are all cached; only
+        components touched by deletions since the last query cost work.
+        ``full_recompute=True`` rebuilds everything from scratch.
+        """
+        self._require_closed()
+        if full_recompute or self._scc_comps is None:
+            self._rebuild_scc()
+        elif self._scc_dirty:
+            self._refine_scc()
+
+        comps = self._scc_comps
+        assert comps is not None
+        n_atoms = self.n_atoms
+        bottom_obj = self._scc_bottom_obj
         result: list[BottomComponent] = []
-        for comp_id in bottoms:
-            component = components[comp_id]
+        for cid in sorted(self._scc_bottom):
+            component = comps[cid]
             if len(component) == 1:
                 # No self-loops exist in a bipartite graph; a singleton
                 # bottom component would have been resolved by close().
                 raise AssertionError(
                     "singleton bottom component survived close(); graph state corrupt"
                 )
-            analysis = analyze_component(component, self._live_successors)
-            atom_ids = [n for n in component if n < n_atoms]
-            rule_ids = [n - n_atoms for n in component if n >= n_atoms]
-            result.append(BottomComponent(atom_ids, rule_ids, analysis, n_atoms))
+            obj = bottom_obj.get(cid)
+            if obj is None:
+                analysis = analyze_component(component, self._live_successors)
+                atom_ids = [n for n in component if n < n_atoms]
+                rule_ids = [n - n_atoms for n in component if n >= n_atoms]
+                obj = BottomComponent(atom_ids, rule_ids, analysis, n_atoms)
+                bottom_obj[cid] = obj
+            result.append(obj)
         return result
 
     # -- cloning ------------------------------------------------------------
@@ -323,26 +637,47 @@ class GroundGraphState:
     def clone(self) -> "GroundGraphState":
         """An independent copy of the evaluation state.
 
-        The immutable structure (ground program, occurrence lists, heads) is
-        shared; the mutable value/liveness/counter arrays are copied.  Used
-        by the exhaustive tie-breaking enumerator to branch on choices.
+        The immutable structure (ground program and its compiled index) is
+        shared; the mutable value/liveness/counter arrays are copied at
+        C level.  The SCC cache is carried over (component node lists,
+        analyses, and result objects are immutable and shared; the id map,
+        edge counts, and bookkeeping sets are copied), and the query
+        scratch is shared because the epoch discipline makes concurrent
+        reuse safe.  Used by the exhaustive tie-breaking enumerator to
+        branch on choices.
         """
         other = object.__new__(GroundGraphState)
         other.gp = self.gp
+        other._idx = self._idx
         other.n_atoms = self.n_atoms
         other.n_rules = self.n_rules
         other.status = list(self.status)
-        other.atom_alive = list(self.atom_alive)
-        other.rule_alive = list(self.rule_alive)
-        other.pos_occ = self.pos_occ
-        other.neg_occ = self.neg_occ
+        other.atom_alive = bytearray(self.atom_alive)
+        other.rule_alive = bytearray(self.rule_alive)
         other.rule_pending = list(self.rule_pending)
         other.atom_support = list(self.atom_support)
-        other.head_of = self.head_of
+        other.pos_live = list(self.pos_live)
+        other._live_atoms = list(self._live_atoms)
+        other._atom_slot = list(self._atom_slot)
+        other._live_rules = list(self._live_rules)
+        other._rule_slot = list(self._rule_slot)
+        other._live_atom_count = self._live_atom_count
         other.reason = list(self.reason)
         other._assign_label = self._assign_label
         other._dirty = deque(self._dirty)
         other._initial = self._initial
+        other._scratch = self._scratch
+        other._scc_comps = (
+            dict(self._scc_comps) if self._scc_comps is not None else None
+        )
+        other._scc_comp_of = (
+            list(self._scc_comp_of) if self._scc_comp_of is not None else None
+        )
+        other._scc_incross = dict(self._scc_incross)
+        other._scc_bottom = set(self._scc_bottom)
+        other._scc_bottom_obj = dict(self._scc_bottom_obj)
+        other._scc_next_cid = self._scc_next_cid
+        other._scc_dirty = set(self._scc_dirty)
         return other
 
     # -- results -------------------------------------------------------------

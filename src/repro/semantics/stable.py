@@ -126,11 +126,14 @@ def _is_stable_close(
 
     state = GroundGraphState(gp)  # installs M0(Δ): Δ true, EDB¬Δ false
     # M⁻: false atoms of M stay false; true IDB atoms outside Δ stay undefined.
-    edb = program.edb_predicates
+    # The compiled index answers "is EDB?" / "is in Δ?" per atom id without
+    # re-materializing atoms: initial_status is TRUE exactly on Δ.
+    idx = gp.index
+    edb_mask = idx.edb_mask
+    initial_status = idx.initial_status
     try:
         for index in range(gp.atom_count):
-            atom = table.atom(index)
-            if atom.predicate in edb or gp.database.contains_atom(atom):
+            if edb_mask[index] or initial_status[index] == TRUE:
                 continue  # already valued by M0
             if index not in true_set:
                 state.assign(index, FALSE)
@@ -138,13 +141,12 @@ def _is_stable_close(
     except CloseConflictError:
         return False
     # Reconstruction: every atom valued, and exactly the candidate is true.
+    status = state.status
     for index in range(gp.atom_count):
-        expected = TRUE if index in true_set else FALSE
-        if state.status[index] != expected and table.atom(index).predicate not in edb:
-            return False
-        if table.atom(index).predicate in edb and state.status[index] != (
-            TRUE if gp.database.contains_atom(table.atom(index)) else FALSE
-        ):
+        if edb_mask[index]:
+            if status[index] != initial_status[index]:
+                return False
+        elif status[index] != (TRUE if index in true_set else FALSE):
             return False
     return True
 

@@ -252,7 +252,10 @@ def enumerate_tie_breaking_models(
                 state.close()
                 continue
             for true_side in (0, 1):
-                branch = state.clone()
+                # The last branch consumes this state; only the first
+                # needs an independent copy (clones share the compiled
+                # index and SCC cache structure, so this is O(n) memcpy).
+                branch = state.clone() if true_side == 0 else state
                 branch_trail = list(trail)
                 branch_trail.append(
                     _break_tie_with_side(branch, tie, true_side, forced=False)

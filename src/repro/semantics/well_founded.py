@@ -34,7 +34,7 @@ class WellFoundedRun:
 
     model: Interpretation
     iterations: int
-    state: "object" = None
+    state: GroundGraphState | None = None
 
     @property
     def is_total(self) -> bool:

@@ -1,0 +1,114 @@
+"""The ``repro bench`` pipeline: record shape, CLI wiring, kernel parity."""
+
+import json
+
+import pytest
+
+from repro.bench.runner import FAMILIES, SCALES, run_bench, write_bench
+from repro.cli import main
+
+
+class TestRunBench:
+    def test_record_shape_and_phases(self):
+        record = run_bench(scale="smoke", family_names=["win_move_line", "tie_chain"])
+        assert record["schema"] == "repro-bench/1"
+        assert record["scale"] == "smoke"
+        assert set(record["families"]) == {"win_move_line", "tie_chain"}
+        for family in record["families"].values():
+            assert family["ground_s"] >= 0
+            assert family["compile_s"] >= 0
+            for kernel in ("kernel", "seed"):
+                phases = family["kernels"][kernel]
+                for key in ("init_s", "close_s", "unfounded_s", "tie_s", "run_s"):
+                    assert phases[key] >= 0
+                assert phases["is_total"] is True
+            assert family["speedup"] is not None and family["speedup"] > 0
+        summary = record["summary"]
+        assert (
+            summary["min_speedup"]
+            <= summary["geomean_speedup"]
+            <= summary["max_speedup"]
+        )
+
+    def test_kernels_reach_identical_models(self):
+        # _bench_family raises if the seed and compiled kernels disagree on
+        # the final true set; covering every family at smoke scale makes the
+        # bench a correctness gate as well as a timing harness.
+        record = run_bench(scale="smoke")
+        assert set(record["families"]) == set(FAMILIES)
+        for family in record["families"].values():
+            assert (
+                family["kernels"]["kernel"]["true_count"]
+                == family["kernels"]["seed"]["true_count"]
+            )
+
+    def test_no_baseline_mode(self):
+        record = run_bench(scale="smoke", family_names=["committee"], baseline=False)
+        family = record["families"]["committee"]
+        assert "seed" not in family["kernels"]
+        assert family["speedup"] is None
+        assert record["summary"] == {}
+
+    def test_unknown_scale_and_family_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_bench(scale="galactic")
+        with pytest.raises(ReproError):
+            run_bench(scale="smoke", family_names=["nope"])
+
+    def test_tie_families_exercise_tie_phase(self):
+        record = run_bench(scale="smoke", family_names=["committee"])
+        phases = record["families"]["committee"]["kernels"]["kernel"]
+        assert phases["tie_choices"] > 0
+
+    def test_unfounded_family_exercises_unfounded_phase(self):
+        record = run_bench(scale="smoke", family_names=["unfounded_tower"])
+        phases = record["families"]["unfounded_tower"]["kernels"]["kernel"]
+        assert phases["unfounded_iterations"] > 0
+
+
+class TestBenchCli:
+    def test_bench_subcommand_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--scale",
+                "smoke",
+                "--families",
+                "win_move_line",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["families"]["win_move_line"]["speedup"] is not None
+        printed = capsys.readouterr().out
+        assert "win_move_line" in printed
+        assert str(out) in printed
+
+    def test_default_output_name_embeds_revision(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--scale", "smoke", "--families", "win_move_line", "--no-baseline"])
+        assert code == 0
+        written = list(tmp_path.glob("BENCH_*.json"))
+        assert len(written) == 1
+        record = json.loads(written[0].read_text())
+        assert written[0].name == f"BENCH_{record['revision']}.json"
+
+    def test_scales_are_ordered(self):
+        sizes = [SCALES[s] for s in ("smoke", "small", "medium", "large")]
+        assert sizes == sorted(sizes) and len(set(sizes)) == len(sizes)
+
+
+class TestWriteBench:
+    def test_write_bench_round_trips(self, tmp_path):
+        record = run_bench(
+            scale="smoke", family_names=["win_move_line"], baseline=False
+        )
+        path = write_bench(record, tmp_path / "out.json")
+        assert json.loads(path.read_text()) == json.loads(
+            json.dumps(record)
+        )
