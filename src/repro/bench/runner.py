@@ -249,8 +249,10 @@ def current_revision() -> str:
     if out.returncode != 0 or not rev:
         return "unknown"
     try:
+        # Tracked modifications only, matching `git describe --dirty`:
+        # untracked files cannot be what produced the measured code.
         status = subprocess.run(
-            ["git", "status", "--porcelain"],
+            ["git", "status", "--porcelain", "--untracked-files=no"],
             capture_output=True,
             text=True,
             timeout=10,
