@@ -8,7 +8,7 @@ NOT structurally nonuniformly total.  Also displays the proof's invariant
 (gate value 1 ⇔ gate predicate useful) on a small circuit.
 """
 
-from repro.analysis.useless import useless_predicates
+from repro import Engine
 from repro.constructions.circuits import alternating_circuit, random_monotone_circuit
 from repro.constructions.theorem4 import (
     gate_predicate,
@@ -25,7 +25,7 @@ def main() -> None:
     print("reduction program:")
     for rule in program.rules:
         print(f"  {rule}")
-    useless = useless_predicates(program)
+    useless = Engine(program).analyze()[0].useless
     values = circuit.gate_values(x)
     print("gate values vs usefulness (the Theorem 4 invariant):")
     for index, value in enumerate(values):

@@ -11,7 +11,9 @@ is a stable model, i.e. an extension, found in polynomial time.
 The demo resolves the Nixon diamond (two defensible worldviews — the
 interpreter picks one per choice policy), the Tweety triangle (a unique
 extension, no ties needed), and an extensionless theory (the interpreter
-correctly stalls instead of guessing).
+correctly stalls instead of guessing).  The extension finders of
+:mod:`repro.extensions.default_logic` run on the :class:`repro.api.Engine`
+under the hood.
 """
 
 from repro.extensions.default_logic import (

@@ -8,9 +8,8 @@ their rule instance and premises recursively; failures print which
 mechanism refuted them (no remaining support, unfounded set, tie side).
 """
 
-from repro.datalog.parser import parse_atom, parse_database, parse_program
-from repro.ground.explain import explain, format_explanation
-from repro.semantics.tie_breaking import well_founded_tie_breaking
+from repro import Engine
+from repro.ground.explain import format_explanation
 
 PROGRAM = """
 access(U) :- clearance(U), not revoked(U).
@@ -31,10 +30,9 @@ vouched(alice).
 
 
 def main() -> None:
-    program = parse_program(PROGRAM)
-    database = parse_database(DATABASE)
-    run = well_founded_tie_breaking(program, database, grounding="full")
-    print(f"model total: {run.is_total}; free choices: {run.free_choice_count}")
+    engine = Engine(PROGRAM, DATABASE, grounding="full")
+    solution = engine.solve("tie_breaking")
+    print(f"model total: {solution.total}; free choices: {solution.free_choice_count}")
     print()
     for text in [
         "access(alice)",
@@ -44,7 +42,7 @@ def main() -> None:
         "ghost(alice)",
         "audit(alice)",
     ]:
-        tree = explain(run.state, parse_atom(text))
+        tree = engine.explain(text, semantics="tie_breaking")
         print(format_explanation(tree))
         print()
 

@@ -8,16 +8,15 @@ set of people into two committees subject to Datalog-checkable
 constraints, and shows:
 
 * every tie-breaking run yields a valid split (a stable model);
-* different choice policies / seeds yield different splits;
+* different choice policies / seeds yield different splits — and every
+  :class:`repro.api.Solution` records the policy that produced it;
 * exhaustive enumeration recovers all 2^n splits of the unconstrained core.
+
+All runs share one :class:`repro.api.Engine` (a single grounding).
 """
 
-from repro import Database, is_stable_model, parse_program
+from repro import Database, Engine, is_stable_model
 from repro.semantics.choices import RandomChoice
-from repro.semantics.tie_breaking import (
-    enumerate_tie_breaking_models,
-    well_founded_tie_breaking,
-)
 
 PROGRAM = """
 red(X)  :- person(X), not blue(X).
@@ -31,30 +30,30 @@ PEOPLE = ["ann", "bob", "cleo", "dan"]
 
 
 def main() -> None:
-    program = parse_program(PROGRAM)
     database = Database.from_dict({"person": [(p,) for p in PEOPLE]})
+    engine = Engine(PROGRAM, database, grounding="full")
 
     print("Three arbitrated splits (different seeds):")
     for seed in (1, 2, 3):
-        run = well_founded_tie_breaking(
-            program, database, policy=RandomChoice(seed), grounding="full"
-        )
-        assert run.is_total
-        red = sorted(a.args[0].value for a in run.model.true_set() if a.predicate == "red")
-        blue = sorted(a.args[0].value for a in run.model.true_set() if a.predicate == "blue")
-        stable = is_stable_model(program, database, run.model.true_set())
-        print(f"  seed {seed}: red={red} blue={blue}  stable={stable}")
+        solution = engine.solve("tie_breaking", policy=RandomChoice(seed))
+        assert solution.total
+        red = sorted(a.args[0].value for a in solution.true_atoms if a.predicate == "red")
+        blue = sorted(a.args[0].value for a in solution.true_atoms if a.predicate == "blue")
+        stable = is_stable_model(engine.program, database, solution.true_atoms)
+        print(f"  {solution.policy}: red={red} blue={blue}  stable={stable}")
 
     print()
     splits = set()
-    for run in enumerate_tie_breaking_models(program, database, grounding="full"):
+    for solution in engine.enumerate("tie_breaking"):
         red = frozenset(
-            a.args[0].value for a in run.model.true_set() if a.predicate == "red"
+            a.args[0].value for a in solution.true_atoms if a.predicate == "red"
         )
         splits.add(red)
     print(f"exhaustive enumeration: {len(splits)} distinct red-committees "
           f"(expected 2^{len(PEOPLE)} = {2 ** len(PEOPLE)})")
     assert len(splits) == 2 ** len(PEOPLE)
+    print(f"every run above shared one grounding: engine.ground_calls = "
+          f"{engine.ground_calls}")
 
 
 if __name__ == "__main__":

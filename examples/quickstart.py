@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Quickstart: one program, every semantics in the paper.
+"""Quickstart: one Engine, every semantics in the paper.
 
 Takes the win-move game on a board with a draw cycle and shows how each
-semantics treats it:
+semantics treats it — all through one :class:`repro.api.Engine`, which
+parses, grounds, and compiles the kernel index exactly once and then
+serves every ``solve``/``enumerate`` call from that shared compile:
 
 * Fitting / Kripke-Kleene: the weakest — leaves the most undefined;
 * well-founded (§2): resolves everything reachable, leaves the draw cycle
@@ -15,18 +17,7 @@ semantics treats it:
 Run: ``python examples/quickstart.py``
 """
 
-from repro import (
-    Database,
-    enumerate_tie_breaking_models,
-    fitting_model,
-    is_fixpoint,
-    is_stable_model,
-    parse_database,
-    parse_program,
-    pure_tie_breaking,
-    well_founded_model,
-    well_founded_tie_breaking,
-)
+from repro import Engine, is_fixpoint, is_stable_model
 
 PROGRAM = """
 win(X) :- move(X, Y), not win(Y).
@@ -39,43 +30,41 @@ move(10, 11). move(11, 10).
 """
 
 
-def show(title, model):
-    wins = sorted(str(a) for a in model.true_atoms() if a.predicate == "win")
-    draws = sorted(str(a) for a in model.undefined_atoms() if a.predicate == "win")
-    print(f"{title:<28} total={model.is_total!s:<5} wins={wins} undefined={draws}")
+def show(title, solution):
+    wins = sorted(str(a) for a in solution.true_atoms if a.predicate == "win")
+    draws = sorted(str(a) for a in solution.undefined_atoms if a.predicate == "win")
+    print(f"{title:<28} total={solution.total!s:<5} wins={wins} undefined={draws}")
 
 
 def main() -> None:
-    program = parse_program(PROGRAM)
-    database = parse_database(DATABASE)
+    engine = Engine(PROGRAM, DATABASE, grounding="full")
 
     print("Program:")
-    print(f"  {program}")
-    print("Database:", ", ".join(str(a) for a in database.atoms()))
+    print(f"  {engine.program}")
+    print("Database:", ", ".join(str(a) for a in engine.database.atoms()))
     print()
 
-    show("Fitting (Kripke-Kleene):", fitting_model(program, database))
-    show("well-founded:", well_founded_model(program, database).model)
-
-    pure = pure_tie_breaking(program, database)
-    show("pure tie-breaking:", pure.model)
-    wf_tb = well_founded_tie_breaking(program, database)
-    show("well-founded tie-breaking:", wf_tb.model)
+    show("Fitting (Kripke-Kleene):", engine.solve("fitting"))
+    show("well-founded:", engine.solve("well_founded"))
+    show("pure tie-breaking:", engine.solve("pure_tie_breaking"))
+    wf_tb = engine.solve("tie_breaking")
+    show("well-founded tie-breaking:", wf_tb)
     print()
 
+    print(f"one compile served them all: engine.ground_calls = {engine.ground_calls}")
     print("Lemma 2: the total tie-breaking model is a fixpoint:",
-          is_fixpoint(program, database, wf_tb.model.true_set()))
+          is_fixpoint(engine.program, engine.database, wf_tb.true_atoms))
     print("Lemma 3: the well-founded tie-breaking model is stable:",
-          is_stable_model(program, database, wf_tb.model.true_set()))
+          is_stable_model(engine.program, engine.database, wf_tb.true_atoms))
     print()
 
     print("All tie-breaking outcomes (both orientations of the draw):")
-    for run in enumerate_tie_breaking_models(program, database):
+    for solution in engine.enumerate("tie_breaking"):
         wins = sorted(
-            str(a) for a in run.model.true_set()
+            str(a) for a in solution.true_atoms
             if a.predicate == "win" and a.args[0].value in (10, 11)
         )
-        print(f"  choice trace {len(run.choices)} decisions -> cycle winners {wins}")
+        print(f"  choice trace {len(solution.choices)} decisions -> cycle winners {wins}")
 
 
 if __name__ == "__main__":

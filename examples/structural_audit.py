@@ -14,10 +14,10 @@ closes an odd cycle.  The audit
    through a useless predicate is harmless when IDBs start empty.
 """
 
-from repro import has_fixpoint, parse_program
-from repro.analysis.classify import classification_table, classify_program
+from repro import Engine, parse_program
+from repro.analysis.classify import classification_table
 from repro.constructions.theorem2 import theorem2_variant
-from repro.datalog.printer import format_database, format_program
+from repro.datalog.printer import format_program
 
 RULE_BASES = {
     "reporting": """
@@ -46,18 +46,19 @@ def main() -> None:
     print()
 
     dangerous = programs["dangerous"]
-    info = classify_program(dangerous)
+    info, _ = Engine(dangerous).analyze()
     print("dangerous rule base:")
     print(f"  odd cycle witness: {info.odd_cycle}")
     variant, delta = theorem2_variant(dangerous)
     print("  Theorem 2 variant (same skeleton, no fixpoint):")
     print("    " + format_program(variant).replace("\n", "\n    ").rstrip())
     print("    with database: " + ", ".join(str(a) for a in delta.atoms()))
-    print(f"  SAT check — variant has a fixpoint? {has_fixpoint(variant, delta, grounding='full')}")
+    verdict = Engine(variant, delta).solve("completion", grounding="full").found
+    print(f"  SAT check — variant has a fixpoint? {verdict}")
     print()
 
     guarded = programs["guarded-danger"]
-    info = classify_program(guarded)
+    info, _ = Engine(guarded).analyze()
     print("guarded-danger rule base:")
     print(f"  odd cycle in G(Π): {info.odd_cycle}")
     print(f"  useless predicates: {sorted(info.useless)}")

@@ -16,9 +16,7 @@ despite failing the structural check, and its variant (2), which the
 search refutes with a one-constant database.
 """
 
-from repro.analysis.structural import is_structurally_total
-from repro.analysis.totality_search import search_nontotality_witness
-from repro.datalog.parser import parse_program
+from repro import Engine
 
 PROGRAMS = {
     "even cycle (total)": "p(X) :- not q(X), e(X). q(X) :- not p(X), e(X).",
@@ -34,9 +32,10 @@ def main() -> None:
     print(f"{'program':<22} {'structural check':<18} {'bounded witness search':<40}")
     print("-" * 80)
     for name, source in PROGRAMS.items():
-        program = parse_program(source)
-        structural = is_structurally_total(program)
-        witness = search_nontotality_witness(program, max_constants=1)
+        engine = Engine(source)
+        _, report = engine.analyze()
+        structural = report.structurally_total
+        witness = engine.witness_search(max_constants=1)
         if witness is None:
             verdict = "no counterexample (≤1 fresh constant)"
         else:

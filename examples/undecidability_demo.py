@@ -19,13 +19,12 @@ from repro.constructions.counter_machines import (
     alternating_machine,
     bounded_counter_machine,
 )
+from repro import Engine
 from repro.constructions.theorem6 import (
     machine_to_program,
     natural_database,
     random_database,
 )
-from repro.semantics.completion import find_fixpoint, has_fixpoint
-from repro.semantics.well_founded import well_founded_model
 
 
 def main() -> None:
@@ -36,26 +35,30 @@ def main() -> None:
     print(f"  reduction program: {len(program)} rules, "
           f"IDB={sorted(program.idb_predicates)}, EDB={sorted(program.edb_predicates)}")
     horizon = max(result.steps, halting.halting_state)
-    db = natural_database(horizon)
+    # One engine per (program, database): the completion SAT call and the
+    # well-founded run below share a single 'edb' grounding.  Completion's
+    # grounding mode is semantics-critical ('full' by default), so the
+    # reduction's 'edb' mode is requested explicitly per call — an
+    # engine-level default would not (and must not) override it.
+    engine = Engine(program, natural_database(horizon), grounding="edb")
     print(f"  natural database 0..{horizon}: "
-          f"has fixpoint? {has_fixpoint(program, db, grounding='edb')}")
-    wf = well_founded_model(program, db)
-    trouble = [str(a) for a in wf.model.undefined_atoms()]
-    print(f"  well-founded model: total={wf.is_total}, undefined={trouble}")
+          f"has fixpoint? {engine.solve('completion', grounding='edb').found}")
+    wf = engine.solve("well_founded")
+    trouble = [str(a) for a in wf.undefined_atoms]
+    print(f"  well-founded model: total={wf.total}, undefined={trouble}")
     print()
 
     looping = alternating_machine()
     print("machine B: ping-pongs between two states forever (never halts)")
     program = machine_to_program(looping)
-    db = natural_database(4)
-    model = find_fixpoint(program, db, grounding="edb")
-    states = sorted(str(a) for a in model if a.predicate == "state")
+    fixpoint = Engine(program, natural_database(4)).solve("completion", grounding="edb")
+    states = sorted(str(a) for a in fixpoint.true_atoms if a.predicate == "state")
     print(f"  natural database: fixpoint found; simulation trace = {states}")
     for seed in range(3):
         adversarial = random_database(3, seed=seed)
-        found = find_fixpoint(program, adversarial, grounding="edb")
+        found = Engine(program, adversarial).solve("completion", grounding="edb").found
         print(f"  adversarial database (seed {seed}, {len(adversarial)} junk facts): "
-              f"fixpoint exists = {found is not None}")
+              f"fixpoint exists = {found}")
     print()
     print("halting  -> some database kills every fixpoint (not total)")
     print("looping  -> every database tested admits a fixpoint (total)")

@@ -9,13 +9,17 @@ drawn positions stay *undefined* — and the tie-breaking semantics then
 assigns winners consistently (a fixpoint), modelling an arbiter who must
 produce a total ruling.
 
+Both rulings come from one :class:`repro.api.Engine`: the board is
+grounded and kernel-compiled once, and the well-founded and tie-breaking
+solves share that compile (``engine.ground_calls == 1``).
+
 Run: ``python examples/win_move_tournament.py [positions] [seed]``
 """
 
 import random
 import sys
 
-from repro import Database, parse_program, well_founded_model, well_founded_tie_breaking
+from repro import Database, Engine
 from repro.semantics.choices import RandomChoice
 
 
@@ -34,25 +38,24 @@ def random_board(positions: int, seed: int) -> Database:
 def main() -> None:
     positions = int(sys.argv[1]) if len(sys.argv) > 1 else 60
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
-    program = parse_program("win(X) :- move(X, Y), not win(Y).")
     board = random_board(positions, seed)
+    engine = Engine("win(X) :- move(X, Y), not win(Y).", board)
     print(f"board: {positions} positions, {len(board)} moves (seed {seed})")
 
-    run = well_founded_model(program, board)
-    model = run.model
-    won = sum(1 for a in model.true_atoms() if a.predicate == "win")
-    drawn = sum(1 for a in model.undefined_atoms() if a.predicate == "win")
+    values = engine.solve("well_founded")
+    won = sum(1 for a in values.true_atoms if a.predicate == "win")
+    drawn = sum(1 for a in values.undefined_atoms if a.predicate == "win")
     lost = positions - won - drawn
     print("well-founded game values:")
     print(f"  won: {won}   lost: {lost}   drawn: {drawn}")
 
-    ruling = well_founded_tie_breaking(program, board, policy=RandomChoice(seed))
-    decided = sum(1 for a in ruling.model.true_atoms() if a.predicate == "win")
-    stuck = sum(1 for a in ruling.model.undefined_atoms() if a.predicate == "win")
+    ruling = engine.solve("tie_breaking", policy=RandomChoice(seed))
+    decided = sum(1 for a in ruling.true_atoms if a.predicate == "win")
+    stuck = sum(1 for a in ruling.undefined_atoms if a.predicate == "win")
     print("tie-breaking ruling (draws decided arbitrarily):")
-    print(f"  total: {ruling.is_total}   winners: {decided}   "
-          f"free choices made: {ruling.free_choice_count}")
-    if not ruling.is_total:
+    print(f"  total: {ruling.total}   winners: {decided}   "
+          f"free choices made: {ruling.free_choice_count}   policy: {ruling.policy}")
+    if not ruling.total:
         # win-move is NOT structurally total: its program graph has an odd
         # self-loop (win ¬→ win).  Draw clusters on EVEN move cycles are
         # ties and get broken; draw clusters on ODD move cycles are the
@@ -61,12 +64,15 @@ def main() -> None:
         print(f"  {stuck} positions sit on odd move cycles: provably no "
               "consistent total ruling exists for them")
 
-    # The ruling never contradicts the game-theoretic values:
-    for a in model.true_atoms():
-        assert ruling.model.value(a) is True
-    for a in model.false_atoms():
-        assert ruling.model.value(a) is False
-    print("consistency with the well-founded values: verified")
+    # The ruling never contradicts the game-theoretic values, and both
+    # solves shared one grounding + kernel compile:
+    assert engine.ground_calls == 1, engine.stats()
+    for a in values.true_atoms:
+        assert ruling.value(a) is True
+    for a in values.false_atoms:
+        assert ruling.value(a) is False
+    print("consistency with the well-founded values: verified "
+          f"(one compile, {engine.ground_calls} grounding)")
 
 
 if __name__ == "__main__":

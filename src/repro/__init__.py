@@ -8,14 +8,19 @@ totality analysis, and every reduction in the paper.
 
 Quick start::
 
-    from repro import parse_program, parse_database, well_founded_tie_breaking
+    from repro import Engine
 
-    program = parse_program("win(X) :- move(X, Y), not win(Y).")
-    database = parse_database("move(1, 2). move(2, 1).")
-    run = well_founded_tie_breaking(program, database)
-    assert run.is_total          # the draw cycle is totalized by a tie-break
+    engine = Engine(
+        "win(X) :- move(X, Y), not win(Y).",
+        "move(1, 2). move(2, 1).",
+    )
+    assert not engine.solve("well_founded").total   # the draw cycle stays open
+    assert engine.solve("tie_breaking").total       # ... until a tie-break
+    assert engine.ground_calls == 1                 # one compile served both
 
-See README.md for a tour and DESIGN.md for the module map.
+See README.md for a tour and DESIGN.md for the module map.  The
+per-semantics free functions (``well_founded_model`` & co) are deprecated
+shims over :mod:`repro.api`.
 """
 
 from repro.analysis import (
@@ -46,6 +51,7 @@ from repro.datalog import (
     rule,
     skeleton_of,
 )
+from repro.api import Engine, Solution, available_semantics, enumerate_solutions, solve
 from repro.datalog.grounding import ground
 from repro.semantics import (
     enumerate_fixpoints,
@@ -70,11 +76,16 @@ __all__ = [
     "Atom",
     "Constant",
     "Database",
+    "Engine",
     "Literal",
     "Program",
     "Rule",
+    "Solution",
     "Variable",
     "atom",
+    "available_semantics",
+    "enumerate_solutions",
+    "solve",
     "classify_program",
     "enumerate_fixpoints",
     "enumerate_stable_models",

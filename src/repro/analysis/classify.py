@@ -18,12 +18,7 @@ from typing import Mapping, Optional
 
 from typing import TYPE_CHECKING
 
-from repro.analysis.structural import (
-    OddCycle,
-    odd_cycle_in_program_graph,
-    structural_report,
-)
-from repro.analysis.useless import useless_predicates
+from repro.analysis.structural import OddCycle, structural_report
 from repro.datalog.program import Program
 
 if TYPE_CHECKING:  # import cycle: semantics.stratified uses analysis.program_graph

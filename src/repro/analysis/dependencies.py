@@ -18,7 +18,6 @@ from typing import Iterable
 
 from repro.analysis.program_graph import program_graph
 from repro.datalog.program import Program
-from repro.datalog.rules import Rule
 
 __all__ = [
     "depends_on",

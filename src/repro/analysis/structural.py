@@ -25,7 +25,6 @@ from repro.analysis.program_graph import program_graph
 from repro.analysis.useless import reduced_program, useless_predicates
 from repro.datalog.program import Program
 from repro.graphs.odd_cycles import find_odd_cycle
-from repro.graphs.signed_digraph import SignedEdge
 
 __all__ = [
     "OddCycle",

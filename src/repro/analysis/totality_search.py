@@ -25,7 +25,6 @@ from repro.datalog.grounding import GroundingMode
 from repro.datalog.program import Program
 from repro.datalog.terms import Constant
 from repro.errors import SemanticsError
-from repro.semantics.completion import has_fixpoint
 
 __all__ = ["search_nontotality_witness", "candidate_databases"]
 
@@ -128,6 +127,9 @@ def search_nontotality_witness(
     >>> search_nontotality_witness(parse_program("p :- not q. q :- not p.")) is None
     True
     """
+    # Lazy: repro.api sits above the analysis layer in the import graph.
+    from repro.api.engine import solve
+
     for db in candidate_databases(
         program,
         max_constants=max_constants,
@@ -135,6 +137,6 @@ def search_nontotality_witness(
         max_databases=max_databases,
         max_facts=max_facts,
     ):
-        if not has_fixpoint(program, db, grounding=grounding):
+        if not solve("completion", program, db, grounding=grounding).found:
             return db
     return None

@@ -1,0 +1,50 @@
+"""repro.api — the unified evaluation surface.
+
+One :class:`Engine` per (program, database): parse once, ground once,
+compile the kernel index once, then serve every semantics through one
+result schema (:class:`Solution`).  The semantics themselves are
+declarative :class:`~repro.api.registry.SemanticsSpec` entries — see
+:func:`available_semantics` — so new semantics plug in without new module
+exports.
+
+The historical per-semantics free functions
+(``well_founded_model``, ``pure_tie_breaking``, ``enumerate_stable_models``,
+...) remain importable but are deprecated shims over this package.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.api.engine import Engine, enumerate_solutions, solve
+from repro.api.registry import (
+    SemanticsSpec,
+    SolveRequest,
+    available_semantics,
+    describe_registry,
+    get_spec,
+    register,
+)
+from repro.api.solution import Solution
+
+__all__ = [
+    "Engine",
+    "SemanticsSpec",
+    "SolveRequest",
+    "Solution",
+    "available_semantics",
+    "describe_registry",
+    "enumerate_solutions",
+    "get_spec",
+    "register",
+    "solve",
+]
+
+
+def warn_deprecated(old: str, replacement: str) -> None:
+    """Emit the standard deprecation warning for a legacy free function."""
+    warnings.warn(
+        f"{old} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,0 +1,368 @@
+"""The Engine facade: parse and ground once, serve every semantics.
+
+One :class:`Engine` owns the full pipeline for one (program, database)
+pair: parse → ground → compile the :class:`~repro.datalog.grounding.GroundIndex`
+kernel view, each exactly once per grounding mode, then answer any number
+of ``solve`` / ``enumerate`` / ``query_many`` / ``explain`` calls against
+the shared compiled ground graph.  This is the production entry point: the
+CLI, the examples, and the bench pipeline all ride it, and the legacy
+per-semantics free functions are deprecated shims over it.
+
+    >>> from repro.api import Engine
+    >>> engine = Engine("win(X) :- move(X, Y), not win(Y).", "move(1, 2). move(2, 1).")
+    >>> engine.solve("well_founded").total
+    False
+    >>> engine.solve("tie_breaking").total
+    True
+    >>> engine.ground_calls  # both solves shared one grounding
+    1
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.analysis.classify import ProgramClassification, classify_program
+from repro.analysis.structural import StructuralReport, structural_report
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database
+from repro.datalog.grounding import GroundingMode, GroundProgram, ground
+from repro.datalog.parser import parse_atom, parse_database, parse_program
+from repro.datalog.program import Program
+from repro.errors import GroundingError, SemanticsError
+from repro.api.registry import SemanticsSpec, SolveRequest, _check_options, get_spec
+from repro.api.solution import Solution
+
+__all__ = ["Engine", "solve", "enumerate_solutions"]
+
+
+class Engine:
+    """Session-style evaluation engine over one (program, database) pair.
+
+    ``program`` / ``database`` accept parsed objects or Datalog source
+    text.  ``grounding`` fixes a default mode for every semantics (each
+    spec carries its own default otherwise); ``ground_program`` seeds the
+    cache with an existing compiled ground program (it is then used for
+    every solve — the legacy ``ground_program=`` calling convention);
+    ``policy`` is the default tie-orientation policy.
+    """
+
+    def __init__(
+        self,
+        program: Program | str,
+        database: Database | str | None = None,
+        *,
+        grounding: GroundingMode | None = None,
+        ground_program: GroundProgram | None = None,
+        policy: Any | None = None,
+    ) -> None:
+        t0 = perf_counter()
+        if isinstance(program, str):
+            program = parse_program(program)
+        if isinstance(database, str):
+            database = parse_database(database)
+        parse_s = perf_counter() - t0
+        self.program = program
+        self.database = database if database is not None else Database()
+        self.default_grounding = grounding
+        self.default_policy = policy
+        self.ground_calls = 0
+        self.index_builds = 0
+        self._timings: dict[str, float] = {"parse_s": parse_s, "ground_s": 0.0, "compile_s": 0.0}
+        self._ground_cache: dict[GroundingMode, GroundProgram] = {}
+        self._solution_cache: dict[tuple, Solution] = {}
+        self.solution_cache_hits = 0
+        self._pinned = ground_program
+        if ground_program is not None:
+            self._ground_cache[ground_program.mode] = ground_program
+
+    @classmethod
+    def from_files(
+        cls,
+        program_path: str | Path,
+        db_path: str | Path | None = None,
+        **kwargs: Any,
+    ) -> "Engine":
+        """Build an engine from a program file and an optional facts file."""
+        program = Path(program_path).read_text()
+        database = Path(db_path).read_text() if db_path else None
+        return cls(program, database, **kwargs)
+
+    # -- the one compile ---------------------------------------------------
+
+    @property
+    def timings(self) -> Mapping[str, float]:
+        """Accumulated one-time pipeline costs (parse / ground / compile)."""
+        return dict(self._timings)
+
+    def ground_for(
+        self, mode: GroundingMode | None = None, *, max_instances: int | None = None
+    ) -> GroundProgram:
+        """The compiled ground program for ``mode``, grounding at most once.
+
+        A pinned ``ground_program`` (constructor argument) is always
+        returned as-is; otherwise each mode is grounded and kernel-compiled
+        on first use and served from the cache afterwards.
+        """
+        if self._pinned is not None:
+            return self._pinned
+        resolved: GroundingMode = mode or self.default_grounding or "relevant"
+        gp = self._ground_cache.get(resolved)
+        if gp is None:
+            kwargs: dict[str, Any] = {}
+            if max_instances is not None:
+                kwargs["max_instances"] = max_instances
+            t0 = perf_counter()
+            gp = ground(self.program, self.database, mode=resolved, **kwargs)
+            self.ground_calls += 1
+            self._timings["ground_s"] += perf_counter() - t0
+            t0 = perf_counter()
+            gp.index  # compile the CSR kernel arrays once, shared by every state
+            self.index_builds += 1
+            self._timings["compile_s"] += perf_counter() - t0
+            self._ground_cache[resolved] = gp
+        elif max_instances is not None and gp.rule_count > max_instances:
+            # The cache holds a grounding that violates the caller's cap;
+            # serving it would silently ignore the explosion guard.
+            raise GroundingError(
+                f"cached {resolved!r} grounding has {gp.rule_count} instances, "
+                f"exceeding the requested max_instances={max_instances}"
+            )
+        return gp
+
+    def _resolve_grounding(
+        self, spec: SemanticsSpec, requested: GroundingMode | None
+    ) -> GroundingMode | None:
+        if spec.grounding_locked:
+            return requested or spec.default_grounding
+        return requested or self.default_grounding or spec.default_grounding
+
+    def _request(
+        self, spec: SemanticsSpec, options: dict[str, Any], *, enumerating: bool = False
+    ) -> SolveRequest:
+        requested = options.pop("grounding", None)
+        max_instances = options.pop("max_instances", None)
+        if "policy" in spec.options and options.get("policy") is None:
+            options["policy"] = self.default_policy
+        # ``limit`` is engine-managed and only meaningful when enumerating;
+        # on solve() it is rejected like any other unknown option.
+        checked = {k: v for k, v in options.items() if not (enumerating and k == "limit")}
+        _check_options(spec, checked)
+        grounding = self._resolve_grounding(spec, requested)
+        return SolveRequest(
+            program=self.program,
+            database=self.database,
+            grounding=grounding,
+            gp=lambda: self.ground_for(grounding, max_instances=max_instances),
+            options=options,
+        )
+
+    @staticmethod
+    def _cache_key(spec: SemanticsSpec, options: Mapping[str, Any]) -> tuple | None:
+        """A reuse key for one solve, or None when reuse would be unsafe.
+
+        Option values are keyed by ``repr`` — every bundled policy is
+        self-describing (``RandomChoice(seed=7)``), so equal reprs mean
+        equal behaviour.  Values whose repr is identity-based (contains a
+        memory address) are not cacheable: ids get recycled.
+        """
+        parts = []
+        for key, value in sorted(options.items()):
+            description = repr(value)
+            if " at 0x" in description:
+                return None
+            parts.append((key, description))
+        return (spec.name, tuple(parts))
+
+    def _finalize(self, solution: Solution, solve_s: float) -> Solution:
+        return replace(
+            solution,
+            timings={**self._timings, "solve_s": solve_s},
+        )
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(self, semantics: str = "tie_breaking", **options: Any) -> Solution:
+        """Evaluate under one semantics, returning the unified :class:`Solution`.
+
+        ``semantics`` is any registry name or alias (``well_founded``,
+        ``stable``, ``tie_breaking``, ``fitting``, ``perfect``,
+        ``stratified``, ``completion``, ...); ``options`` may include
+        ``grounding`` plus whatever the spec accepts (e.g. ``policy``).
+
+        Results are cached per (semantics, options): repeated solves — and
+        the ``query``/``query_many``/``explain`` helpers built on them —
+        reuse the first computation.  Pass a policy with a different seed
+        for an independent nondeterministic run.
+        """
+        spec = get_spec(semantics)
+        key = self._cache_key(spec, options)
+        if key is not None:
+            cached = self._solution_cache.get(key)
+            if cached is not None:
+                self.solution_cache_hits += 1
+                return cached
+        request = self._request(spec, dict(options))
+        t0 = perf_counter()
+        solution = spec.solver(request)
+        solution = replace(solution, grounding=request.grounding)
+        solution = self._finalize(solution, perf_counter() - t0)
+        if key is not None:
+            self._solution_cache[key] = solution
+        return solution
+
+    def enumerate(
+        self, semantics: str = "tie_breaking", *, limit: int | None = None, **options: Any
+    ) -> Iterator[Solution]:
+        """Lazily yield every model of an enumerable semantics.
+
+        Deterministic semantics yield their single solution (zero when
+        ``limit=0``), so callers can treat every semantics uniformly.
+        """
+        spec = get_spec(semantics)
+        all_options = dict(options)
+        all_options["limit"] = limit
+        request = self._request(spec, all_options, enumerating=True)
+        if spec.enumerator is None:
+            if limit is not None and limit <= 0:
+                return
+            t0 = perf_counter()
+            solution = spec.solver(request)
+            solution = replace(solution, grounding=request.grounding)
+            yield self._finalize(solution, perf_counter() - t0)
+            return
+        t0 = perf_counter()
+        for solution in spec.enumerator(request):
+            solve_s = perf_counter() - t0
+            solution = replace(solution, grounding=request.grounding)
+            yield self._finalize(solution, solve_s)
+            t0 = perf_counter()
+
+    # -- batched queries ---------------------------------------------------
+
+    def query(self, predicate: str, *, semantics: str = "well_founded", **options: Any):
+        """Rows of one predicate under a semantics (see :class:`QueryResult`).
+
+        Unlike the deprecated :func:`repro.semantics.queries.query`, the
+        engine evaluates the *whole* program once (shared with every other
+        query on this engine) instead of re-grounding the predicate's
+        support cone per call; ``total`` reports the totality of that full
+        model.
+        """
+        from repro.semantics.queries import QueryResult
+
+        if (
+            predicate not in self.program.predicates
+            and predicate not in self.database.predicates()
+        ):
+            raise SemanticsError(f"unknown predicate {predicate!r}")
+        solution = self.solve(semantics, **options)
+        true_rows = frozenset(
+            tuple(c.value for c in a.args) for a in solution.true_atoms if a.predicate == predicate
+        )
+        undefined_rows = frozenset(
+            tuple(c.value for c in a.args)
+            for a in solution.undefined_atoms
+            if a.predicate == predicate
+        )
+        if predicate in self.database.predicates():
+            true_rows |= frozenset(
+                tuple(c.value for c in row) for row in self.database[predicate]
+            )
+        return QueryResult(
+            predicate=predicate,
+            true_rows=true_rows,
+            undefined_rows=undefined_rows,
+            total=solution.total,
+        )
+
+    def query_many(
+        self,
+        atoms: Iterable[Atom | str],
+        *,
+        semantics: str = "well_founded",
+        **options: Any,
+    ) -> dict[Atom, bool | None]:
+        """Truth values of many ground atoms from a single evaluation.
+
+        The batched path for multi-atom workloads: one solve serves every
+        atom in the batch (and future batches reuse the same compiled
+        ground program).  Atoms may be given parsed or as source text.
+        """
+        parsed = [parse_atom(a) if isinstance(a, str) else a for a in atoms]
+        solution = self.solve(semantics, **options)
+        return {atom: solution.value(atom) for atom in parsed}
+
+    # -- analysis and provenance ------------------------------------------
+
+    def analyze(self) -> tuple[ProgramClassification, StructuralReport]:
+        """Paper-taxonomy classification plus the structural totality report."""
+        return classify_program(self.program), structural_report(self.program)
+
+    def explain(self, atom: Atom | str, *, semantics: str = "tie_breaking", **options: Any):
+        """Provenance tree for one atom's value under a state-carrying semantics."""
+        from repro.ground.explain import explain as explain_state
+
+        max_depth = options.pop("max_depth", 12)
+        target = parse_atom(atom) if isinstance(atom, str) else atom
+        solution = self.solve(semantics, **options)
+        if solution.state is None:
+            raise SemanticsError(
+                f"semantics {semantics!r} records no evaluation state to explain from"
+            )
+        return explain_state(solution.state, target, max_depth=max_depth)
+
+    def witness_search(self, *, max_constants: int = 1, nonuniform: bool = True) -> Database | None:
+        """Bounded §5 search for a database admitting no fixpoint."""
+        from repro.analysis.totality_search import search_nontotality_witness
+
+        return search_nontotality_witness(
+            self.program, max_constants=max_constants, nonuniform=nonuniform
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Pipeline counters: how often the engine actually compiled."""
+        return {
+            "ground_calls": self.ground_calls,
+            "index_builds": self.index_builds,
+            "cached_modes": sorted(self._ground_cache),
+            "cached_solutions": len(self._solution_cache),
+            "solution_cache_hits": self.solution_cache_hits,
+            **self.timings,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(rules={len(self.program.rules)}, facts={len(self.database)}, "
+            f"grounded_modes={sorted(self._ground_cache)})"
+        )
+
+
+def solve(
+    semantics: str,
+    program: Program | str,
+    database: Database | str | None = None,
+    *,
+    ground_program: GroundProgram | None = None,
+    **options: Any,
+) -> Solution:
+    """One-shot convenience: build an ephemeral :class:`Engine` and solve."""
+    engine = Engine(program, database, ground_program=ground_program)
+    return engine.solve(semantics, **options)
+
+
+def enumerate_solutions(
+    semantics: str,
+    program: Program | str,
+    database: Database | str | None = None,
+    *,
+    ground_program: GroundProgram | None = None,
+    limit: int | None = None,
+    **options: Any,
+) -> Iterator[Solution]:
+    """One-shot convenience: lazily enumerate every model of a semantics."""
+    engine = Engine(program, database, ground_program=ground_program)
+    return engine.enumerate(semantics, limit=limit, **options)

@@ -1,0 +1,170 @@
+"""The one result schema every semantics returns.
+
+Every entrypoint of :class:`repro.api.Engine` — ``solve``, ``enumerate``,
+``query_many`` — produces a :class:`Solution`: a three-valued model
+partition, totality flags, the tie trail (with the policy that oriented
+it), per-phase timings, and the legacy run object for backward
+compatibility.  JSON serialization lives in
+:func:`repro.io.json_io.solution_to_json` (schema ``repro-solution/1``).
+
+Two model conventions coexist, mirroring the interpreters:
+
+* **materialized** — ``false_atoms`` is a set: the ground program's atom
+  table was walked and every materialized atom received a value (the
+  ground-graph semantics);
+* **closed-world** — ``false_atoms`` is ``None``: only the true (and
+  possibly undefined) atoms are listed and everything else is false
+  (the set-based semantics: stratified, stable, completion, modular).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Optional
+
+from repro.datalog.atoms import Atom
+from repro.ground.model import Interpretation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycles at type-check time only
+    from repro.ground.state import GroundGraphState
+    from repro.semantics.tie_breaking import TieChoice
+
+__all__ = ["Solution"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One semantics' answer for one (program, database) pair.
+
+    ``run`` retains the legacy result object (``WellFoundedRun``,
+    ``TieBreakingRun``, ``Interpretation``, ``frozenset`` of true atoms, or
+    ``None`` when nothing was found) so the deprecated free functions can
+    delegate here without changing their return types.
+    """
+
+    semantics: str
+    found: bool
+    total: bool
+    true_atoms: frozenset[Atom]
+    undefined_atoms: frozenset[Atom]
+    false_atoms: frozenset[Atom] | None
+    model: Interpretation | None = None
+    choices: tuple["TieChoice", ...] = ()
+    policy: str | None = None
+    iterations: int | None = None
+    grounding: str | None = None
+    timings: Mapping[str, float] = field(default_factory=dict)
+    state: Optional["GroundGraphState"] = None
+    run: Any = None
+
+    @property
+    def is_total(self) -> bool:
+        """Alias for ``total`` matching the legacy run dataclasses."""
+        return self.total
+
+    @property
+    def free_choice_count(self) -> int:
+        """Number of genuinely nondeterministic tie orientations taken."""
+        return sum(1 for c in self.choices if not c.forced)
+
+    def value(self, atom: Atom) -> bool | None:
+        """Three-valued lookup: True / False / None (undefined)."""
+        if self.model is not None:
+            return self.model.value(atom)
+        if atom in self.true_atoms:
+            return True
+        if atom in self.undefined_atoms:
+            return None
+        if self.false_atoms is None:  # closed world
+            return False
+        return False if atom in self.false_atoms else None
+
+    def holds(self, atom: Atom) -> bool:
+        """True iff the atom is *true* (undefined does not hold)."""
+        return self.value(atom) is True
+
+    def true_rows(self, predicate: str) -> frozenset[tuple]:
+        """Constant tuples of the true atoms of one predicate."""
+        return frozenset(a.args for a in self.true_atoms if a.predicate == predicate)
+
+    def undefined_rows(self, predicate: str) -> frozenset[tuple]:
+        """Constant tuples of the undefined atoms of one predicate."""
+        return frozenset(a.args for a in self.undefined_atoms if a.predicate == predicate)
+
+    def to_json_dict(self) -> dict:
+        """The ``repro-solution/1`` JSON object (see :mod:`repro.io.json_io`)."""
+        from repro.io.json_io import solution_to_obj
+
+        return solution_to_obj(self)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """JSON text of :meth:`to_json_dict`."""
+        from repro.io.json_io import solution_to_json
+
+        return solution_to_json(self, indent=indent)
+
+    @classmethod
+    def from_interpretation(
+        cls,
+        semantics: str,
+        model: Interpretation,
+        **extra: Any,
+    ) -> "Solution":
+        """Wrap a materialized three-valued model (the ground-graph result)."""
+        return cls(
+            semantics=semantics,
+            found=True,
+            total=model.is_total,
+            true_atoms=frozenset(model.true_atoms()),
+            undefined_atoms=frozenset(model.undefined_atoms()),
+            false_atoms=frozenset(model.false_atoms()),
+            model=model,
+            **extra,
+        )
+
+    @classmethod
+    def from_true_set(
+        cls,
+        semantics: str,
+        true_atoms: frozenset[Atom],
+        *,
+        undefined_atoms: frozenset[Atom] = frozenset(),
+        **extra: Any,
+    ) -> "Solution":
+        """Wrap a closed-world result (everything unlisted is false)."""
+        return cls(
+            semantics=semantics,
+            found=True,
+            total=not undefined_atoms,
+            true_atoms=frozenset(true_atoms),
+            undefined_atoms=frozenset(undefined_atoms),
+            false_atoms=None,
+            **extra,
+        )
+
+    @classmethod
+    def not_found(cls, semantics: str, **extra: Any) -> "Solution":
+        """The empty answer of a search semantics with no model."""
+        return cls(
+            semantics=semantics,
+            found=False,
+            total=False,
+            true_atoms=frozenset(),
+            undefined_atoms=frozenset(),
+            false_atoms=None,
+            **extra,
+        )
+
+    def summary(self) -> str:
+        """One human line, for logs and the CLI."""
+        if not self.found:
+            return f"Solution({self.semantics}: no model)"
+        undef = len(self.undefined_atoms)
+        false = "closed-world" if self.false_atoms is None else str(len(self.false_atoms))
+        return (
+            f"Solution({self.semantics}: true={len(self.true_atoms)}, "
+            f"false={false}, undefined={undef}, total={self.total})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()

@@ -16,6 +16,11 @@ sets first, then the smallest-atom-id bottom tie oriented by
 :class:`~repro.semantics.choices.FirstSideTrue`, whose choice depends
 only on atom ids — so both kernels walk the same trajectory and their
 final models are asserted equal before any number is recorded.
+
+Grounding and kernel compilation run through the production
+:class:`repro.api.Engine`, and each family additionally cross-checks the
+engine's ``solve()`` against the timed drive loop (identical model, no
+re-grounding) — the bench pipeline exercises the same facade users do.
 """
 
 from __future__ import annotations
@@ -30,8 +35,9 @@ from pathlib import Path
 from time import perf_counter
 from typing import Callable, Mapping, Sequence
 
+from repro.api.engine import Engine
 from repro.datalog.database import Database
-from repro.datalog.grounding import GroundingMode, ground
+from repro.datalog.grounding import GroundingMode
 from repro.datalog.program import Program
 from repro.errors import ReproError
 from repro.ground.model import FALSE, TRUE
@@ -189,15 +195,18 @@ def _measure_kernel(gp, kernel: str, semantics: str, repeat: int) -> dict:
     return best
 
 
+_ENGINE_SEMANTICS = {"wf": "well_founded", "wf-tb": "tie_breaking"}
+
+
 def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baseline: bool) -> dict:
     n = spec.size(base_n)
     program, database = spec.generator(n)
-    t0 = perf_counter()
-    gp = ground(program, database, mode=spec.grounding)
-    ground_s = perf_counter() - t0
-    t0 = perf_counter()
-    gp.index  # compile the CSR arrays once, shared by all kernel states
-    compile_s = perf_counter() - t0
+    # The production pipeline: one Engine grounds and kernel-compiles once;
+    # both kernels (and the engine cross-check below) share that compile.
+    engine = Engine(program, database, grounding=spec.grounding)
+    gp = engine.ground_for(spec.grounding)
+    ground_s = engine.timings["ground_s"]
+    compile_s = engine.timings["compile_s"]
 
     kernels = {"kernel": _measure_kernel(gp, "kernel", spec.semantics, repeat)}
     speedup = None
@@ -208,6 +217,18 @@ def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baselin
                 f"bench family {name!r}: seed and compiled kernels disagree"
             )
         speedup = kernels["seed"]["run_s"] / max(kernels["kernel"]["run_s"], 1e-12)
+
+    # Cross-check the public Engine path against the timed drive loop: the
+    # registry runner must reproduce the exact model (same FirstSideTrue
+    # trajectory), and must do so without grounding again.
+    solution = engine.solve(_ENGINE_SEMANTICS[spec.semantics])
+    engine_true = frozenset(
+        i for i, s in enumerate(solution.model.status) if s == TRUE
+    )
+    if engine_true != kernels["kernel"]["_true_set"]:
+        raise ReproError(f"bench family {name!r}: Engine and drive loop disagree")
+    if engine.ground_calls != 1:
+        raise ReproError(f"bench family {name!r}: Engine reground ({engine.ground_calls}x)")
     for phases in kernels.values():
         del phases["_true_set"]
 
@@ -223,6 +244,7 @@ def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baselin
         # ground_s rather than inside either kernel's interpreter time.
         "compile_s": compile_s,
         "kernels": kernels,
+        "engine_solve_s": solution.timings["solve_s"],
         "speedup": speedup,
     }
 

@@ -14,112 +14,189 @@ Subcommands:
   families, written to ``BENCH_<rev>.json``.
 
 Program files use the Datalog syntax of :mod:`repro.datalog.parser`;
-databases are fact files (``--db``).
+databases are fact files (``--db``).  Every subcommand evaluates through
+one :class:`repro.api.Engine` (parse/ground/compile happen once per
+invocation, whatever the semantics), and the analysis subcommands accept
+``--json`` to emit machine-readable output: solutions use the unified
+``repro-solution/1`` schema of :mod:`repro.io.json_io`, wrapped in a
+``repro-cli/1`` envelope.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
-from repro.analysis.classify import classify_program
-from repro.analysis.structural import structural_report
+from repro.api import Engine, Solution, describe_registry, get_spec
 from repro.constructions.theorem2 import theorem2_constant_free_variant, theorem2_variant
 from repro.constructions.theorem3 import theorem3_constant_free_variant, theorem3_variant
 from repro.constructions.theorem5 import theorem5_variant
-from repro.datalog.database import Database
-from repro.datalog.grounding import ground
-from repro.datalog.parser import parse_database, parse_program
 from repro.datalog.printer import format_database, format_program
 from repro.errors import ReproError
 from repro.io.dot import ground_graph_dot, program_graph_dot
+from repro.io.json_io import explanation_to_obj, solution_to_obj
 from repro.semantics.choices import RandomChoice
-from repro.semantics.completion import enumerate_fixpoints
-from repro.semantics.fitting import fitting_model
-from repro.semantics.perfect import perfect_model
 from repro.semantics.stable import is_stable_model
-from repro.semantics.stratified import stratified_model
-from repro.semantics.tie_breaking import pure_tie_breaking, well_founded_tie_breaking
-from repro.semantics.well_founded import well_founded_model
 
 __all__ = ["main"]
 
+CLI_SCHEMA = "repro-cli/1"
 
-def _load(args) -> tuple:
-    program = parse_program(Path(args.program).read_text())
-    database = (
-        parse_database(Path(args.db).read_text()) if args.db else Database()
-    )
-    return program, database
+# Historical CLI spellings with their exact legacy headers and option
+# plumbing; every other registry name/alias is also accepted (generic
+# header, options derived from its SemanticsSpec).
+_RUN_SEMANTICS = {
+    "wf": ("well_founded", True, False),
+    "pure-tb": ("pure_tie_breaking", True, True),
+    "wf-tb": ("tie_breaking", True, True),
+    "stratified": ("stratified", False, False),
+    "perfect": ("perfect", True, False),
+    "fitting": ("fitting", False, False),
+}
 
 
-def _print_model(model, show_false: bool) -> None:
-    for atom in sorted(model.true_atoms(), key=str):
+def _engine(args) -> Engine:
+    return Engine.from_files(args.program, getattr(args, "db", None))
+
+
+def _emit(command: str, payload: dict[str, Any]) -> None:
+    print(json.dumps({"schema": CLI_SCHEMA, "command": command, **payload}, indent=2))
+
+
+def _print_model(solution: Solution, show_false: bool) -> None:
+    for atom in sorted(solution.true_atoms, key=str):
         print(f"  {atom} = true")
-    if show_false:
-        for atom in sorted(model.false_atoms(), key=str):
+    if show_false and solution.false_atoms is not None:
+        for atom in sorted(solution.false_atoms, key=str):
             print(f"  {atom} = false")
-    for atom in sorted(model.undefined_atoms(), key=str):
+    for atom in sorted(solution.undefined_atoms, key=str):
         print(f"  {atom} = undefined")
 
 
+def _odd_cycle_obj(cycle) -> list[list] | None:
+    if cycle is None:
+        return None
+    return [[source, target, positive] for source, target, positive in cycle.arcs]
+
+
+def _classification_obj(info) -> dict[str, Any]:
+    stratification = None
+    if info.stratification is not None:
+        stratification = {
+            "levels": dict(sorted(info.stratification.level.items())),
+            "strata": [sorted(s) for s in info.stratification.strata],
+        }
+    return {
+        "rule_count": info.rule_count,
+        "predicate_count": info.predicate_count,
+        "is_propositional": info.is_propositional,
+        "is_positive": info.is_positive,
+        "is_stratified": info.is_stratified,
+        "stratification": stratification,
+        "is_call_consistent": info.is_call_consistent,
+        "is_structurally_total": info.is_structurally_total,
+        "is_structurally_nonuniformly_total": info.is_structurally_nonuniformly_total,
+        "odd_cycle": _odd_cycle_obj(info.odd_cycle),
+        "useless": sorted(info.useless),
+    }
+
+
+def _structural_obj(report) -> dict[str, Any]:
+    return {
+        "structurally_total": report.structurally_total,
+        "structurally_nonuniformly_total": report.structurally_nonuniformly_total,
+        "odd_cycle": _odd_cycle_obj(report.odd_cycle),
+        "reduced_odd_cycle": _odd_cycle_obj(report.reduced_odd_cycle),
+        "useless": sorted(report.useless),
+    }
+
+
 def _cmd_analyze(args) -> int:
-    program, _ = _load(args)
-    print(classify_program(program))
+    engine = _engine(args)
+    classification, report = engine.analyze()
+    if args.json:
+        _emit(
+            "analyze",
+            {
+                "classification": _classification_obj(classification),
+                "structural": _structural_obj(report),
+            },
+        )
+        return 0
+    print(classification)
     print()
-    print(structural_report(program))
+    print(report)
     return 0
 
 
 def _cmd_run(args) -> int:
-    program, database = _load(args)
+    if args.semantics == "help":
+        print(describe_registry())
+        return 0
+    engine = _engine(args)
+    if args.semantics in _RUN_SEMANTICS:
+        name, takes_grounding, takes_seed = _RUN_SEMANTICS[args.semantics]
+    else:
+        spec = get_spec(args.semantics)  # raises with available names
+        name = spec.name
+        takes_grounding = spec.default_grounding is not None
+        takes_seed = "policy" in spec.options
+    options: dict[str, Any] = {}
+    if takes_grounding:
+        options["grounding"] = args.grounding
+    if takes_seed and args.seed is not None:
+        options["policy"] = RandomChoice(args.seed)
+    solution = engine.solve(name, **options)
+    if args.json:
+        _emit("run", {"solution": solution_to_obj(solution)})
+        return 0 if args.semantics == "stratified" or solution.total else 3
     if args.semantics == "wf":
-        run = well_founded_model(program, database, grounding=args.grounding)
-        model = run.model
-        print(f"well-founded model ({run.iterations} unfounded iterations):")
+        print(f"well-founded model ({solution.iterations} unfounded iterations):")
     elif args.semantics == "pure-tb":
-        policy = RandomChoice(args.seed) if args.seed is not None else None
-        run = pure_tie_breaking(program, database, policy=policy, grounding=args.grounding)
-        model = run.model
-        print(f"pure tie-breaking model ({run.free_choice_count} free choices):")
+        print(f"pure tie-breaking model ({solution.free_choice_count} free choices):")
     elif args.semantics == "wf-tb":
-        policy = RandomChoice(args.seed) if args.seed is not None else None
-        run = well_founded_tie_breaking(
-            program, database, policy=policy, grounding=args.grounding
+        print(
+            f"well-founded tie-breaking model ({solution.free_choice_count} free choices):"
         )
-        model = run.model
-        print(f"well-founded tie-breaking model ({run.free_choice_count} free choices):")
     elif args.semantics == "stratified":
-        trues = stratified_model(program, database)
         print("stratified model:")
-        for atom in sorted(trues, key=str):
+        for atom in sorted(solution.true_atoms, key=str):
             print(f"  {atom} = true")
         return 0
     elif args.semantics == "perfect":
-        model = perfect_model(program, database, grounding=args.grounding)
         print("perfect model:")
-    else:  # fitting
-        model = fitting_model(program, database)
+    elif args.semantics == "fitting":
         print("Fitting (Kripke-Kleene) model:")
-    _print_model(model, args.show_false)
-    print(f"total: {model.is_total}")
-    return 0 if model.is_total else 3
+    elif not solution.found:
+        print(f"no {name} model")
+        return 3
+    else:
+        print(f"{name} model:")
+    _print_model(solution, args.show_false)
+    print(f"total: {solution.total}")
+    return 0 if solution.total else 3
 
 
 def _cmd_fixpoints(args) -> int:
-    program, database = _load(args)
+    engine = _engine(args)
     count = 0
-    for true_atoms in enumerate_fixpoints(
-        program, database, grounding=args.grounding, limit=args.limit
-    ):
-        if args.stable and not is_stable_model(program, database, true_atoms):
+    solutions = []
+    for solution in engine.enumerate("completion", limit=args.limit, grounding=args.grounding):
+        if args.stable and not is_stable_model(engine.program, engine.database, solution.run):
             continue
         count += 1
+        if args.json:
+            solutions.append(solution_to_obj(solution))
+            continue
         label = "stable model" if args.stable else "fixpoint"
-        body = ", ".join(sorted(str(a) for a in true_atoms)) or "(empty)"
+        body = ", ".join(sorted(str(a) for a in solution.true_atoms)) or "(empty)"
         print(f"{label} {count}: {body}")
+    if args.json:
+        _emit("fixpoints", {"stable_only": args.stable, "count": count, "solutions": solutions})
+        return 0 if count else 3
     if count == 0:
         print("no fixpoint" if not args.stable else "no stable model")
         return 3
@@ -127,14 +204,29 @@ def _cmd_fixpoints(args) -> int:
 
 
 def _cmd_ground(args) -> int:
-    program, database = _load(args)
-    gp = ground(program, database, mode=args.mode)
+    engine = _engine(args)
+    gp = engine.ground_for(args.mode)
+    if args.json:
+        _emit(
+            "ground",
+            {
+                "ground": {
+                    "mode": gp.mode,
+                    "universe": len(gp.universe),
+                    "atoms": gp.atom_count,
+                    "rules": gp.rule_count,
+                },
+                "timings": dict(engine.timings),
+            },
+        )
+        return 0
     print(gp.describe())
     return 0
 
 
 def _cmd_variant(args) -> int:
-    program, _ = _load(args)
+    engine = _engine(args)
+    program = engine.program
     builders = {
         ("2", False): theorem2_variant,
         ("2", True): theorem2_constant_free_variant,
@@ -151,14 +243,26 @@ def _cmd_variant(args) -> int:
 
 
 def _cmd_witness(args) -> int:
-    from repro.analysis.totality_search import search_nontotality_witness
-
-    program, _ = _load(args)
-    witness = search_nontotality_witness(
-        program,
+    engine = _engine(args)
+    witness = engine.witness_search(
         max_constants=args.max_constants,
         nonuniform=not args.uniform,
     )
+    if args.json:
+        _emit(
+            "witness",
+            {
+                "witness": {
+                    "found": witness is not None,
+                    "max_constants": args.max_constants,
+                    "uniform": args.uniform,
+                    "database": (
+                        None if witness is None else sorted(str(a) for a in witness.atoms())
+                    ),
+                },
+            },
+        )
+        return 3 if witness is not None else 0
     if witness is None:
         print(
             f"no counterexample database with <= {args.max_constants} fresh "
@@ -171,20 +275,38 @@ def _cmd_witness(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    from repro.datalog.parser import parse_atom
-    from repro.ground.explain import explain, format_explanation
+    from repro.ground.explain import format_explanation
 
-    program, database = _load(args)
-    atom = parse_atom(args.atom)
+    engine = _engine(args)
+    options: dict[str, Any] = {"grounding": args.grounding}
     if args.semantics == "wf":
-        run = well_founded_model(program, database, grounding=args.grounding)
-        state = run.state
+        name = "well_founded"
     else:
-        policy = RandomChoice(args.seed) if args.seed is not None else None
-        state = well_founded_tie_breaking(
-            program, database, policy=policy, grounding=args.grounding
-        ).state
-    print(format_explanation(explain(state, atom, max_depth=args.depth)))
+        name = "tie_breaking"
+        if args.seed is not None:
+            options["policy"] = RandomChoice(args.seed)
+    solution = engine.solve(name, **options)
+    # Same (semantics, options) key: explain() reuses the cached solve above.
+    tree = engine.explain(args.atom, semantics=name, max_depth=args.depth, **options)
+    if args.json:
+        _emit(
+            "explain",
+            {
+                "solution": solution_to_obj(solution),
+                "explanation": explanation_to_obj(tree),
+            },
+        )
+        return 0
+    print(format_explanation(tree))
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    engine = _engine(args)
+    if args.ground:
+        print(ground_graph_dot(engine.ground_for(args.grounding)))
+    else:
+        print(program_graph_dot(engine.program))
     return 0
 
 
@@ -208,16 +330,6 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_dot(args) -> int:
-    program, database = _load(args)
-    if args.ground:
-        gp = ground(program, database, mode=args.grounding)
-        print(ground_graph_dot(gp))
-    else:
-        print(program_graph_dot(program))
-    return 0
-
-
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-datalog",
@@ -225,9 +337,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p):
+    def add_common(p, json_flag=True):
         p.add_argument("program", help="Datalog¬ program file")
         p.add_argument("--db", help="database (facts) file")
+        if json_flag:
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="emit machine-readable JSON (repro-cli/1 envelope)",
+            )
 
     p = sub.add_parser("analyze", help="classification and structural report")
     add_common(p)
@@ -237,8 +355,11 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument(
         "--semantics",
-        choices=["wf", "pure-tb", "wf-tb", "stratified", "perfect", "fitting"],
         default="wf-tb",
+        metavar="NAME",
+        help="wf | pure-tb | wf-tb | stratified | perfect | fitting, any "
+        "repro.api registry name/alias (stable, completion, alternating, "
+        "modular, ...), or 'help' to list them",
     )
     p.add_argument("--grounding", choices=["full", "relevant", "edb"], default="full")
     p.add_argument("--seed", type=int, help="random tie orientation seed")
@@ -258,7 +379,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_ground)
 
     p = sub.add_parser("variant", help="emit a Theorem 2/3/5 variant")
-    add_common(p)
+    add_common(p, json_flag=False)
     p.add_argument("--theorem", choices=["2", "3", "5"], default="2")
     p.add_argument("--constant-free", action="store_true")
     p.add_argument("--nonuniform", action="store_true", help="theorem 5 only")
@@ -280,7 +401,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("dot", help="Graphviz export")
-    add_common(p)
+    add_common(p, json_flag=False)
     p.add_argument("--ground", action="store_true", help="ground graph instead of G(Π)")
     p.add_argument("--grounding", choices=["full", "relevant", "edb"], default="full")
     p.set_defaults(func=_cmd_dot)

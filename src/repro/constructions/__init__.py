@@ -81,4 +81,5 @@ __all__ = [
     "theorem3_variant",
     "theorem5_variant",
     "uniformize",
+    "useful_gates",
 ]

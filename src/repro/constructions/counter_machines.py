@@ -11,7 +11,7 @@ concrete halting and non-halting machines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 __all__ = [

@@ -28,7 +28,7 @@ from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.errors import ConstructionError, SemanticsError
-from repro.semantics.completion import has_fixpoint
+from repro.api.engine import solve
 
 __all__ = ["formula_to_program", "is_total_propositional", "propositional_databases"]
 
@@ -115,6 +115,6 @@ def is_total_propositional(
             f"2^{count} databases exceed max_databases={max_databases}"
         )
     for db in propositional_databases(program, nonuniform=nonuniform):
-        if not has_fixpoint(program, db, grounding="full"):
+        if not solve("completion", program, db, grounding="full").found:
             return False
     return True

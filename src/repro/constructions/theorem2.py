@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.structural import OddCycle, odd_cycle_in_program_graph
+from repro.analysis.structural import odd_cycle_in_program_graph
 from repro.constructions.variants import Cycle, RewriteScheme, assign_arc_rules, rewrite_program
 from repro.datalog.database import Database
 from repro.datalog.program import Program

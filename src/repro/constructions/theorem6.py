@@ -27,14 +27,13 @@ including adversarial (non-arithmetic) databases.
 from __future__ import annotations
 
 import random
-from typing import Iterator
 
 from repro.constructions.counter_machines import CounterMachine
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Variable
 
 __all__ = [
     "machine_to_program",

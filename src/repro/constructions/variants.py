@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.analysis.structural import OddCycle
 from repro.analysis.useless import useless_predicates
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.program import Program

@@ -10,8 +10,8 @@ Atoms and literals are immutable; substitution produces new objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Union
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
 
 from repro.datalog.terms import Constant, Term, Variable, term_from_value
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Iterable, Iterator, Literal as TypingLiteral, Mapping, Sequence
+from typing import Iterable, Literal as TypingLiteral, Mapping, Sequence
 
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.database import Database
@@ -31,9 +31,9 @@ from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Variable
 from repro.engine.facts import FactStore
-from repro.engine.matching import Binding, enumerate_bindings, order_body_for_join
+from repro.engine.matching import enumerate_bindings, order_body_for_join
 from repro.engine.seminaive import upper_bound_model
-from repro.errors import GroundingError, ValidationError
+from repro.errors import GroundingError
 
 __all__ = [
     "AtomTable",

@@ -14,7 +14,7 @@ from repro.datalog.atoms import Atom, Literal
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.terms import Term, Variable
 
 __all__ = ["format_term", "format_atom", "format_literal", "format_rule", "format_program", "format_database"]
 

@@ -11,13 +11,13 @@ assumption that the paper makes implicitly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping
 
-from repro.datalog.atoms import Atom, Literal
+from repro.datalog.atoms import Atom
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant
 from repro.errors import ArityError, ValidationError
 
 __all__ = ["Program"]

@@ -8,7 +8,7 @@ is a *fact schema*; if moreover its head is ground, it is a plain fact.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence, Union
+from typing import Iterator, Mapping, Union
 
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.terms import Constant, Variable

@@ -8,7 +8,7 @@ conjunction of positive literals (an indexed nested-loop join).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterator, Sequence
 
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.terms import Constant, Variable

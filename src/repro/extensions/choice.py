@@ -21,9 +21,9 @@ only stable-model search enumerates the n outcomes (tested).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from repro.datalog.atoms import Atom, Literal, atom, neg, pos
+from repro.datalog.atoms import atom, neg, pos
 from repro.datalog.database import Database
 from repro.datalog.rules import Rule, rule
 

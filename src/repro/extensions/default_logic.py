@@ -28,8 +28,7 @@ from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.errors import ValidationError
 from repro.semantics.choices import ChoicePolicy
-from repro.semantics.stable import enumerate_stable_models
-from repro.semantics.tie_breaking import well_founded_tie_breaking
+from repro.api.engine import enumerate_solutions, solve
 
 __all__ = [
     "Default",
@@ -118,8 +117,8 @@ def extensions(theory: DefaultTheory, *, limit: int | None = None) -> Iterator[f
     [['hawk'], ['pacifist']]
     """
     program, db = theory_to_program(theory)
-    for model in enumerate_stable_models(program, db, grounding="full", limit=limit):
-        yield frozenset(a.predicate for a in model)
+    for solution in enumerate_solutions("stable", program, db, grounding="full", limit=limit):
+        yield frozenset(a.predicate for a in solution.true_atoms)
 
 
 def find_extension_tie_breaking(
@@ -136,7 +135,7 @@ def find_extension_tie_breaking(
     extensions, mirroring the incompleteness discussed after Lemma 3.
     """
     program, db = theory_to_program(theory)
-    run = well_founded_tie_breaking(program, db, policy=policy, grounding="full")
-    if not run.is_total:
+    solution = solve("tie_breaking", program, db, policy=policy, grounding="full")
+    if not solution.total:
         return None
-    return frozenset(a.predicate for a in run.model.true_set())
+    return frozenset(a.predicate for a in solution.true_atoms)

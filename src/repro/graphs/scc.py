@@ -10,7 +10,7 @@ long chains cannot hit the Python recursion limit.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 __all__ = ["strongly_connected_components", "scc_of_signed_digraph"]
 

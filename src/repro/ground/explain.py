@@ -23,7 +23,7 @@ leaves.  :func:`format_explanation` renders it for humans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.datalog.atoms import Atom

@@ -11,7 +11,7 @@ closed-world remainder (EDB atoms by Δ, unmaterialized IDB atoms false).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Iterator, Optional
 
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Database

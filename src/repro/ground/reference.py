@@ -20,7 +20,7 @@ workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.datalog.grounding import GroundProgram
 from repro.errors import CloseConflictError

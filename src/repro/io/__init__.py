@@ -2,19 +2,27 @@
 
 from repro.io.dot import ground_graph_dot, program_graph_dot
 from repro.io.json_io import (
+    SOLUTION_SCHEMA,
     database_from_json,
     database_to_json,
+    explanation_to_obj,
     interpretation_to_json,
     program_from_json,
     program_to_json,
+    solution_to_json,
+    solution_to_obj,
 )
 
 __all__ = [
+    "SOLUTION_SCHEMA",
     "database_from_json",
     "database_to_json",
+    "explanation_to_obj",
     "ground_graph_dot",
     "interpretation_to_json",
     "program_from_json",
     "program_graph_dot",
     "program_to_json",
+    "solution_to_json",
+    "solution_to_obj",
 ]

@@ -8,13 +8,18 @@ The JSON shape is deliberately simple and stable:
 * rule: ``{"head": atom, "body": [literal, ...]}``;
 * program: ``{"rules": [rule, ...]}``;
 * database: ``{"facts": [atom, ...]}``;
-* model: ``{"true": [atom...], "false": [atom...], "undefined": [atom...]}``.
+* model: ``{"true": [atom...], "false": [atom...], "undefined": [atom...]}``;
+* solution: the unified ``repro-solution/1`` schema every
+  :class:`repro.api.Solution` serializes to (see :func:`solution_to_obj`).
+
+Atom lists are sorted by their text form, so serializations are
+deterministic and diffable (the CLI golden tests rely on this).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.datalog.atoms import Atom, Literal
 from repro.datalog.database import Database
@@ -24,12 +29,22 @@ from repro.datalog.terms import Constant, Term, Variable
 from repro.errors import ValidationError
 from repro.ground.model import Interpretation
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.api.solution import Solution
+    from repro.ground.explain import Explanation
+
+SOLUTION_SCHEMA = "repro-solution/1"
+
 __all__ = [
+    "SOLUTION_SCHEMA",
     "program_to_json",
     "program_from_json",
     "database_to_json",
     "database_from_json",
     "interpretation_to_json",
+    "solution_to_obj",
+    "solution_to_json",
+    "explanation_to_obj",
 ]
 
 
@@ -116,3 +131,73 @@ def interpretation_to_json(model: Interpretation, *, indent: int | None = 2) -> 
         "total": model.is_total,
     }
     return json.dumps(payload, indent=indent)
+
+
+def _sorted_atoms(atoms: Iterable[Atom]) -> list[str]:
+    return sorted(str(a) for a in atoms)
+
+
+def solution_to_obj(solution: "Solution") -> dict[str, Any]:
+    """The ``repro-solution/1`` JSON object of one :class:`repro.api.Solution`.
+
+    ``model.false`` is ``null`` for closed-world results (stratified /
+    stable / completion / modular): everything not listed true or undefined
+    is false.  ``timings`` are wall-clock seconds and therefore the only
+    nondeterministic part of the payload.
+    """
+    ties = None
+    if solution.choices or solution.policy is not None:
+        ties = {
+            "policy": solution.policy,
+            "free_choices": solution.free_choice_count,
+            "choices": [
+                {
+                    "made_true": _sorted_atoms(choice.made_true),
+                    "made_false": _sorted_atoms(choice.made_false),
+                    "forced": choice.forced,
+                }
+                for choice in solution.choices
+            ],
+        }
+    false_atoms = None if solution.false_atoms is None else _sorted_atoms(solution.false_atoms)
+    return {
+        "schema": SOLUTION_SCHEMA,
+        "semantics": solution.semantics,
+        "found": solution.found,
+        "total": solution.total,
+        "grounding": solution.grounding,
+        "model": {
+            "true": _sorted_atoms(solution.true_atoms),
+            "false": false_atoms,
+            "undefined": _sorted_atoms(solution.undefined_atoms),
+        },
+        "counts": {
+            "true": len(solution.true_atoms),
+            "false": None if false_atoms is None else len(false_atoms),
+            "undefined": len(solution.undefined_atoms),
+        },
+        "ties": ties,
+        "iterations": solution.iterations,
+        "timings": dict(solution.timings),
+    }
+
+
+def solution_to_json(solution: "Solution", *, indent: int | None = 2) -> str:
+    """JSON text of :func:`solution_to_obj`."""
+    return json.dumps(solution_to_obj(solution), indent=indent)
+
+
+def explanation_to_obj(explanation: "Explanation") -> dict[str, Any]:
+    """A provenance tree (:func:`repro.ground.explain.explain`) as JSON."""
+    obj: dict[str, Any] = {
+        "atom": str(explanation.atom),
+        "value": explanation.value,
+        "kind": explanation.kind,
+    }
+    if explanation.detail:
+        obj["detail"] = explanation.detail
+    if explanation.rule is not None:
+        obj["rule"] = explanation.rule
+    if explanation.premises:
+        obj["premises"] = [explanation_to_obj(p) for p in explanation.premises]
+    return obj

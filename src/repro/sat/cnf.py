@@ -9,7 +9,7 @@ exact enumerator needs a SAT search underneath).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 __all__ = ["CNF"]
 

@@ -14,7 +14,7 @@ the priority is auditability.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.sat.cnf import CNF
 

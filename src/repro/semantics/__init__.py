@@ -1,5 +1,10 @@
 """Semantics of Datalog¬: every interpreter and model-checker in the paper.
 
+The per-semantics free functions exported here are **deprecated shims**
+over :mod:`repro.api` — prefer ``Engine(program, database).solve(name)``,
+which grounds and compiles once per engine.  The checkers
+(``is_stable_model``, ``is_fixpoint``, ...) remain first-class.
+
 * fixpoints (supported models): :mod:`repro.semantics.fixpoint`,
   exact SAT enumeration in :mod:`repro.semantics.completion`;
 * stable models: :mod:`repro.semantics.stable` (paper's close-based test +

@@ -92,17 +92,41 @@ def alternating_fixpoint_model(
 ) -> Interpretation:
     """The well-founded model via the alternating fixpoint of Γ².
 
-    Iterates ``under ← Γ(over)``, ``over ← Γ(under)`` from ``under = ∅``
-    until both stabilize; atoms in ``under`` are true, atoms outside
-    ``over`` are false, the gap is undefined.  Agrees with
-    :func:`repro.semantics.well_founded.well_founded_model` on every input
-    (property-tested).
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.solve("alternating")``.
 
     >>> from repro.datalog.parser import parse_program
     >>> from repro.datalog.atoms import Atom
     >>> m = alternating_fixpoint_model(parse_program("p :- not q. q :- not p. r :- r."))
     >>> m.value(Atom("r")), m.value(Atom("p"))
     (False, None)
+    """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("alternating_fixpoint_model()", 'Engine.solve("alternating")')
+    return solve(
+        "alternating",
+        program,
+        database,
+        grounding=grounding,
+        ground_program=ground_program,
+    ).run
+
+
+def _alternating_fixpoint_model(
+    program: Program,
+    database: Database | None = None,
+    *,
+    grounding: GroundingMode = "relevant",
+    ground_program: GroundProgram | None = None,
+) -> Interpretation:
+    """Implementation behind the ``alternating`` registry entry.
+
+    Iterates ``under ← Γ(over)``, ``over ← Γ(under)`` from ``under = ∅``
+    until both stabilize; atoms in ``under`` are true, atoms outside
+    ``over`` are false, the gap is undefined.  Agrees with
+    :func:`repro.semantics.well_founded.well_founded_model` on every input
+    (property-tested).
     """
     gp = ground_program or ground(program, database or Database(), mode=grounding)
     gamma = gamma_operator(gp)

@@ -64,12 +64,18 @@ class FirstSideTrue:
         lowest1 = min(side1_atoms, default=float("inf"))
         return 0 if lowest0 <= lowest1 else 1
 
+    def __repr__(self) -> str:
+        return "FirstSideTrue()"
+
 
 class SecondSideTrue:
     """Deterministic mirror of :class:`FirstSideTrue` (the opposite run)."""
 
     def choose_true_side(self, side0_atoms: Sequence[int], side1_atoms: Sequence[int]) -> int:
         return 1 - FirstSideTrue().choose_true_side(side0_atoms, side1_atoms)
+
+    def __repr__(self) -> str:
+        return "SecondSideTrue()"
 
 
 class FewestTrue:
@@ -80,6 +86,9 @@ class FewestTrue:
             return 0 if len(side0_atoms) < len(side1_atoms) else 1
         return FirstSideTrue().choose_true_side(side0_atoms, side1_atoms)
 
+    def __repr__(self) -> str:
+        return "FewestTrue()"
+
 
 class MostTrue:
     """Maximalist: make the larger atom side true (ties: FirstSideTrue)."""
@@ -89,12 +98,28 @@ class MostTrue:
             return 0 if len(side0_atoms) > len(side1_atoms) else 1
         return FirstSideTrue().choose_true_side(side0_atoms, side1_atoms)
 
+    def __repr__(self) -> str:
+        return "MostTrue()"
+
 
 class RandomChoice:
-    """Seeded random orientation; reproducible given the seed."""
+    """Seeded random orientation; reproducible given the seed.
+
+    When constructed without a seed, one is drawn from the system entropy
+    source and *recorded* on the instance, so every run — including
+    "unseeded" ones — can be replayed from its reported policy
+    (``repr(policy)`` appears in :class:`~repro.api.Solution` metadata and
+    ``TieBreakingRun.policy``).
+    """
 
     def __init__(self, seed: int | None = None):
+        if seed is None:
+            seed = random.SystemRandom().randrange(2**32)
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def choose_true_side(self, side0_atoms: Sequence[int], side1_atoms: Sequence[int]) -> int:
         return self._rng.randrange(2)
+
+    def __repr__(self) -> str:
+        return f"RandomChoice(seed={self.seed})"

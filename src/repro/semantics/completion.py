@@ -123,6 +123,21 @@ def _encoding_for(
     return clark_completion(gp)
 
 
+def _enumerate_fixpoints(
+    program: Program,
+    database: Database | None = None,
+    *,
+    grounding: GroundingMode = "full",
+    ground_program: GroundProgram | None = None,
+    limit: int | None = None,
+    max_instances: int = 2_000_000,
+) -> Iterator[frozenset[Atom]]:
+    """Implementation behind the ``completion`` registry entry."""
+    encoding = _encoding_for(program, database, grounding, ground_program, max_instances)
+    for projection in enumerate_models(encoding.cnf, encoding.free_vars, limit=limit):
+        yield encoding.model_to_atoms(projection)
+
+
 def enumerate_fixpoints(
     program: Program,
     database: Database | None = None,
@@ -134,15 +149,28 @@ def enumerate_fixpoints(
 ) -> Iterator[frozenset[Atom]]:
     """Yield the true set of every fixpoint of Π, Δ (projected, deduplicated).
 
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.enumerate("completion")``.
+
     >>> from repro.datalog.parser import parse_program
     >>> prog = parse_program("p :- not q. q :- not p.")
     >>> models = sorted(sorted(str(a) for a in m) for m in enumerate_fixpoints(prog))
     >>> models
     [['p'], ['q']]
     """
-    encoding = _encoding_for(program, database, grounding, ground_program, max_instances)
-    for projection in enumerate_models(encoding.cnf, encoding.free_vars, limit=limit):
-        yield encoding.model_to_atoms(projection)
+    from repro.api import enumerate_solutions, warn_deprecated
+
+    warn_deprecated("enumerate_fixpoints()", 'Engine.enumerate("completion")')
+    for solution in enumerate_solutions(
+        "completion",
+        program,
+        database,
+        ground_program=ground_program,
+        limit=limit,
+        grounding=grounding,
+        max_instances=max_instances,
+    ):
+        yield solution.run
 
 
 def find_fixpoint(
@@ -150,17 +178,33 @@ def find_fixpoint(
     database: Database | None = None,
     **kwargs,
 ) -> frozenset[Atom] | None:
-    """One fixpoint's true set, or None if Π, Δ has no fixpoint."""
-    for model in enumerate_fixpoints(program, database, limit=1, **kwargs):
-        return model
-    return None
+    """One fixpoint's true set, or None if Π, Δ has no fixpoint.
+
+    .. deprecated:: use ``Engine.solve("completion")`` (check ``found``).
+    """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("find_fixpoint()", 'Engine.solve("completion")')
+    return solve("completion", program, database, **kwargs).run
 
 
 def has_fixpoint(program: Program, database: Database | None = None, **kwargs) -> bool:
-    """True iff Π, Δ has at least one fixpoint (NP-complete in general)."""
-    return find_fixpoint(program, database, **kwargs) is not None
+    """True iff Π, Δ has at least one fixpoint (NP-complete in general).
+
+    .. deprecated:: use ``Engine.solve("completion").found``.
+    """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("has_fixpoint()", 'Engine.solve("completion").found')
+    return solve("completion", program, database, **kwargs).found
 
 
 def count_fixpoints(program: Program, database: Database | None = None, **kwargs) -> int:
-    """Number of distinct fixpoints (enumerates them all)."""
-    return sum(1 for _ in enumerate_fixpoints(program, database, **kwargs))
+    """Number of distinct fixpoints (enumerates them all).
+
+    .. deprecated:: use ``Engine.enumerate("completion")``.
+    """
+    from repro.api import enumerate_solutions, warn_deprecated
+
+    warn_deprecated("count_fixpoints()", 'Engine.enumerate("completion")')
+    return sum(1 for _ in enumerate_solutions("completion", program, database, **kwargs))

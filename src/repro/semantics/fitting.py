@@ -14,7 +14,6 @@ Fitting regards as *undefined*, not false.
 
 from __future__ import annotations
 
-from collections import deque
 
 from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode, GroundProgram, ground
@@ -34,15 +33,39 @@ def fitting_model(
 ) -> Interpretation:
     """The Kripke-Kleene / Fitting three-valued model of Π, Δ.
 
-    Iterates the three-valued consequence operator to its least fixpoint:
-    an atom becomes true when some instance body is (all) true, false when
-    every instance body contains a false literal.
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.solve("fitting")``.
 
     >>> from repro.datalog.parser import parse_program
     >>> from repro.datalog.atoms import Atom
     >>> m = fitting_model(parse_program("p :- p."))
     >>> m.value(Atom("p")) is None   # undefined: Fitting does not falsify loops
     True
+    """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("fitting_model()", 'Engine.solve("fitting")')
+    return solve(
+        "fitting",
+        program,
+        database,
+        grounding=grounding,
+        ground_program=ground_program,
+    ).run
+
+
+def _fitting_model(
+    program: Program,
+    database: Database | None = None,
+    *,
+    grounding: GroundingMode = "full",
+    ground_program: GroundProgram | None = None,
+) -> Interpretation:
+    """Implementation behind the ``fitting`` registry entry.
+
+    Iterates the three-valued consequence operator to its least fixpoint:
+    an atom becomes true when some instance body is (all) true, false when
+    every instance body contains a false literal.
     """
     gp = ground_program or ground(program, database or Database(), mode=grounding)
     if gp.mode != "full":

@@ -24,7 +24,7 @@ from repro.datalog.database import Database
 from repro.datalog.grounding import universe_of
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant
 from repro.engine.facts import FactStore
 from repro.engine.matching import (
     Binding,

@@ -27,7 +27,7 @@ from repro.datalog.grounding import GroundingMode, ground, universe_of
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.graphs.scc import strongly_connected_components
-from repro.semantics.well_founded import well_founded_model
+from repro.semantics.well_founded import _well_founded_model
 
 __all__ = ["ModularResult", "modular_well_founded_model"]
 
@@ -69,12 +69,28 @@ def modular_well_founded_model(
 ) -> ModularResult:
     """The well-founded model, one predicate component at a time.
 
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.solve("modular")``.
+
     >>> from repro.datalog.parser import parse_database, parse_program
     >>> prog = parse_program("a :- not b. b :- not a. safe :- e, not a.")
     >>> result = modular_well_founded_model(prog, parse_database("e."))
     >>> sorted(str(x) for x in result.undefined_atoms)
     ['a', 'b', 'safe']
     """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("modular_well_founded_model()", 'Engine.solve("modular")')
+    return solve("modular", program, database, grounding=grounding).run
+
+
+def _modular_well_founded_model(
+    program: Program,
+    database: Database,
+    *,
+    grounding: GroundingMode = "relevant",
+) -> ModularResult:
+    """Implementation behind the ``modular`` registry entry."""
     graph = program_graph(program)
     succ = graph.successor_lists()
     components = strongly_connected_components(
@@ -120,7 +136,7 @@ def modular_well_founded_model(
         gp = ground(
             subprogram, decided, mode=grounding, extra_constants=global_universe
         )
-        run = well_founded_model(subprogram, decided, ground_program=gp)
+        run = _well_founded_model(subprogram, decided, ground_program=gp)
 
         component_set = set(predicates)
         for atom in run.model.true_atoms():

@@ -75,9 +75,32 @@ def perfect_model(
 ) -> Interpretation:
     """The perfect model of a locally stratified Π, Δ.
 
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.solve("perfect")``.
+
     Raises :class:`SemanticsError` when some ground SCC contains a negative
     edge (the program is not locally stratified for this database).
     """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("perfect_model()", 'Engine.solve("perfect")')
+    return solve(
+        "perfect",
+        program,
+        database,
+        grounding=grounding,
+        ground_program=ground_program,
+    ).run
+
+
+def _perfect_model(
+    program: Program,
+    database: Database | None = None,
+    *,
+    grounding: GroundingMode = "full",
+    ground_program: GroundProgram | None = None,
+) -> Interpretation:
+    """Implementation behind the ``perfect`` registry entry."""
     gp = ground_program or ground(program, database or Database(), mode=grounding)
     database = gp.database
     components, comp_id = _static_components(gp)

@@ -12,14 +12,10 @@ from dataclasses import dataclass
 from typing import Literal as TypingLiteral, Optional
 
 from repro.analysis.dependencies import relevant_subprogram
-from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.errors import SemanticsError
-from repro.ground.model import Interpretation
 from repro.semantics.choices import ChoicePolicy
-from repro.semantics.tie_breaking import well_founded_tie_breaking
-from repro.semantics.well_founded import well_founded_model
 
 __all__ = ["QueryResult", "query"]
 
@@ -68,35 +64,19 @@ def query(
     >>> result.holds(1), result.total
     (True, True)
     """
+    from repro.api import Engine, warn_deprecated
+
+    warn_deprecated("query()", "Engine.query() / Engine.query_many()")
     if predicate not in program.predicates and predicate not in database.predicates():
         raise SemanticsError(f"unknown predicate {predicate!r}")
-    restricted = relevant_subprogram(program, [predicate])
     if semantics == "well-founded":
-        model: Interpretation = well_founded_model(
-            restricted, database, grounding=grounding  # type: ignore[arg-type]
-        ).model
+        name = "well_founded"
+        options = {}
     elif semantics == "tie-breaking":
-        model = well_founded_tie_breaking(
-            restricted, database, policy=policy, grounding=grounding  # type: ignore[arg-type]
-        ).model
+        name = "tie_breaking"
+        options = {"policy": policy}
     else:
         raise SemanticsError(f"unknown semantics {semantics!r}")
-
-    true_rows = frozenset(
-        tuple(c.value for c in a.args) for a in model.true_atoms() if a.predicate == predicate
-    )
-    undefined_rows = frozenset(
-        tuple(c.value for c in a.args)
-        for a in model.undefined_atoms()
-        if a.predicate == predicate
-    )
-    if predicate in database.predicates():
-        true_rows |= frozenset(
-            tuple(c.value for c in row) for row in database[predicate]
-        )
-    return QueryResult(
-        predicate=predicate,
-        true_rows=true_rows,
-        undefined_rows=undefined_rows,
-        total=model.is_total,
-    )
+    restricted = relevant_subprogram(program, [predicate])
+    engine = Engine(restricted, database, grounding=grounding)  # type: ignore[arg-type]
+    return engine.query(predicate, semantics=name, **options)

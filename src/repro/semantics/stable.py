@@ -29,7 +29,7 @@ from repro.engine.matching import enumerate_bindings, order_body_for_join
 from repro.errors import CloseConflictError, SemanticsError
 from repro.ground.model import FALSE, TRUE, Interpretation
 from repro.ground.state import GroundGraphState
-from repro.semantics.completion import enumerate_fixpoints
+from repro.semantics.completion import _enumerate_fixpoints
 from repro.semantics.fixpoint import is_fixpoint, normalize_candidate
 
 __all__ = [
@@ -185,6 +185,25 @@ def is_stable_model(
     raise ValueError(f"unknown method {method!r}; use 'reduct' or 'close'")
 
 
+def _enumerate_stable_models(
+    program: Program,
+    database: Database | None = None,
+    *,
+    grounding: GroundingMode = "full",
+    limit: int | None = None,
+    **kwargs,
+) -> Iterator[frozenset[Atom]]:
+    """Implementation behind the ``stable`` registry entry."""
+    database = database or Database()
+    found = 0
+    for model in _enumerate_fixpoints(program, database, grounding=grounding, **kwargs):
+        if is_stable_model(program, database, model):
+            yield model
+            found += 1
+            if limit is not None and found >= limit:
+                return
+
+
 def enumerate_stable_models(
     program: Program,
     database: Database | None = None,
@@ -193,26 +212,39 @@ def enumerate_stable_models(
     limit: int | None = None,
     **kwargs,
 ) -> Iterator[frozenset[Atom]]:
-    """All stable models: fixpoints (via completion SAT) filtered by stability."""
-    database = database or Database()
-    found = 0
-    for model in enumerate_fixpoints(program, database, grounding=grounding, **kwargs):
-        if is_stable_model(program, database, model):
-            yield model
-            found += 1
-            if limit is not None and found >= limit:
-                return
+    """All stable models: fixpoints (via completion SAT) filtered by stability.
+
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.enumerate("stable")``.
+    """
+    from repro.api import enumerate_solutions, warn_deprecated
+
+    warn_deprecated("enumerate_stable_models()", 'Engine.enumerate("stable")')
+    for solution in enumerate_solutions(
+        "stable", program, database, limit=limit, grounding=grounding, **kwargs
+    ):
+        yield solution.run
 
 
 def find_stable_model(
     program: Program, database: Database | None = None, **kwargs
 ) -> frozenset[Atom] | None:
-    """One stable model's true set, or None."""
-    for model in enumerate_stable_models(program, database, limit=1, **kwargs):
-        return model
-    return None
+    """One stable model's true set, or None.
+
+    .. deprecated:: use ``Engine.solve("stable")`` (check ``found``).
+    """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("find_stable_model()", 'Engine.solve("stable")')
+    return solve("stable", program, database, **kwargs).run
 
 
 def has_stable_model(program: Program, database: Database | None = None, **kwargs) -> bool:
-    """True iff Π, Δ has a stable model (NP-hard in general)."""
-    return find_stable_model(program, database, **kwargs) is not None
+    """True iff Π, Δ has a stable model (NP-hard in general).
+
+    .. deprecated:: use ``Engine.solve("stable").found``.
+    """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("has_stable_model()", 'Engine.solve("stable").found')
+    return solve("stable", program, database, **kwargs).found

@@ -101,13 +101,30 @@ def stratified_model(
 ) -> frozenset[Atom]:
     """The standard (perfect) model of a stratified program, as its true set.
 
-    Evaluates strata bottom-up: within a stratum, a least fixpoint where
-    negative literals are checked against the (already final) lower strata.
-    Initial IDB facts of Δ participate as seeds — the uniform setting.
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.solve("stratified")``.
 
     >>> from repro.datalog.parser import parse_database, parse_program
     >>> prog = parse_program("odd(X) :- succ(Y, X), not odd(Y).")
     >>> # not stratified? odd depends negatively on itself -> SemanticsError
+    """
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("stratified_model()", 'Engine.solve("stratified")')
+    return solve("stratified", program, database, max_branch=max_branch).run
+
+
+def _stratified_model(
+    program: Program,
+    database: Database,
+    *,
+    max_branch: int = 200_000,
+) -> frozenset[Atom]:
+    """Implementation behind the ``stratified`` registry entry.
+
+    Evaluates strata bottom-up: within a stratum, a least fixpoint where
+    negative literals are checked against the (already final) lower strata.
+    Initial IDB facts of Δ participate as seeds — the uniform setting.
     """
     strat = stratification(program)
     if strat is None:

@@ -64,13 +64,17 @@ class TieBreakingRun:
     """Result of one tie-breaking run: the model plus the decision trace.
 
     ``state`` retains the final evaluation state for provenance queries
-    (:func:`repro.ground.explain.explain`).
+    (:func:`repro.ground.explain.explain`); ``policy`` records
+    ``repr(policy)`` of the orientation policy that drove the run (e.g.
+    ``RandomChoice(seed=7)``), so nondeterministic runs are reproducible
+    from their own output.
     """
 
     model: Interpretation
     choices: tuple[TieChoice, ...]
     variant: str  # "pure" or "well-founded"
     state: GroundGraphState | None = None
+    policy: str | None = None
 
     @property
     def is_total(self) -> bool:
@@ -155,6 +159,40 @@ def _run(
         state.close()
 
 
+def _pure_tie_breaking(
+    program: Program,
+    database: Database | None = None,
+    *,
+    policy: ChoicePolicy | None = None,
+    grounding: GroundingMode = "full",
+    ground_program: GroundProgram | None = None,
+) -> TieBreakingRun:
+    """Implementation behind the ``pure_tie_breaking`` registry entry."""
+    gp = ground_program or ground(program, database or Database(), mode=grounding)
+    state = GroundGraphState(gp)
+    chosen = policy or FirstSideTrue()
+    choices = _run(state, chosen, well_founded=False)
+    return TieBreakingRun(state.interpretation(), tuple(choices), "pure", state, repr(chosen))
+
+
+def _well_founded_tie_breaking(
+    program: Program,
+    database: Database | None = None,
+    *,
+    policy: ChoicePolicy | None = None,
+    grounding: GroundingMode = "relevant",
+    ground_program: GroundProgram | None = None,
+) -> TieBreakingRun:
+    """Implementation behind the ``tie_breaking`` registry entry."""
+    gp = ground_program or ground(program, database or Database(), mode=grounding)
+    state = GroundGraphState(gp)
+    chosen = policy or FirstSideTrue()
+    choices = _run(state, chosen, well_founded=True)
+    return TieBreakingRun(
+        state.interpretation(), tuple(choices), "well-founded", state, repr(chosen)
+    )
+
+
 def pure_tie_breaking(
     program: Program,
     database: Database | None = None,
@@ -165,15 +203,25 @@ def pure_tie_breaking(
 ) -> TieBreakingRun:
     """Algorithm Pure Tie-Breaking (§3).
 
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.solve("pure_tie_breaking")``.
+
     Defaults to full grounding: pure tie-breaking is defined on the paper's
     exact ground graph, and may assign unfounded atoms *true* (e.g.
     ``p :- p, ¬q``/``q :- q, ¬p``), so the relevant grounding's pruning
     would change its outcomes.
     """
-    gp = ground_program or ground(program, database or Database(), mode=grounding)
-    state = GroundGraphState(gp)
-    choices = _run(state, policy or FirstSideTrue(), well_founded=False)
-    return TieBreakingRun(state.interpretation(), tuple(choices), "pure", state)
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("pure_tie_breaking()", 'Engine.solve("pure_tie_breaking")')
+    return solve(
+        "pure_tie_breaking",
+        program,
+        database,
+        policy=policy,
+        grounding=grounding,
+        ground_program=ground_program,
+    ).run
 
 
 def well_founded_tie_breaking(
@@ -186,17 +234,27 @@ def well_founded_tie_breaking(
 ) -> TieBreakingRun:
     """Algorithm Well-Founded Tie-Breaking (§3, with the K/L typo fixed).
 
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.solve("tie_breaking")``.
+
     Extends the well-founded semantics: deviates from it only where the
     well-founded interpreter is stuck, and every total result is a stable
     model (Lemma 3).  Relevant grounding is exact for this semantics.
     """
-    gp = ground_program or ground(program, database or Database(), mode=grounding)
-    state = GroundGraphState(gp)
-    choices = _run(state, policy or FirstSideTrue(), well_founded=True)
-    return TieBreakingRun(state.interpretation(), tuple(choices), "well-founded", state)
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("well_founded_tie_breaking()", 'Engine.solve("tie_breaking")')
+    return solve(
+        "tie_breaking",
+        program,
+        database,
+        policy=policy,
+        grounding=grounding,
+        ground_program=ground_program,
+    ).run
 
 
-def enumerate_tie_breaking_models(
+def _enumerate_tie_breaking_models(
     program: Program,
     database: Database | None = None,
     *,
@@ -240,7 +298,9 @@ def enumerate_tie_breaking_models(
             tie = _select_tie(state)
             if tie is None:
                 emitted += 1
-                yield TieBreakingRun(state.interpretation(), tuple(trail), variant, state)
+                yield TieBreakingRun(
+                    state.interpretation(), tuple(trail), variant, state, "enumerated"
+                )
                 return
             assert tie.analysis.sides is not None
             side_nodes = [0, 0]
@@ -265,6 +325,45 @@ def enumerate_tie_breaking_models(
 
     initial = GroundGraphState(gp)
     yield from explore(initial, [])
+
+
+def enumerate_tie_breaking_models(
+    program: Program,
+    database: Database | None = None,
+    *,
+    variant: str = "well-founded",
+    grounding: GroundingMode | None = None,
+    ground_program: GroundProgram | None = None,
+    limit: int | None = None,
+) -> Iterator[TieBreakingRun]:
+    """Every outcome of the tie-breaking interpreter over all free choices.
+
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine.enumerate("tie_breaking")`` (or
+       ``"pure_tie_breaking"``).
+
+    Performs a depth-first search over tie orientations (two branches per
+    genuinely free decision).  Distinct choice sequences may converge to
+    the same model; runs are yielded per *sequence* — deduplicate on
+    ``run.model.true_set()`` if only models matter.
+
+    Worst-case exponential in the number of free choices — this is the
+    exhaustive verifier behind the paper's "for all choices" statements,
+    not an interpreter.
+    """
+    from repro.api import enumerate_solutions, warn_deprecated
+
+    warn_deprecated("enumerate_tie_breaking_models()", 'Engine.enumerate("tie_breaking")')
+    if variant not in ("pure", "well-founded"):
+        raise ValueError(f"variant must be 'pure' or 'well-founded', not {variant!r}")
+    name = "tie_breaking" if variant == "well-founded" else "pure_tie_breaking"
+    options: dict = {}
+    if grounding is not None:
+        options["grounding"] = grounding
+    for solution in enumerate_solutions(
+        name, program, database, ground_program=ground_program, limit=limit, **options
+    ):
+        yield solution.run
 
 
 def _break_tie_with_side(

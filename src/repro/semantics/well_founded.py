@@ -60,6 +60,19 @@ def well_founded_state(ground_program: GroundProgram) -> tuple[GroundGraphState,
         state.close()
 
 
+def _well_founded_model(
+    program: Program,
+    database: Database | None = None,
+    *,
+    grounding: GroundingMode = "relevant",
+    ground_program: GroundProgram | None = None,
+) -> WellFoundedRun:
+    """Implementation behind the ``well_founded`` registry entry."""
+    gp = ground_program or ground(program, database or Database(), mode=grounding)
+    state, iterations = well_founded_state(gp)
+    return WellFoundedRun(state.interpretation(), iterations, state)
+
+
 def well_founded_model(
     program: Program,
     database: Database | None = None,
@@ -68,6 +81,9 @@ def well_founded_model(
     ground_program: GroundProgram | None = None,
 ) -> WellFoundedRun:
     """Compute the well-founded (possibly partial) model of Π, Δ.
+
+    .. deprecated:: delegates to the :mod:`repro.api` registry; new code
+       should use ``Engine(program, database).solve("well_founded")``.
 
     ``grounding='relevant'`` (default) is exact for this semantics: atoms
     outside the upper-bound model form an unfounded set and are false in
@@ -80,6 +96,13 @@ def well_founded_model(
     >>> run.is_total, sorted(t[0].value for t in run.model.true_rows("win"))
     (True, [2])
     """
-    gp = ground_program or ground(program, database or Database(), mode=grounding)
-    state, iterations = well_founded_state(gp)
-    return WellFoundedRun(state.interpretation(), iterations, state)
+    from repro.api import solve, warn_deprecated
+
+    warn_deprecated("well_founded_model()", 'Engine.solve("well_founded")')
+    return solve(
+        "well_founded",
+        program,
+        database,
+        grounding=grounding,
+        ground_program=ground_program,
+    ).run

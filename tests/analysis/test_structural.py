@@ -1,6 +1,5 @@
 """Tests for program graphs, useless predicates, and structural totality."""
 
-import pytest
 
 from repro.analysis.classify import classification_table, classify_program
 from repro.analysis.program_graph import program_graph, skeleton_graph

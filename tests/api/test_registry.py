@@ -1,0 +1,195 @@
+"""Registry tests: specs, aliases, pluggability, and the deprecated shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    Engine,
+    SemanticsSpec,
+    Solution,
+    available_semantics,
+    describe_registry,
+    get_spec,
+    register,
+)
+from repro.api.registry import _ALIASES, _REGISTRY
+from repro.datalog.parser import parse_database, parse_program
+from repro.errors import SemanticsError
+
+WIN_MOVE = "win(X) :- move(X, Y), not win(Y)."
+
+
+class TestRegistry:
+    def test_core_semantics_present(self):
+        names = available_semantics()
+        for name in (
+            "well_founded",
+            "stable",
+            "tie_breaking",
+            "pure_tie_breaking",
+            "fitting",
+            "perfect",
+            "stratified",
+            "completion",
+        ):
+            assert name in names
+
+    def test_aliases(self):
+        assert get_spec("wf").name == "well_founded"
+        assert get_spec("wf-tb").name == "tie_breaking"
+        assert get_spec("pure-tb").name == "pure_tie_breaking"
+        assert get_spec("fixpoints").name == "completion"
+        assert get_spec("kripke-kleene").name == "fitting"
+
+    def test_describe_registry_mentions_every_name(self):
+        text = describe_registry()
+        for name in available_semantics():
+            assert name in text
+
+    def test_unknown_semantics_error(self):
+        with pytest.raises(SemanticsError, match="unknown semantics"):
+            get_spec("unheard-of")
+
+    def test_new_semantics_plugs_in_with_a_spec(self):
+        def solver(req):
+            return Solution.from_true_set("always_empty", frozenset(), run=frozenset())
+
+        spec = SemanticsSpec(
+            name="always_empty",
+            summary="test-only: the empty model",
+            solver=solver,
+            default_grounding=None,
+            aliases=("nothing",),
+        )
+        register(spec)
+        try:
+            solution = Engine(WIN_MOVE).solve("nothing")
+            assert solution.semantics == "always_empty"
+            assert solution.total and not solution.true_atoms
+        finally:
+            del _REGISTRY["always_empty"]
+            del _ALIASES["always_empty"], _ALIASES["nothing"]
+
+    def test_register_rejects_name_collisions(self):
+        spec = SemanticsSpec(
+            name="well_founded",
+            summary="imposter",
+            solver=lambda req: None,
+            aliases=("stable",),  # collides with another spec's name
+        )
+        with pytest.raises(SemanticsError, match="already registered"):
+            register(spec)
+
+
+class TestDeprecatedShims:
+    """Every legacy free function still works and warns exactly once per site."""
+
+    @pytest.fixture()
+    def draw(self):
+        return parse_program(WIN_MOVE), parse_database("move(1, 2). move(2, 1).")
+
+    def _call_expect_deprecation(self, fn, *args, **kwargs):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = fn(*args, **kwargs)
+            if hasattr(result, "__next__"):  # drain lazy generators
+                result = list(result)
+        assert any(w.category is DeprecationWarning for w in caught), fn
+        return result
+
+    def test_model_shims_return_legacy_types(self, draw):
+        program, database = draw
+        from repro.ground.model import Interpretation
+        from repro.semantics.fitting import fitting_model
+        from repro.semantics.tie_breaking import TieBreakingRun, well_founded_tie_breaking
+        from repro.semantics.well_founded import WellFoundedRun, well_founded_model
+
+        run = self._call_expect_deprecation(well_founded_model, program, database)
+        assert isinstance(run, WellFoundedRun) and not run.is_total
+        tb = self._call_expect_deprecation(well_founded_tie_breaking, program, database)
+        assert isinstance(tb, TieBreakingRun) and tb.is_total
+        fit = self._call_expect_deprecation(fitting_model, program, database)
+        assert isinstance(fit, Interpretation)
+
+    def test_set_shims_return_frozensets(self, draw):
+        program, database = draw
+        from repro.semantics.completion import (
+            count_fixpoints,
+            enumerate_fixpoints,
+            find_fixpoint,
+            has_fixpoint,
+        )
+        from repro.semantics.stable import (
+            enumerate_stable_models,
+            find_stable_model,
+            has_stable_model,
+        )
+
+        assert self._call_expect_deprecation(has_fixpoint, program, database)
+        assert self._call_expect_deprecation(count_fixpoints, program, database) == 2
+        fixpoint = self._call_expect_deprecation(find_fixpoint, program, database)
+        assert isinstance(fixpoint, frozenset)
+        assert len(self._call_expect_deprecation(enumerate_fixpoints, program, database)) == 2
+        assert len(self._call_expect_deprecation(enumerate_stable_models, program, database)) == 2
+        assert isinstance(
+            self._call_expect_deprecation(find_stable_model, program, database), frozenset
+        )
+        assert self._call_expect_deprecation(has_stable_model, program, database)
+
+    def test_enumerate_tie_breaking_shim(self, draw):
+        program, database = draw
+        from repro.semantics.tie_breaking import enumerate_tie_breaking_models
+
+        runs = self._call_expect_deprecation(enumerate_tie_breaking_models, program, database)
+        assert len(runs) == 2
+        assert all(run.is_total for run in runs)
+
+    def test_query_shim_keeps_cone_restriction(self):
+        from repro.semantics.queries import query
+
+        program = parse_program(f"{WIN_MOVE} junk :- not junk.")
+        database = parse_database("move(1, 2).")
+        result = self._call_expect_deprecation(query, program, database, "win")
+        assert result.holds(1)
+        assert result.total  # junk is outside win's support cone
+
+    def test_stratified_perfect_modular_alternating_shims(self):
+        from repro.semantics.alternating import alternating_fixpoint_model
+        from repro.semantics.modular import modular_well_founded_model
+        from repro.semantics.perfect import perfect_model
+        from repro.semantics.stratified import stratified_model
+
+        program = parse_program("t(X) :- e(X), not f(X).")
+        database = parse_database("e(1).")
+        trues = self._call_expect_deprecation(stratified_model, program, database)
+        assert {str(a) for a in trues} == {"e(1)", "t(1)"}
+        perfect = self._call_expect_deprecation(perfect_model, program, database)
+        assert perfect.is_total
+        modular = self._call_expect_deprecation(modular_well_founded_model, program, database)
+        assert modular.is_total
+        alternating = self._call_expect_deprecation(alternating_fixpoint_model, program, database)
+        assert alternating.is_total
+
+
+class TestSolutionSchema:
+    def test_closed_world_solution_json(self):
+        solution = Engine("t(X) :- e(X), not f(X).", "e(1).").solve("stratified")
+        payload = solution.to_json_dict()
+        assert payload["schema"] == "repro-solution/1"
+        assert payload["model"]["false"] is None  # closed world
+        assert payload["counts"]["false"] is None
+        assert payload["model"]["true"] == ["e(1)", "t(1)"]
+        assert payload["grounding"] is None  # stratified never grounds
+
+    def test_materialized_solution_json_sorted_deterministically(self):
+        engine = Engine(WIN_MOVE, "move(2, 1). move(1, 2).")
+        payload = engine.solve("tie_breaking").to_json_dict()
+        assert payload["model"]["true"] == sorted(payload["model"]["true"])
+        assert payload["ties"]["policy"] == "FirstSideTrue()"
+        assert payload["ties"]["choices"][0]["forced"] is False
+
+    def test_not_found_json(self):
+        payload = Engine("p :- not p.").solve("completion").to_json_dict()
+        assert payload["found"] is False
+        assert payload["model"]["true"] == []

@@ -16,7 +16,6 @@ from repro.constructions.theorem2 import theorem2_constant_free_variant, theorem
 from repro.constructions.theorem3 import theorem3_constant_free_variant, theorem3_variant
 from repro.constructions.theorem5 import negative_cycle_in_program_graph, theorem5_variant
 from repro.constructions.variants import assign_arc_rules
-from repro.datalog.database import Database
 from repro.datalog.parser import parse_program
 from repro.datalog.skeleton import is_alphabetic_variant
 from repro.errors import ConstructionError

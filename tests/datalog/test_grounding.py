@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datalog.atoms import Atom, atom
+from repro.datalog.atoms import atom
 from repro.datalog.database import Database
 from repro.datalog.grounding import ground, universe_of
 from repro.datalog.parser import parse_database, parse_program

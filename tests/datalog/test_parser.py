@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datalog.atoms import atom, neg
-from repro.datalog.parser import parse_atom, parse_database, parse_program, parse_rules
+from repro.datalog.parser import parse_atom, parse_database, parse_program
 from repro.datalog.printer import format_program
 from repro.datalog.rules import rule
 from repro.datalog.terms import Constant, Variable

@@ -1,17 +1,10 @@
 """Printer edge cases: quoting, headers, and exact round-trips."""
 
-import pytest
 
 from repro.datalog.atoms import Atom, atom, neg
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_database, parse_program
-from repro.datalog.printer import (
-    format_atom,
-    format_database,
-    format_program,
-    format_rule,
-    format_term,
-)
+from repro.datalog.printer import format_database, format_program, format_rule, format_term
 from repro.datalog.rules import rule
 from repro.datalog.terms import Constant, Variable
 

@@ -6,12 +6,7 @@ from repro.datalog.atoms import atom, neg, pos
 from repro.datalog.database import Database
 from repro.datalog.terms import Constant, Variable
 from repro.engine.facts import FactStore
-from repro.engine.matching import (
-    enumerate_bindings,
-    match_atom_row,
-    match_literal,
-    order_body_for_join,
-)
+from repro.engine.matching import enumerate_bindings, match_atom_row, order_body_for_join
 
 
 def store_with(**relations):

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Regenerate the CLI golden JSON files after an intentional schema change.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Review the diff before committing — these files pin the public JSON
+contract of the ``repro-datalog`` CLI.
+"""
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from test_cli_golden import CASES, GOLDEN_DIR, build_argv, scrub  # noqa: E402
+
+from repro.cli import main  # noqa: E402
+
+
+def regenerate() -> None:
+    for name in sorted(CASES):
+        with tempfile.TemporaryDirectory() as tmp:
+            argv, expected_code = build_argv(name, Path(tmp))
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                code = main(argv)
+            assert code == expected_code, (name, code, expected_code)
+            payload = scrub(json.loads(buffer.getvalue()))
+        target = GOLDEN_DIR / f"{name}.json"
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    regenerate()

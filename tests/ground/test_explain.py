@@ -1,6 +1,5 @@
 """Tests for the provenance / explanation machinery."""
 
-import pytest
 
 from repro.datalog.atoms import Atom, atom
 from repro.datalog.parser import parse_database, parse_program

@@ -1,12 +1,11 @@
 """Tests for the Interpretation result API."""
 
-import pytest
 
 from repro.datalog.atoms import Atom, atom
 from repro.datalog.database import Database
 from repro.datalog.grounding import ground
 from repro.datalog.parser import parse_database, parse_program
-from repro.ground.model import FALSE, TRUE, UNDEF, Interpretation
+from repro.ground.model import FALSE, TRUE, Interpretation
 from repro.semantics.well_founded import well_founded_model
 
 

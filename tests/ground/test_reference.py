@@ -5,7 +5,6 @@ from hypothesis import HealthCheck, given, settings
 from repro.datalog.database import Database
 from repro.datalog.grounding import ground
 from repro.datalog.parser import parse_database, parse_program
-from repro.ground.model import FALSE
 from repro.ground.reference import (
     NaiveGraph,
     naive_close,

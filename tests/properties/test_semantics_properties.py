@@ -10,7 +10,6 @@ import itertools
 from hypothesis import HealthCheck, given, settings
 
 from repro.datalog.atoms import Atom
-from repro.datalog.database import Database
 from repro.semantics.alternating import alternating_fixpoint_model, is_stable_via_gamma
 from repro.semantics.completion import enumerate_fixpoints
 from repro.semantics.fitting import fitting_model

@@ -1,14 +1,13 @@
 """Unit and property tests for the DPLL solver."""
 
 import itertools
-import random
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sat.cnf import CNF
-from repro.sat.solver import Solver, enumerate_models, solve
+from repro.sat.solver import enumerate_models, solve
 
 
 def cnf_of(num_vars, clauses):

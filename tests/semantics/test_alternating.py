@@ -1,6 +1,5 @@
 """Dedicated tests for the alternating-fixpoint implementation."""
 
-import pytest
 
 from repro.datalog.atoms import Atom, atom
 from repro.datalog.database import Database

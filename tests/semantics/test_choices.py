@@ -1,6 +1,5 @@
 """Unit tests for choice policies and forced orientations."""
 
-import pytest
 
 from repro.semantics.choices import (
     FewestTrue,
@@ -64,3 +63,35 @@ class TestRandomChoice:
         first = well_founded_tie_breaking(program, policy=FirstSideTrue(), grounding="full")
         second = well_founded_tie_breaking(program, policy=SecondSideTrue(), grounding="full")
         assert first.model.true_set() != second.model.true_set()
+
+
+class TestSelfDescription:
+    """Policies describe themselves so runs are reproducible from output."""
+
+    def test_deterministic_policy_reprs(self):
+        assert repr(FirstSideTrue()) == "FirstSideTrue()"
+        assert repr(SecondSideTrue()) == "SecondSideTrue()"
+        assert repr(FewestTrue()) == "FewestTrue()"
+        assert repr(MostTrue()) == "MostTrue()"
+
+    def test_random_choice_records_explicit_seed(self):
+        policy = RandomChoice(42)
+        assert policy.seed == 42
+        assert repr(policy) == "RandomChoice(seed=42)"
+
+    def test_unseeded_random_choice_is_replayable_from_its_repr(self):
+        policy = RandomChoice()
+        assert isinstance(policy.seed, int)
+        replay = RandomChoice(policy.seed)
+        draws = [policy.choose_true_side([1], [2]) for _ in range(20)]
+        assert draws == [replay.choose_true_side([1], [2]) for _ in range(20)]
+
+    def test_run_metadata_reports_policy(self):
+        from repro.api import Engine
+
+        engine = Engine("p :- not q. q :- not p.")
+        solution = engine.solve("tie_breaking", policy=RandomChoice(9), grounding="full")
+        assert solution.policy == "RandomChoice(seed=9)"
+        assert solution.run.policy == "RandomChoice(seed=9)"
+        default = engine.solve("tie_breaking", grounding="full")
+        assert default.policy == "FirstSideTrue()"

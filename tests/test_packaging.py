@@ -1,0 +1,40 @@
+"""Packaging smoke tests: metadata, the py.typed marker, no legacy setup.py."""
+
+import tomllib
+from pathlib import Path
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _pyproject() -> dict:
+    return tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+
+
+class TestPackaging:
+    def test_no_legacy_setup_py(self):
+        # pyproject.toml is the single source of packaging truth.
+        assert not (REPO_ROOT / "setup.py").exists()
+
+    def test_py_typed_marker_ships_with_the_package(self):
+        package_dir = Path(repro.__file__).parent
+        assert (package_dir / "py.typed").exists()
+        config = _pyproject()
+        assert config["tool"]["setuptools"]["package-data"]["repro"] == ["py.typed"]
+
+    def test_console_script_points_at_the_cli(self):
+        config = _pyproject()
+        assert config["project"]["scripts"]["repro-datalog"] == "repro.cli:main"
+        from repro.cli import main
+
+        assert callable(main)
+
+    def test_version_matches_package(self):
+        config = _pyproject()
+        assert config["project"]["version"] == repro.__version__
+
+    def test_src_layout_declared(self):
+        config = _pyproject()
+        assert config["tool"]["setuptools"]["package-dir"][""] == "src"
+        assert config["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
