@@ -32,6 +32,7 @@ from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode, GroundProgram, ground
 from repro.datalog.parser import parse_atom, parse_database, parse_program
 from repro.datalog.program import Program
+from repro.engine.plan import ConstantPool
 from repro.errors import GroundingError, SemanticsError
 from repro.api.registry import SemanticsSpec, SolveRequest, _check_options, get_spec
 from repro.api.solution import Solution
@@ -72,6 +73,9 @@ class Engine:
         self.ground_calls = 0
         self.index_builds = 0
         self._timings: dict[str, float] = {"parse_s": parse_s, "ground_s": 0.0, "compile_s": 0.0}
+        # One interning session: every grounding mode of this engine shares
+        # the same constant → dense-id mapping (and hence row encodings).
+        self._pool = ConstantPool()
         self._ground_cache: dict[GroundingMode, GroundProgram] = {}
         self._solution_cache: dict[tuple, Solution] = {}
         self.solution_cache_hits = 0
@@ -116,7 +120,7 @@ class Engine:
             if max_instances is not None:
                 kwargs["max_instances"] = max_instances
             t0 = perf_counter()
-            gp = ground(self.program, self.database, mode=resolved, **kwargs)
+            gp = ground(self.program, self.database, mode=resolved, pool=self._pool, **kwargs)
             self.ground_calls += 1
             self._timings["ground_s"] += perf_counter() - t0
             t0 = perf_counter()
@@ -328,6 +332,7 @@ class Engine:
         return {
             "ground_calls": self.ground_calls,
             "index_builds": self.index_builds,
+            "interned_constants": len(self._pool),
             "cached_modes": sorted(self._ground_cache),
             "cached_solutions": len(self._solution_cache),
             "solution_cache_hits": self.solution_cache_hits,

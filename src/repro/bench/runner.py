@@ -21,6 +21,15 @@ Grounding and kernel compilation run through the production
 :class:`repro.api.Engine`, and each family additionally cross-checks the
 engine's ``solve()`` against the timed drive loop (identical model, no
 re-grounding) — the bench pipeline exercises the same facade users do.
+
+Alongside the kernel baseline, each family times the frozen seed
+*grounder* (:mod:`repro.bench.seed_grounder`) on the same inputs and
+records the resulting ``ground_speedup``.  The two groundings are
+cross-checked for identical content (atoms and rule instances, compared
+through an atom bijection since dense ids may be assigned in different
+orders) and for identical *models*: the compiled kernel's decision trail
+is replayed on the seed grounding through the bijection and must land on
+the same true set.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from repro.datalog.program import Program
 from repro.errors import ReproError
 from repro.ground.model import FALSE, TRUE
 from repro.ground.state import GroundGraphState
+from repro.bench.seed_grounder import seed_ground
 from repro.bench.seed_kernel import SeedGroundGraphState
 from repro.semantics.choices import FirstSideTrue, forced_orientation
 from repro.workloads import families
@@ -90,15 +100,9 @@ FAMILIES: dict[str, FamilySpec] = {
     "win_move_cycle": FamilySpec(
         lambda n: families.win_move_cycle(n - (n % 2)), "wf-tb", "relevant"
     ),
-    "unfounded_tower": FamilySpec(
-        families.unfounded_tower, "wf", "relevant", scale_factor=0.25
-    ),
-    "tie_chain": FamilySpec(
-        families.tie_chain, "wf-tb", "relevant", scale_factor=0.25
-    ),
-    "committee": FamilySpec(
-        families.committee, "wf-tb", "relevant", scale_factor=0.5
-    ),
+    "unfounded_tower": FamilySpec(families.unfounded_tower, "wf", "relevant", scale_factor=0.25),
+    "tie_chain": FamilySpec(families.tie_chain, "wf-tb", "relevant", scale_factor=0.25),
+    "committee": FamilySpec(families.committee, "wf-tb", "relevant", scale_factor=0.5),
 }
 
 _KERNELS: dict[str, Callable] = {
@@ -113,6 +117,7 @@ def _drive(state, semantics: str) -> dict:
     close_s = unfounded_s = tie_s = 0.0
     unfounded_iterations = 0
     tie_choices = 0
+    decisions: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
 
     t0 = perf_counter()
     state.close()
@@ -155,6 +160,7 @@ def _drive(state, semantics: str) -> dict:
         if true_side is None:
             true_side = policy.choose_true_side(side_atoms[0], side_atoms[1])
         tie_choices += 1
+        decisions.append((tuple(side_atoms[true_side]), tuple(side_atoms[1 - true_side])))
         state.assign_many(side_atoms[true_side], TRUE, ("tie", true_side))
         state.assign_many(side_atoms[1 - true_side], FALSE, ("tie", 1 - true_side))
         t0 = perf_counter()
@@ -170,9 +176,8 @@ def _drive(state, semantics: str) -> dict:
         "tie_choices": tie_choices,
         "is_total": interp.is_total,
         "true_count": sum(1 for s in interp.status if s == TRUE),
-        "_true_set": frozenset(
-            i for i, s in enumerate(interp.status) if s == TRUE
-        ),
+        "_true_set": frozenset(i for i, s in enumerate(interp.status) if s == TRUE),
+        "_decisions": decisions,
     }
 
 
@@ -186,9 +191,7 @@ def _measure_kernel(gp, kernel: str, semantics: str, repeat: int) -> dict:
         init_s = perf_counter() - t0
         phases = _drive(state, semantics)
         phases["init_s"] = init_s
-        phases["run_s"] = (
-            init_s + phases["close_s"] + phases["unfounded_s"] + phases["tie_s"]
-        )
+        phases["run_s"] = init_s + phases["close_s"] + phases["unfounded_s"] + phases["tie_s"]
         if best is None or phases["run_s"] < best["run_s"]:
             best = phases
     assert best is not None
@@ -196,6 +199,67 @@ def _measure_kernel(gp, kernel: str, semantics: str, repeat: int) -> dict:
 
 
 _ENGINE_SEMANTICS = {"wf": "well_founded", "wf-tb": "tie_breaking"}
+
+
+def _grounding_bijection(name: str, gp, gp_seed) -> dict[int, int]:
+    """Map production atom ids to seed-grounder atom ids.
+
+    The two pipelines must materialize the same ground atoms and the same
+    rule instances; dense ids may differ (the compiled grounder orders its
+    atom table by interned rows, the seed by string rendering).
+    """
+    if gp.rule_count != gp_seed.rule_count:
+        raise ReproError(f"bench family {name!r}: grounders emit different instance counts")
+    new_atoms = {gp.atoms.atom(i): i for i in range(gp.atom_count)}
+    seed_atoms = {gp_seed.atoms.atom(i): i for i in range(gp_seed.atom_count)}
+    if set(new_atoms) != set(seed_atoms):
+        raise ReproError(f"bench family {name!r}: grounders materialize different atoms")
+    to_seed = {i: seed_atoms[a] for a, i in new_atoms.items()}
+
+    def canonical(ground_program):
+        atom = ground_program.atoms.atom
+        return frozenset(
+            (
+                atom(gr.head),
+                frozenset(atom(a) for a in gr.pos),
+                frozenset(atom(a) for a in gr.neg),
+                gr.rule_index,
+                gr.substitution,
+            )
+            for gr in ground_program.rules
+        )
+
+    if canonical(gp) != canonical(gp_seed):
+        raise ReproError(f"bench family {name!r}: grounders emit different rule instances")
+    return to_seed
+
+
+def _replay_on_seed_grounding(
+    name: str,
+    gp_seed,
+    decisions: Sequence[tuple[tuple[int, ...], tuple[int, ...]]],
+    to_seed: Mapping[int, int],
+) -> frozenset[int]:
+    """Drive the kernel on the seed grounding, replaying the mapped trail."""
+    state = GroundGraphState(gp_seed)
+    state.close()
+    queue = list(decisions)
+    for _ in range(gp_seed.atom_count + len(queue) + 1):
+        unfounded = state.unfounded_atoms()
+        if unfounded:
+            state.assign_many(unfounded, FALSE, ("unfounded", 0))
+            state.close()
+            continue
+        if not queue:
+            break
+        true_ids, false_ids = queue.pop(0)
+        state.assign_many(sorted(to_seed[a] for a in true_ids), TRUE, ("tie", 0))
+        state.assign_many(sorted(to_seed[a] for a in false_ids), FALSE, ("tie", 0))
+        state.close()
+    else:
+        raise ReproError(f"bench family {name!r}: seed-grounding replay did not converge")
+    interp = state.interpretation()
+    return frozenset(i for i, s in enumerate(interp.status) if s == TRUE)
 
 
 def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baseline: bool) -> dict:
@@ -208,29 +272,55 @@ def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baselin
     ground_s = engine.timings["ground_s"]
     compile_s = engine.timings["compile_s"]
 
+    seed_ground_s = None
+    ground_speedup = None
+    gp_seed = None
+    if baseline:
+        # Time the frozen pre-compilation grounder on the same inputs (the
+        # seed's ground phase never included kernel compilation either, so
+        # the comparison is like for like).
+        for _ in range(max(1, repeat)):
+            t0 = perf_counter()
+            gp_seed = seed_ground(program, database, mode=spec.grounding)
+            elapsed = perf_counter() - t0
+            if seed_ground_s is None or elapsed < seed_ground_s:
+                seed_ground_s = elapsed
+        ground_speedup = seed_ground_s / max(ground_s, 1e-12)
+        # Materialize the lazy rule view outside the timed sections: the
+        # seed kernel's constructor iterates rule objects, and charging
+        # their one-time decode to its init would flatter the speedup.
+        list(gp.rules)
+
     kernels = {"kernel": _measure_kernel(gp, "kernel", spec.semantics, repeat)}
     speedup = None
     if baseline:
         kernels["seed"] = _measure_kernel(gp, "seed", spec.semantics, repeat)
         if kernels["seed"]["_true_set"] != kernels["kernel"]["_true_set"]:
-            raise ReproError(
-                f"bench family {name!r}: seed and compiled kernels disagree"
-            )
+            raise ReproError(f"bench family {name!r}: seed and compiled kernels disagree")
         speedup = kernels["seed"]["run_s"] / max(kernels["kernel"]["run_s"], 1e-12)
+        # Differential grounder cross-check: identical ground programs, and
+        # the identical model when the kernel's decision trail is replayed
+        # on the seed grounding through the atom bijection.
+        to_seed = _grounding_bijection(name, gp, gp_seed)
+        replay_true = _replay_on_seed_grounding(
+            name, gp_seed, kernels["kernel"]["_decisions"], to_seed
+        )
+        mapped_true = {to_seed[a] for a in kernels["kernel"]["_true_set"]}
+        if mapped_true != replay_true:
+            raise ReproError(f"bench family {name!r}: seed and compiled groundings disagree")
 
     # Cross-check the public Engine path against the timed drive loop: the
     # registry runner must reproduce the exact model (same FirstSideTrue
     # trajectory), and must do so without grounding again.
     solution = engine.solve(_ENGINE_SEMANTICS[spec.semantics])
-    engine_true = frozenset(
-        i for i, s in enumerate(solution.model.status) if s == TRUE
-    )
+    engine_true = frozenset(i for i, s in enumerate(solution.model.status) if s == TRUE)
     if engine_true != kernels["kernel"]["_true_set"]:
         raise ReproError(f"bench family {name!r}: Engine and drive loop disagree")
     if engine.ground_calls != 1:
         raise ReproError(f"bench family {name!r}: Engine reground ({engine.ground_calls}x)")
     for phases in kernels.values():
         del phases["_true_set"]
+        del phases["_decisions"]
 
     return {
         "n": n,
@@ -239,6 +329,8 @@ def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baselin
         "atoms": gp.atom_count,
         "rules": gp.rule_count,
         "ground_s": ground_s,
+        "seed_ground_s": seed_ground_s,
+        "ground_speedup": ground_speedup,
         # CSR compilation happens once per ground program (a grounding-time
         # cost shared by every state and clone), so it is reported beside
         # ground_s rather than inside either kernel's interpreter time.
@@ -301,25 +393,27 @@ def run_bench(
     names = list(family_names) if family_names else list(FAMILIES)
     unknown = [f for f in names if f not in FAMILIES]
     if unknown:
-        raise ReproError(
-            f"unknown families {unknown}; choose from {sorted(FAMILIES)}"
-        )
+        raise ReproError(f"unknown families {unknown}; choose from {sorted(FAMILIES)}")
     results = {
         name: _bench_family(name, FAMILIES[name], base_n, repeat, baseline)
         for name in names
     }
-    speedups = [r["speedup"] for r in results.values() if r["speedup"]]
-    summary: dict = {}
-    if speedups:
+    def _stats(values: list[float], prefix: str) -> dict:
+        if not values:
+            return {}
         geomean = 1.0
-        for s in speedups:
-            geomean *= s
-        geomean **= 1.0 / len(speedups)
-        summary = {
-            "min_speedup": min(speedups),
-            "max_speedup": max(speedups),
-            "geomean_speedup": geomean,
+        for v in values:
+            geomean *= v
+        geomean **= 1.0 / len(values)
+        return {
+            f"min_{prefix}": min(values),
+            f"max_{prefix}": max(values),
+            f"geomean_{prefix}": geomean,
         }
+
+    speedups = [r["speedup"] for r in results.values() if r["speedup"]]
+    ground_speedups = [r["ground_speedup"] for r in results.values() if r["ground_speedup"]]
+    summary: dict = {**_stats(speedups, "speedup"), **_stats(ground_speedups, "ground_speedup")}
     return {
         "schema": SCHEMA,
         "revision": current_revision(),
@@ -351,23 +445,35 @@ def format_table(record: Mapping) -> str:
         f"repro bench — scale={record['scale']} (base n={record['base_n']}), "
         f"rev={record['revision']}, python={record['python']}",
         f"{'family':<18} {'n':>6} {'atoms':>8} {'rules':>8} "
-        f"{'ground':>9} {'kernel':>9} {'seed':>9} {'speedup':>8}",
+        f"{'ground':>9} {'g-seed':>9} {'g-spdup':>8} "
+        f"{'kernel':>9} {'seed':>9} {'speedup':>8}",
     ]
     for name, fam in record["families"].items():
         kernel = fam["kernels"]["kernel"]["run_s"]
         seed = fam["kernels"].get("seed", {}).get("run_s")
+        seed_ground = fam.get("seed_ground_s")
+        ground_speedup = fam.get("ground_speedup")
         speedup = fam["speedup"]
         lines.append(
             f"{name:<18} {fam['n']:>6} {fam['atoms']:>8} {fam['rules']:>8} "
-            f"{fam['ground_s']:>8.3f}s {kernel:>8.3f}s "
+            f"{fam['ground_s']:>8.3f}s "
+            f"{(f'{seed_ground:>8.3f}s' if seed_ground is not None else '       —')} "
+            f"{(f'{ground_speedup:>7.2f}x' if ground_speedup else '       —')} "
+            f"{kernel:>8.3f}s "
             f"{(f'{seed:>8.3f}s' if seed is not None else '       —')} "
             f"{(f'{speedup:>7.2f}x' if speedup else '       —')}"
         )
     summary = record.get("summary") or {}
     if summary:
         lines.append(
-            f"speedup: min {summary['min_speedup']:.2f}x / "
+            f"kernel speedup: min {summary['min_speedup']:.2f}x / "
             f"geomean {summary['geomean_speedup']:.2f}x / "
             f"max {summary['max_speedup']:.2f}x"
         )
+        if "geomean_ground_speedup" in summary:
+            lines.append(
+                f"ground speedup: min {summary['min_ground_speedup']:.2f}x / "
+                f"geomean {summary['geomean_ground_speedup']:.2f}x / "
+                f"max {summary['max_ground_speedup']:.2f}x"
+            )
     return "\n".join(lines)

@@ -103,9 +103,7 @@ class SeedGroundGraphState:
             raise SemanticsError("assign() takes TRUE or FALSE")
         self._set(index, value, ("assigned", label))
 
-    def assign_many(
-        self, indices: Iterable[int], value: int, label: tuple | None = None
-    ) -> None:
+    def assign_many(self, indices: Iterable[int], value: int, label: tuple | None = None) -> None:
         for index in indices:
             self.assign(index, value, label)
 
@@ -159,11 +157,7 @@ class SeedGroundGraphState:
         self.rule_alive[r_index] = False
         head = self.head_of[r_index]
         self.atom_support[head] -= 1
-        if (
-            self.atom_support[head] == 0
-            and self.atom_alive[head]
-            and self.status[head] == UNDEF
-        ):
+        if self.atom_support[head] == 0 and self.atom_alive[head] and self.status[head] == UNDEF:
             self._set(head, FALSE, ("no-support",))
 
     # -- global queries on the live graph -----------------------------------
@@ -198,9 +192,7 @@ class SeedGroundGraphState:
                     pos_pending[r2] -= 1
                     if pos_pending[r2] == 0:
                         queue.append(r2)
-        return [
-            i for i in range(self.n_atoms) if self.atom_alive[i] and not derived[i]
-        ]
+        return [i for i in range(self.n_atoms) if self.atom_alive[i] and not derived[i]]
 
     def _require_closed(self) -> None:
         if self._dirty or self._initial:
@@ -220,15 +212,11 @@ class SeedGroundGraphState:
             if self.atom_alive[head]:
                 yield head, True
 
-    def bottom_components_live(
-        self, *, full_recompute: bool = False
-    ) -> list[BottomComponent]:
+    def bottom_components_live(self, *, full_recompute: bool = False) -> list[BottomComponent]:
         self._require_closed()
         n_atoms = self.n_atoms
         live_nodes = [i for i in range(n_atoms) if self.atom_alive[i]]
-        live_nodes += [
-            n_atoms + r for r in range(self.n_rules) if self.rule_alive[r]
-        ]
+        live_nodes += [n_atoms + r for r in range(self.n_rules) if self.rule_alive[r]]
 
         def succ_ids(u: int) -> Iterator[int]:
             return (v for v, _ in self._live_successors(u))

@@ -69,9 +69,7 @@ class Atom:
         """
         if not self.args:
             return self
-        new_args = tuple(
-            binding.get(t, t) if isinstance(t, Variable) else t for t in self.args
-        )
+        new_args = tuple(binding.get(t, t) if isinstance(t, Variable) else t for t in self.args)
         return Atom(self.predicate, new_args)
 
     def ground_key(self) -> tuple[str, tuple[object, ...]]:

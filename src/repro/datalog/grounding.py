@@ -13,26 +13,45 @@ an unfounded set, so the well-founded and well-founded tie-breaking
 semantics are unchanged (property-tested against full grounding); *pure*
 tie-breaking and exhaustive fixpoint enumeration should use ``full``.
 
+Both grounders run as a **compiled join-plan pipeline**
+(:mod:`repro.engine.plan`): constants are interned once into a
+:class:`~repro.engine.plan.ConstantPool` (shareable across the grounding
+modes of one :class:`~repro.api.Engine` session), rule bodies are
+compiled into :class:`~repro.engine.plan.JoinPlan` slot schedules, and
+ground rules are emitted *directly as atom-id arrays into the CSR
+builders* of :class:`GroundIndex` — no ``Atom`` object is created
+between grounding and the kernel compile.  The object-level surface
+(:class:`AtomTable`, :class:`GroundRule`) is materialized lazily, on
+first access, from the interned arrays.
+
 Both grounders produce a :class:`GroundProgram`: an atom table (dense ids),
-a list of :class:`GroundRule` (deduplicated positive/negative body ids),
-and the originating substitutions.
+a sequence of :class:`GroundRule` (deduplicated positive/negative body
+ids), and the originating substitutions.
 """
 
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_right
+from collections.abc import Sequence as AbcSequence
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Iterable, Literal as TypingLiteral, Mapping, Sequence
+from typing import Iterable, Literal as TypingLiteral, Sequence
 
-from repro.datalog.atoms import Atom, Literal
+from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
-from repro.engine.facts import FactStore
-from repro.engine.matching import enumerate_bindings, order_body_for_join
-from repro.engine.seminaive import upper_bound_model
+from repro.datalog.terms import Constant
+from repro.engine.matching import order_body_for_join
+from repro.engine.plan import (
+    ConstantPool,
+    IntFactStore,
+    IntRow,
+    JoinPlan,
+    compile_row_spec,
+)
+from repro.engine.seminaive import least_model_interned
 from repro.errors import GroundingError
 
 __all__ = [
@@ -83,6 +102,173 @@ class AtomTable:
         return tuple(self._atoms)
 
 
+class _InternedAtomTable(AtomTable):
+    """Atom table over interned (predicate, int-row) keys, decoded lazily.
+
+    Built by the joined grounders: atoms exist as a predicate name plus a
+    row of :class:`ConstantPool` ids; :class:`~repro.datalog.atoms.Atom`
+    objects are constructed only when asked for.  Inserting an atom the
+    grounder never saw (``id_of`` on a fresh atom) falls back to the
+    eager base representation — the growth path the index cache watches.
+    """
+
+    def __init__(
+        self,
+        pool: ConstantPool,
+        pred_of: list[str],
+        row_of: list[IntRow],
+        ids_by_pred: dict[str, dict[IntRow, int]],
+    ) -> None:
+        self._pool = pool
+        self._pred_of = pred_of
+        self._row_of = row_of
+        self._ids_by_pred = ids_by_pred
+        self._cache: dict[int, Atom] = {}
+        self._eager = False
+
+    def _materialize(self) -> None:
+        if not self._eager:
+            self._atoms = [self.atom(i) for i in range(len(self._pred_of))]
+            self._ids = {a: i for i, a in enumerate(self._atoms)}
+            self._eager = True
+
+    def id_of(self, atom: Atom) -> int:
+        if not self._eager:
+            idx = self.get(atom)
+            if idx is not None:
+                return idx
+            self._materialize()
+        return super().id_of(atom)
+
+    def get(self, atom: Atom) -> int | None:
+        if self._eager:
+            return self._ids.get(atom)
+        ids = self._ids_by_pred.get(atom.predicate)
+        if ids is None:
+            return None
+        get_id = self._pool.get
+        row = []
+        for term in atom.args:
+            v = get_id(term)
+            if v is None:
+                return None
+            row.append(v)
+        return ids.get(tuple(row))
+
+    def atom(self, index: int) -> Atom:
+        if self._eager:
+            return self._atoms[index]
+        cached = self._cache.get(index)
+        if cached is None:
+            constant = self._pool.constant
+            cached = Atom(
+                self._pred_of[index],
+                tuple([constant(v) for v in self._row_of[index]]),
+            )
+            self._cache[index] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._atoms) if self._eager else len(self._pred_of)
+
+    def __contains__(self, atom: Atom) -> bool:
+        return self.get(atom) is not None
+
+    def atoms(self) -> Sequence[Atom]:
+        self._materialize()
+        return tuple(self._atoms)
+
+
+class _DenseAtomTable(AtomTable):
+    """Full-grounding atom table with arithmetic (id ↔ atom) conversion.
+
+    Under full grounding the atom universe is *every* ground atom of every
+    predicate, laid out predicate-major in universe-lexicographic order —
+    so ids are pure positional arithmetic over the universe digits and no
+    per-atom storage is needed at all.  ``id_of`` on an atom outside that
+    dense block falls back to the eager base representation.
+    """
+
+    def __init__(
+        self,
+        pool: ConstantPool,
+        universe: tuple[Constant, ...],
+        pred_arities: list[tuple[str, int]],
+    ) -> None:
+        self._pool = pool
+        self._universe = universe
+        self._preds = [p for p, _ in pred_arities]
+        self._arities = [a for _, a in pred_arities]
+        self._pred_index = {p: i for i, p in enumerate(self._preds)}
+        n_u = len(universe)
+        self._n_u = n_u
+        bases: list[int] = []
+        total = 0
+        for _, arity in pred_arities:
+            bases.append(total)
+            total += n_u**arity
+        self._bases = bases
+        self._dense_count = total
+        self._cache: dict[int, Atom] = {}
+        self._eager = False
+
+    def _materialize(self) -> None:
+        if not self._eager:
+            self._atoms = [self.atom(i) for i in range(self._dense_count)]
+            self._ids = {a: i for i, a in enumerate(self._atoms)}
+            self._eager = True
+
+    def id_of(self, atom: Atom) -> int:
+        idx = self.get(atom)
+        if idx is not None:
+            return idx
+        self._materialize()
+        return super().id_of(atom)
+
+    def get(self, atom: Atom) -> int | None:
+        if self._eager:
+            return self._ids.get(atom)
+        pi = self._pred_index.get(atom.predicate)
+        if pi is None or len(atom.args) != self._arities[pi]:
+            return None
+        n_u = self._n_u
+        get_id = self._pool.get
+        offset = 0
+        for term in atom.args:
+            v = get_id(term)
+            if v is None or v >= n_u:
+                return None
+            offset = offset * n_u + v
+        return self._bases[pi] + offset
+
+    def atom(self, index: int) -> Atom:
+        if self._eager:
+            return self._atoms[index]
+        cached = self._cache.get(index)
+        if cached is None:
+            pi = bisect_right(self._bases, index) - 1
+            offset = index - self._bases[pi]
+            n_u = self._n_u
+            digits = []
+            for _ in range(self._arities[pi]):
+                offset, d = divmod(offset, n_u)
+                digits.append(d)
+            universe = self._universe
+            cached = Atom(self._preds[pi], tuple([universe[d] for d in reversed(digits)]))
+            self._cache[index] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._atoms) if self._eager else self._dense_count
+
+    def __contains__(self, atom: Atom) -> bool:
+        return self.get(atom) is not None
+
+    def atoms(self) -> Sequence[Atom]:
+        self._materialize()
+        return tuple(self._atoms)
+
+
 @dataclass(frozen=True, slots=True)
 class GroundRule:
     """One instantiated rule: the paper's rule node ``r(a1, ..., ak)``.
@@ -100,14 +286,97 @@ class GroundRule:
     substitution: tuple[Constant, ...]
 
 
+class _CompiledRules(AbcSequence):
+    """Lazy :class:`GroundRule` sequence over the grounder's CSR arrays.
+
+    The compiled grounders emit instances straight into flat id arrays;
+    the object view exists for provenance consumers (``explain``, the
+    per-rule semantics, the seed kernel) and is materialized — and
+    cached — one rule at a time.
+    """
+
+    __slots__ = (
+        "_pool",
+        "_heads",
+        "_pos_off",
+        "_pos",
+        "_neg_off",
+        "_neg",
+        "_rule_index",
+        "_sub_off",
+        "_sub",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        pool: ConstantPool,
+        heads: array,
+        pos_off: array,
+        pos: array,
+        neg_off: array,
+        neg: array,
+        rule_index: array,
+        sub_off: array,
+        sub: array,
+    ) -> None:
+        self._pool = pool
+        self._heads = heads
+        self._pos_off = pos_off
+        self._pos = pos
+        self._neg_off = neg_off
+        self._neg = neg
+        self._rule_index = rule_index
+        self._sub_off = sub_off
+        self._sub = sub
+        self._cache: list[GroundRule | None] = [None] * len(heads)
+
+    def _rule(self, i: int) -> GroundRule:
+        cached = self._cache[i]
+        if cached is None:
+            constant = self._pool.constant
+            cached = GroundRule(
+                head=self._heads[i],
+                pos=tuple(self._pos[self._pos_off[i] : self._pos_off[i + 1]]),
+                neg=tuple(self._neg[self._neg_off[i] : self._neg_off[i + 1]]),
+                rule_index=self._rule_index[i],
+                substitution=tuple(
+                    [constant(v) for v in self._sub[self._sub_off[i] : self._sub_off[i + 1]]]
+                ),
+            )
+            self._cache[i] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._heads)
+
+    def __getitem__(self, index):
+        n = len(self._heads)
+        if isinstance(index, slice):
+            return [self._rule(i) for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("ground rule index out of range")
+        return self._rule(index)
+
+    def __iter__(self):
+        for i in range(len(self._heads)):
+            yield self._rule(i)
+
+
 class GroundIndex:
     """The compiled, immutable kernel view of a ground program.
 
     Flat CSR-style integer arrays replacing the per-state Python
     list-of-lists the evaluation state used to rebuild on every
-    construction.  Built once per :class:`GroundProgram` (see
-    :attr:`GroundProgram.index`) and shared by every
-    :class:`~repro.ground.state.GroundGraphState` and all of its clones:
+    construction.  The compiled grounders emit these arrays *directly*
+    (:meth:`from_compiled` — no intermediate rule objects); the
+    object-level constructor recompiles from ``gp.rules`` when a ground
+    program is built or grown by hand.  Built once per
+    :class:`GroundProgram` (see :attr:`GroundProgram.index`) and shared
+    by every :class:`~repro.ground.state.GroundGraphState` and all of
+    its clones:
 
     * ``head_of[r]`` — head atom id of rule instance ``r``;
     * ``pos_off``/``pos_atoms`` (and ``neg_off``/``neg_atoms``) — rule →
@@ -170,33 +439,9 @@ class GroundIndex:
 
         n_atoms = len(gp.atoms)
         n_rules = len(gp.rules)
-        self.n_atoms = n_atoms
-        self.n_rules = n_rules
 
         rules = gp.rules
-        self.head_of_t = tuple(gr.head for gr in rules)
-        self.head_of = array("i", self.head_of_t)
-        self.body_len = array("i", (len(gr.pos) + len(gr.neg) for gr in rules))
-        self.pos_len = array("i", (len(gr.pos) for gr in rules))
-
-        support = array("i", bytes(4 * n_atoms))
-        pos_lists: list[list[int]] = [[] for _ in range(n_atoms)]
-        neg_lists: list[list[int]] = [[] for _ in range(n_atoms)]
-        head_lists: list[list[int]] = [[] for _ in range(n_atoms)]
-        for r_index, gr in enumerate(rules):
-            support[gr.head] += 1
-            head_lists[gr.head].append(r_index)
-            for a in gr.pos:
-                pos_lists[a].append(r_index)
-            for a in gr.neg:
-                neg_lists[a].append(r_index)
-        self.support = support
-        # Reverse head adjacency: atom → rule instances whose head it is
-        # (the in-edges of an atom node; used by the incremental bottom-SCC
-        # bookkeeping to recount a split component's incoming edges).
-        self.rules_by_head_t = tuple(tuple(rs) for rs in head_lists)
-
-        # Rule → body CSR.
+        heads = array("i", (gr.head for gr in rules))
         pos_off = array("i", [0])
         neg_off = array("i", [0])
         pos_atoms = array("i")
@@ -206,26 +451,6 @@ class GroundIndex:
             neg_atoms.extend(gr.neg)
             pos_off.append(len(pos_atoms))
             neg_off.append(len(neg_atoms))
-        self.pos_off, self.pos_atoms = pos_off, pos_atoms
-        self.neg_off, self.neg_atoms = neg_off, neg_atoms
-
-        # Atom → rule adjacency (the transposed occurrence lists), in
-        # ascending rule order — the append order of the old per-state
-        # list-of-lists, keeping traversals deterministic.  Tuple views for
-        # the hot loops; flat CSR alongside.
-        self.pos_occ_t = tuple(tuple(rs) for rs in pos_lists)
-        self.neg_occ_t = tuple(tuple(rs) for rs in neg_lists)
-        pos_occ_off = array("i", [0])
-        neg_occ_off = array("i", [0])
-        pos_occ = array("i")
-        neg_occ = array("i")
-        for a in range(n_atoms):
-            pos_occ.extend(pos_lists[a])
-            neg_occ.extend(neg_lists[a])
-            pos_occ_off.append(len(pos_occ))
-            neg_occ_off.append(len(neg_occ))
-        self.pos_occ_off, self.pos_occ = pos_occ_off, pos_occ
-        self.neg_occ_off, self.neg_occ = neg_occ_off, neg_occ
 
         # M₀(Δ) and the EDB mask, computed once instead of per state.
         # Δ membership is resolved by iterating the (typically much
@@ -243,19 +468,112 @@ class GroundIndex:
             a = table.get(atom_)
             if a is not None:
                 initial_status[a] = TRUE
-        self.initial_status = initial_status
-        self.initial_valued = array(
-            "i", (a for a in range(n_atoms) if initial_status[a])
+
+        self._build(
+            n_atoms,
+            n_rules,
+            heads,
+            pos_off,
+            pos_atoms,
+            neg_off,
+            neg_atoms,
+            edb_mask,
+            initial_status,
         )
+
+    @classmethod
+    def from_compiled(
+        cls,
+        n_atoms: int,
+        heads: array,
+        pos_off: array,
+        pos_atoms: array,
+        neg_off: array,
+        neg_atoms: array,
+        edb_mask: bytearray,
+        initial_status: array,
+    ) -> "GroundIndex":
+        """Build the index straight from the grounder's CSR emission."""
+        self = cls.__new__(cls)
+        self._build(
+            n_atoms,
+            len(heads),
+            heads,
+            pos_off,
+            pos_atoms,
+            neg_off,
+            neg_atoms,
+            edb_mask,
+            initial_status,
+        )
+        return self
+
+    def _build(
+        self,
+        n_atoms: int,
+        n_rules: int,
+        heads: array,
+        pos_off: array,
+        pos_atoms: array,
+        neg_off: array,
+        neg_atoms: array,
+        edb_mask: bytearray,
+        initial_status: array,
+    ) -> None:
+        self.n_atoms = n_atoms
+        self.n_rules = n_rules
+
+        self.head_of = heads
+        self.head_of_t = tuple(heads)
+        self.pos_off, self.pos_atoms = pos_off, pos_atoms
+        self.neg_off, self.neg_atoms = neg_off, neg_atoms
+        pos_len = array("i", (pos_off[r + 1] - pos_off[r] for r in range(n_rules)))
+        neg_len = (neg_off[r + 1] - neg_off[r] for r in range(n_rules))
+        self.body_len = array("i", (p + q for p, q in zip(pos_len, neg_len)))
+        self.pos_len = pos_len
+
+        support = array("i", bytes(4 * n_atoms))
+        pos_lists: list[list[int]] = [[] for _ in range(n_atoms)]
+        neg_lists: list[list[int]] = [[] for _ in range(n_atoms)]
+        head_lists: list[list[int]] = [[] for _ in range(n_atoms)]
+        for r in range(n_rules):
+            h = heads[r]
+            support[h] += 1
+            head_lists[h].append(r)
+            for a in pos_atoms[pos_off[r] : pos_off[r + 1]]:
+                pos_lists[a].append(r)
+            for a in neg_atoms[neg_off[r] : neg_off[r + 1]]:
+                neg_lists[a].append(r)
+        self.support = support
+        # Reverse head adjacency: atom → rule instances whose head it is
+        # (the in-edges of an atom node; used by the incremental bottom-SCC
+        # bookkeeping to recount a split component's incoming edges).
+        self.rules_by_head_t = tuple(tuple(rs) for rs in head_lists)
+
+        # Atom → rule adjacency (the transposed occurrence lists), in
+        # ascending rule order — keeping traversals deterministic.  Tuple
+        # views for the hot loops; flat CSR alongside.
+        self.pos_occ_t = tuple(tuple(rs) for rs in pos_lists)
+        self.neg_occ_t = tuple(tuple(rs) for rs in neg_lists)
+        pos_occ_off = array("i", [0])
+        neg_occ_off = array("i", [0])
+        pos_occ = array("i")
+        neg_occ = array("i")
+        for a in range(n_atoms):
+            pos_occ.extend(pos_lists[a])
+            neg_occ.extend(neg_lists[a])
+            pos_occ_off.append(len(pos_occ))
+            neg_occ_off.append(len(neg_occ))
+        self.pos_occ_off, self.pos_occ = pos_occ_off, pos_occ
+        self.neg_occ_off, self.neg_occ = neg_occ_off, neg_occ
+
+        self.initial_status = initial_status
+        self.initial_valued = array("i", (a for a in range(n_atoms) if initial_status[a]))
         self.edb_mask = edb_mask
 
         body_len = self.body_len
-        self.empty_body_rules = array(
-            "i", (r for r in range(n_rules) if body_len[r] == 0)
-        )
-        self.zero_support_atoms = array(
-            "i", (a for a in range(n_atoms) if support[a] == 0)
-        )
+        self.empty_body_rules = array("i", (r for r in range(n_rules) if body_len[r] == 0))
+        self.zero_support_atoms = array("i", (a for a in range(n_atoms) if support[a] == 0))
 
         # Identity permutations: copied (memcpy) into each state's live-set
         # bookkeeping instead of being rebuilt element by element.
@@ -272,7 +590,7 @@ class GroundProgram:
     universe: tuple[Constant, ...]
     mode: GroundingMode
     atoms: AtomTable
-    rules: list[GroundRule] = field(default_factory=list)
+    rules: Sequence[GroundRule] = field(default_factory=list)
 
     @property
     def atom_count(self) -> int:
@@ -288,9 +606,10 @@ class GroundProgram:
     def index(self) -> GroundIndex:
         """The compiled CSR kernel view (built once, then shared).
 
-        The index is invalidated automatically if the rule list or atom
-        table grew since it was built (the grounders append while
-        constructing); after grounding completes the same instance is
+        The compiled grounders attach the index they emitted; it is
+        invalidated automatically if the rule list or atom table grew
+        since it was built (hand-built ground programs append while
+        constructing).  After grounding completes the same instance is
         shared by every evaluation state and every ``clone()``.
         """
         cached: GroundIndex | None = getattr(self, "_index_cache", None)
@@ -299,7 +618,24 @@ class GroundProgram:
             or cached.n_rules != len(self.rules)
             or cached.n_atoms != len(self.atoms)
         ):
-            cached = GroundIndex(self)
+            csr: _CsrEmitter | None = getattr(self, "_csr", None)
+            if (
+                csr is not None
+                and csr.n_atoms == len(self.atoms)
+                and len(csr.heads) == len(self.rules)
+            ):
+                cached = GroundIndex.from_compiled(
+                    csr.n_atoms,
+                    csr.heads,
+                    csr.pos_off,
+                    csr.pos,
+                    csr.neg_off,
+                    csr.neg,
+                    csr.edb_mask,
+                    csr.initial_status,
+                )
+            else:
+                cached = GroundIndex(self)
             object.__setattr__(self, "_index_cache", cached)
         return cached
 
@@ -317,7 +653,9 @@ class GroundProgram:
         )
 
 
-def universe_of(program: Program, database: Database, extra: Iterable[Constant] = ()) -> tuple[Constant, ...]:
+def universe_of(
+    program: Program, database: Database, extra: Iterable[Constant] = ()
+) -> tuple[Constant, ...]:
     """The universe U: all constants of the program, the database, and ``extra``.
 
     Sorted by string rendering for deterministic grounding order.
@@ -326,30 +664,89 @@ def universe_of(program: Program, database: Database, extra: Iterable[Constant] 
     return tuple(sorted(constants, key=str))
 
 
-def _literal_atom_id(table: AtomTable, literal: Literal, binding: Mapping[Variable, Constant]) -> int:
-    return table.id_of(literal.atom.substitute(binding))
+class _CsrEmitter:
+    """The grounder's shared CSR builders: instances as flat id arrays."""
 
-
-def _make_instance(
-    table: AtomTable,
-    rule: Rule,
-    rule_index: int,
-    variables: Sequence[Variable],
-    binding: Mapping[Variable, Constant],
-) -> GroundRule:
-    head_id = table.id_of(rule.head.substitute(binding))
-    pos: dict[int, None] = {}
-    neg: dict[int, None] = {}
-    for lit in rule.body:
-        target = pos if lit.positive else neg
-        target.setdefault(_literal_atom_id(table, lit, binding))
-    return GroundRule(
-        head=head_id,
-        pos=tuple(pos),
-        neg=tuple(neg),
-        rule_index=rule_index,
-        substitution=tuple(binding[v] for v in variables),
+    __slots__ = (
+        "heads",
+        "pos_off",
+        "pos",
+        "neg_off",
+        "neg",
+        "rule_index",
+        "sub_off",
+        "sub",
+        "n_atoms",
+        "edb_mask",
+        "initial_status",
     )
+
+    def __init__(self) -> None:
+        self.heads = array("i")
+        self.pos_off = array("i", [0])
+        self.pos = array("i")
+        self.neg_off = array("i", [0])
+        self.neg = array("i")
+        self.rule_index = array("i")
+        self.sub_off = array("i", [0])
+        self.sub = array("i")
+
+    def finish(
+        self,
+        gp: "GroundProgram",
+        n_atoms: int,
+        edb_mask: bytearray,
+        initial_status: array,
+        pool: ConstantPool,
+    ) -> None:
+        """Attach the lazy rule view and the emitted CSR arrays to ``gp``.
+
+        The occurrence-list transposition (:meth:`GroundIndex.from_compiled`)
+        runs on first :attr:`GroundProgram.index` access — the compile
+        phase, timed separately from grounding by the Engine.
+        """
+        self.n_atoms = n_atoms
+        self.edb_mask = edb_mask
+        self.initial_status = initial_status
+        gp.rules = _CompiledRules(
+            pool,
+            self.heads,
+            self.pos_off,
+            self.pos,
+            self.neg_off,
+            self.neg,
+            self.rule_index,
+            self.sub_off,
+            self.sub,
+        )
+        object.__setattr__(gp, "_csr", self)
+
+
+def _initial_model(
+    n_atoms: int,
+    pred_of: Sequence[str],
+    ids_by_pred: dict[str, dict[IntRow, int]],
+    delta: IntFactStore,
+    edb: frozenset[str],
+) -> tuple[bytearray, array]:
+    """M₀(Δ) and the EDB mask over interned atom ids."""
+    from repro.ground.model import FALSE, TRUE
+
+    edb_mask = bytearray(n_atoms)
+    initial_status = array("b", bytes(n_atoms))
+    if edb:
+        for a, pred in enumerate(pred_of):
+            if pred in edb:
+                edb_mask[a] = 1
+                initial_status[a] = FALSE
+    for pred, rows in delta.items():
+        ids = ids_by_pred.get(pred)
+        if ids:
+            for row in rows:
+                a = ids.get(row)
+                if a is not None:
+                    initial_status[a] = TRUE
+    return edb_mask, initial_status
 
 
 def _ground_full(
@@ -371,25 +768,95 @@ def _ground_full(
                 "or raise max_instances"
             )
 
-    table = AtomTable()
-    # VP: every ground atom of every predicate, per the paper's definition.
+    # VP: every ground atom of every predicate, per the paper's definition —
+    # laid out predicate-major in universe-lexicographic order, so atom ids
+    # are pure arithmetic over universe digits (no hashing, no Atom objects).
+    pool = ConstantPool(universe)
+    n_u = len(universe)
+    pred_arities: list[tuple[str, int]] = []
     for pred in sorted(program.predicates | database.predicates()):
         arity = program.arities.get(pred)
         if arity is None:
             rows = database[pred]
             arity = len(next(iter(rows))) if rows else 0
-        for args in product(universe, repeat=arity):
-            table.id_of(Atom(pred, args))
+        pred_arities.append((pred, arity))
+    table = _DenseAtomTable(pool, universe, pred_arities)
+    base_of: dict[str, int] = {p: table._bases[i] for i, (p, _) in enumerate(pred_arities)}
+    n_atoms = len(table)
 
-    gp = GroundProgram(program, database, universe, "full", table)
+    def atom_spec(atom: Atom, var_pos: dict) -> tuple[int, list[tuple[int, int]]]:
+        """(constant offset incl. base, [(stride, substitution index)])."""
+        arity = len(atom.args)
+        offset = base_of[atom.predicate]
+        var_terms: list[tuple[int, int]] = []
+        for p, term in enumerate(atom.args):
+            stride = n_u ** (arity - 1 - p)
+            if isinstance(term, Constant):
+                offset += stride * pool.intern(term)
+            else:
+                var_terms.append((stride, var_pos[term]))
+        return offset, var_terms
+
+    out = _CsrEmitter()
+    heads, pos, neg = out.heads, out.pos, out.neg
+    heads_append, pos_extend, neg_extend = heads.append, pos.extend, neg.extend
+    pos_off_append, neg_off_append = out.pos_off.append, out.neg_off.append
+    rule_index_append = out.rule_index.append
+    sub_extend, sub_off_append = out.sub.extend, out.sub_off.append
+    sub = out.sub
     for rule_index, r in enumerate(program.rules):
         variables = r.variables()
-        if not variables:
-            gp.rules.append(_make_instance(table, r, rule_index, variables, {}))
-            continue
-        for values in product(universe, repeat=len(variables)):
-            binding = dict(zip(variables, values))
-            gp.rules.append(_make_instance(table, r, rule_index, variables, binding))
+        k = len(variables)
+        var_pos = {v: j for j, v in enumerate(variables)}
+        head_spec = atom_spec(r.head, var_pos)
+        body_specs = [(lit.positive, atom_spec(lit.atom, var_pos)) for lit in r.body]
+        for digits in product(range(n_u), repeat=k):
+            offset, var_terms = head_spec
+            for stride, j in var_terms:
+                offset += stride * digits[j]
+            heads_append(offset)
+            pos_seen: list[int] = []
+            neg_seen: list[int] = []
+            for positive, (offset, var_terms) in body_specs:
+                for stride, j in var_terms:
+                    offset += stride * digits[j]
+                seen = pos_seen if positive else neg_seen
+                if offset not in seen:
+                    seen.append(offset)
+            pos_extend(pos_seen)
+            pos_off_append(len(pos))
+            neg_extend(neg_seen)
+            neg_off_append(len(neg))
+            rule_index_append(rule_index)
+            # Universe digits are pool ids (the pool interned the universe
+            # first), so they double as the substitution row.
+            sub_extend(digits)
+            sub_off_append(len(sub))
+
+    gp = GroundProgram(program, database, universe, "full", table)
+    delta = IntFactStore()
+    ids_by_pred: dict[str, dict[IntRow, int]] = {}
+    for pred in database.predicates():
+        ids = ids_by_pred.setdefault(pred, {})
+        for const_row in database[pred]:
+            row = tuple([pool.intern(c) for c in const_row])
+            delta.add(pred, row)
+            a = table.get(Atom(pred, const_row))
+            if a is not None:
+                ids[row] = a
+    edb_mask, initial_status = _initial_model(n_atoms, [], ids_by_pred, delta, frozenset())
+    # The EDB mask covers whole predicate blocks under the dense layout.
+    from repro.ground.model import FALSE
+
+    edb = program.edb_predicates
+    for i, (pred, arity) in enumerate(pred_arities):
+        if pred in edb:
+            base, size = table._bases[i], n_u**arity
+            edb_mask[base : base + size] = b"\x01" * size
+            for a in range(base, base + size):
+                if initial_status[a] == 0:
+                    initial_status[a] = FALSE
+    out.finish(gp, n_atoms, edb_mask, initial_status, pool)
     return gp
 
 
@@ -400,6 +867,7 @@ def _ground_joined(
     max_instances: int,
     prune_false_negative_edb: bool,
     mode: GroundingMode,
+    pool: ConstantPool | None,
 ) -> GroundProgram:
     """Shared implementation of the ``relevant`` and ``edb`` modes.
 
@@ -411,48 +879,180 @@ def _ground_joined(
     instance — and the atom — is materialized here).
     """
     edb = program.edb_predicates
+    if pool is None:
+        pool = ConstantPool()
+    uni_ids = [pool.intern(c) for c in universe]
+
+    delta = IntFactStore()
+    for pred in database.predicates():
+        for const_row in database[pred]:
+            delta.add(pred, tuple([pool.intern(c) for c in const_row]))
     if mode == "relevant":
-        join_store = upper_bound_model(program, database, universe=universe)
+        positivized = [Rule(r.head, r.positive_body()) for r in program.rules]
+        join_store = least_model_interned(
+            positivized, database, universe=universe, pool=pool, database_rows=delta
+        )
     else:
-        join_store = FactStore.from_database(database)
-    table = AtomTable()
+        join_store = delta
+
     # Materialize the join store (U* respectively Δ) so negative IDB
-    # literals and unfounded atoms have nodes to be falsified on.
-    for atom_ in sorted(join_store.atoms(), key=str):
-        table.id_of(atom_)
+    # literals and unfounded atoms have nodes to be falsified on; sorted
+    # predicate-major for deterministic ids.
+    ids_by_pred: dict[str, dict[IntRow, int]] = {}
+    pred_of: list[str] = []
+    row_of: list[IntRow] = []
+    for pred in sorted(join_store.predicates()):
+        ids = ids_by_pred.setdefault(pred, {})
+        for row in sorted(join_store.rows(pred)):
+            ids[row] = len(pred_of)
+            pred_of.append(pred)
+            row_of.append(row)
 
-    gp = GroundProgram(program, database, universe, mode, table)
-
+    out = _CsrEmitter()
+    heads, pos, neg = out.heads, out.pos, out.neg
+    heads_append, pos_extend, neg_extend = heads.append, pos.extend, neg.extend
+    pos_off_append, neg_off_append = out.pos_off.append, out.neg_off.append
+    rule_index_append = out.rule_index.append
+    sub_extend, sub_off_append = out.sub.extend, out.sub_off.append
+    sub = out.sub
+    pred_of_append, row_of_append = pred_of.append, row_of.append
+    intern = pool.intern
     for rule_index, r in enumerate(program.rules):
         variables = r.variables()
-        joinable = [
-            lit
-            for lit in r.positive_body()
-            if mode == "relevant" or lit.predicate in edb
+        head_pred = r.head.predicate
+        head_ids = ids_by_pred.setdefault(head_pred, {})
+
+        if not variables:
+            # Fully ground rule: the join is pure membership, one instance —
+            # the unrolled twin of ``instantiate`` below over direct rows.
+            satisfied = True
+            for lit in r.body:
+                if lit.positive and (mode == "relevant" or lit.predicate in edb):
+                    if tuple([intern(t) for t in lit.atom.args]) not in join_store.rows(
+                        lit.predicate
+                    ):
+                        satisfied = False
+                        break
+                elif not lit.positive and prune_false_negative_edb and lit.predicate in edb:
+                    if tuple([intern(t) for t in lit.atom.args]) in delta.rows(lit.predicate):
+                        satisfied = False
+                        break
+            if not satisfied:
+                continue
+            row = tuple([intern(t) for t in r.head.args])
+            head_id = head_ids.get(row)
+            if head_id is None:
+                head_id = len(pred_of)
+                head_ids[row] = head_id
+                pred_of_append(head_pred)
+                row_of_append(row)
+            heads_append(head_id)
+            pos_seen = []
+            neg_seen = []
+            for lit in r.body:
+                row = tuple([intern(t) for t in lit.atom.args])
+                ids = ids_by_pred.setdefault(lit.predicate, {})
+                atom_id = ids.get(row)
+                if atom_id is None:
+                    atom_id = len(pred_of)
+                    ids[row] = atom_id
+                    pred_of_append(lit.predicate)
+                    row_of_append(row)
+                seen = pos_seen if lit.positive else neg_seen
+                if atom_id not in seen:
+                    seen.append(atom_id)
+            pos_extend(pos_seen)
+            pos_off_append(len(pos))
+            neg_extend(neg_seen)
+            neg_off_append(len(neg))
+            rule_index_append(rule_index)
+            sub_off_append(len(sub))
+            if len(heads) > max_instances:
+                raise GroundingError(f"{mode} grounding exceeded {max_instances} instances")
+            continue
+
+        slot_of = {v: i for i, v in enumerate(variables)}
+        joinable = [lit for lit in r.positive_body() if mode == "relevant" or lit.predicate in edb]
+        head_spec = compile_row_spec(r.head, slot_of, pool)
+        body_probes = [
+            (
+                lit.positive,
+                compile_row_spec(lit.atom, slot_of, pool),
+                ids_by_pred.setdefault(lit.predicate, {}),
+                lit.predicate,
+            )
+            for lit in r.body
         ]
-        positive = order_body_for_join(joinable)
-        for partial in enumerate_bindings(positive, join_store):
-            unbound = [v for v in variables if v not in partial]
-            # Over an empty universe, rules with unbound variables have no
-            # instances (matching the full grounder's |U|^k = 0).
-            for values in product(universe, repeat=len(unbound)):
-                binding = dict(partial)
-                binding.update(zip(unbound, values))
-                if prune_false_negative_edb and any(
-                    not lit.positive
-                    and lit.predicate in edb
-                    and database.contains_atom(lit.atom.substitute(binding))
-                    for lit in r.body
-                ):
+        neg_edb_probes = (
+            [
+                (compile_row_spec(lit.atom, slot_of, pool), delta.rows(lit.predicate))
+                for lit in r.body
+                if not lit.positive and lit.predicate in edb
+            ]
+            if prune_false_negative_edb
+            else []
+        )
+
+        def instantiate(slots: Sequence[int]) -> None:
+            for spec, delta_rows in neg_edb_probes:
+                if tuple([slots[v] if v >= 0 else ~v for v in spec]) in delta_rows:
                     # A negative EDB literal is violated: the instance's body
                     # is false in every model; close() would delete its node
                     # before it could influence anything.
-                    continue
-                gp.rules.append(_make_instance(table, r, rule_index, variables, binding))
-                if len(gp.rules) > max_instances:
-                    raise GroundingError(
-                        f"{mode} grounding exceeded {max_instances} instances"
-                    )
+                    return
+            row = tuple([slots[v] if v >= 0 else ~v for v in head_spec])
+            head_id = head_ids.get(row)
+            if head_id is None:
+                head_id = len(pred_of)
+                head_ids[row] = head_id
+                pred_of_append(head_pred)
+                row_of_append(row)
+            heads_append(head_id)
+            pos_seen: list[int] = []
+            neg_seen: list[int] = []
+            for positive, spec, ids, pred in body_probes:
+                row = tuple([slots[v] if v >= 0 else ~v for v in spec])
+                atom_id = ids.get(row)
+                if atom_id is None:
+                    atom_id = len(pred_of)
+                    ids[row] = atom_id
+                    pred_of_append(pred)
+                    row_of_append(row)
+                seen = pos_seen if positive else neg_seen
+                if atom_id not in seen:
+                    seen.append(atom_id)
+            pos_extend(pos_seen)
+            pos_off_append(len(pos))
+            neg_extend(neg_seen)
+            neg_off_append(len(neg))
+            rule_index_append(rule_index)
+            sub_extend(slots)
+            sub_off_append(len(sub))
+            if len(heads) > max_instances:
+                raise GroundingError(f"{mode} grounding exceeded {max_instances} instances")
+
+        plan = JoinPlan.compile(order_body_for_join(joinable), slot_of, pool)
+        # Over an empty universe, rules with unbound variables have no
+        # instances (matching the full grounder's |U|^k = 0).
+        unbound = [slot_of[v] for v in variables if slot_of[v] not in plan.bound_slots]
+        if unbound:
+
+            def emit(slots: list[int]) -> None:
+                for values in product(uni_ids, repeat=len(unbound)):
+                    for s, v in zip(unbound, values):
+                        slots[s] = v
+                    instantiate(slots)
+
+        else:
+            emit = instantiate
+
+        plan.execute(join_store, [0] * len(variables), emit)
+
+    n_atoms = len(pred_of)
+    table = _InternedAtomTable(pool, pred_of, row_of, ids_by_pred)
+    gp = GroundProgram(program, database, universe, mode, table)
+    edb_mask, initial_status = _initial_model(n_atoms, pred_of, ids_by_pred, delta, edb)
+    out.finish(gp, n_atoms, edb_mask, initial_status, pool)
     return gp
 
 
@@ -464,6 +1064,7 @@ def ground(
     extra_constants: Iterable[Constant] = (),
     max_instances: int = 2_000_000,
     prune_false_negative_edb: bool = True,
+    pool: ConstantPool | None = None,
 ) -> GroundProgram:
     """Ground ``program`` over ``database``.
 
@@ -480,13 +1081,16 @@ def ground(
 
     ``extra_constants`` extends the universe beyond the constants mentioned
     by the program and database (the paper lets Δ fix the universe; tests of
-    Theorem 2/3 use this to stress larger universes).
+    Theorem 2/3 use this to stress larger universes).  ``pool`` supplies a
+    shared :class:`~repro.engine.plan.ConstantPool` so one interning session
+    serves several groundings (the :class:`~repro.api.Engine` passes its
+    session pool; ``full`` mode uses its own universe-aligned pool).
     """
     universe = universe_of(program, database, extra_constants)
     if mode == "full":
         return _ground_full(program, database, universe, max_instances)
     if mode in ("relevant", "edb"):
         return _ground_joined(
-            program, database, universe, max_instances, prune_false_negative_edb, mode
+            program, database, universe, max_instances, prune_false_negative_edb, mode, pool
         )
     raise ValueError(f"unknown grounding mode {mode!r}")

@@ -202,9 +202,7 @@ class _Parser:
         if tok.kind == "STRING":
             self._advance()
             return Constant(tok.text)
-        raise ParseError(
-            f"expected a term, found {tok.kind} ({tok.text!r})", tok.line, tok.column
-        )
+        raise ParseError(f"expected a term, found {tok.kind} ({tok.text!r})", tok.line, tok.column)
 
 
 def parse_rules(source: str) -> list[Rule]:

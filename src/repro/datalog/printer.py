@@ -16,7 +16,14 @@ from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Term, Variable
 
-__all__ = ["format_term", "format_atom", "format_literal", "format_rule", "format_program", "format_database"]
+__all__ = [
+    "format_term",
+    "format_atom",
+    "format_literal",
+    "format_rule",
+    "format_program",
+    "format_database",
+]
 
 
 def format_term(term: Term) -> str:

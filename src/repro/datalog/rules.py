@@ -97,7 +97,5 @@ def rule(head: Atom, *body: Union[Literal, Atom]) -> Rule:
     >>> str(rule(atom("p", "X"), atom("e", "X"), neg("q", "X")))
     'p(X) :- e(X), ¬q(X).'
     """
-    literals = tuple(
-        lit if isinstance(lit, Literal) else Literal(lit, True) for lit in body
-    )
+    literals = tuple(lit if isinstance(lit, Literal) else Literal(lit, True) for lit in body)
     return Rule(head, literals)

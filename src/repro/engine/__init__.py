@@ -1,4 +1,13 @@
-"""Evaluation engine: fact stores, indexed joins, semi-naive least fixpoints."""
+"""Evaluation engine: interned joins, compiled plans, semi-naive least fixpoints.
+
+The compiled path (:mod:`repro.engine.plan`) interns constants into a
+:class:`ConstantPool`, stores relations as int-tuple rows
+(:class:`IntFactStore`), and compiles rule bodies into
+:class:`JoinPlan` slot schedules — the machinery under the grounders and
+the semi-naive engine.  The object-level join primitives
+(:mod:`repro.engine.matching` over :class:`FactStore`) remain the
+convenience surface for semantics that join small reducts directly.
+"""
 
 from repro.engine.facts import FactStore
 from repro.engine.matching import (
@@ -8,13 +17,18 @@ from repro.engine.matching import (
     match_literal,
     order_body_for_join,
 )
-from repro.engine.seminaive import least_model, upper_bound_model
+from repro.engine.plan import ConstantPool, IntFactStore, JoinPlan
+from repro.engine.seminaive import least_model, least_model_interned, upper_bound_model
 
 __all__ = [
     "Binding",
+    "ConstantPool",
     "FactStore",
+    "IntFactStore",
+    "JoinPlan",
     "enumerate_bindings",
     "least_model",
+    "least_model_interned",
     "match_atom_row",
     "match_literal",
     "order_body_for_join",

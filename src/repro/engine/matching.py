@@ -19,9 +19,7 @@ __all__ = ["match_atom_row", "match_literal", "enumerate_bindings", "order_body_
 Binding = dict[Variable, Constant]
 
 
-def match_atom_row(
-    atom: Atom, row: Sequence[Constant], binding: Binding
-) -> Binding | None:
+def match_atom_row(atom: Atom, row: Sequence[Constant], binding: Binding) -> Binding | None:
     """Try to match ``atom``'s argument pattern against a stored ``row``.
 
     Returns an *extended copy* of ``binding`` on success (repeated variables
@@ -43,9 +41,7 @@ def match_atom_row(
     return new if new is not None else dict(binding)
 
 
-def match_literal(
-    literal: Literal, store: FactStore, binding: Binding
-) -> Iterator[Binding]:
+def match_literal(literal: Literal, store: FactStore, binding: Binding) -> Iterator[Binding]:
     """Yield all extensions of ``binding`` matching a *positive* literal.
 
     The already-bound positions of the literal are pushed into the store's
@@ -98,8 +94,8 @@ def order_body_for_join(literals: Sequence[Literal]) -> list[Literal]:
     paper's ``[X = i]`` chains (zero/succ/succ/...) into linear probes.
     """
     remaining = list(literals)
-    if not remaining:
-        return []
+    if len(remaining) <= 1:
+        return remaining
     ordered: list[Literal] = []
     bound: set[Variable] = set()
 

@@ -9,9 +9,25 @@ Two uses in the reproduction:
 * the **GL-reduct least model** — the independent stable-model checker
   evaluates the (positive) reduct with this same engine.
 
-Head variables not bound by the positive body (the paper's programs are not
-required to be range-restricted — see program (2) in §1) are enumerated
-over the universe.
+The evaluation core runs over the compiled machinery of
+:mod:`repro.engine.plan`: constants are interned once into a
+:class:`~repro.engine.plan.ConstantPool`, relations live in an
+:class:`~repro.engine.plan.IntFactStore`, and every rule is compiled
+once into :class:`~repro.engine.plan.JoinPlan` schedules — one full-join
+plan plus one delta-promoted plan per body literal.  Delta rounds are
+*indexed*: plans are bucketed by their promoted literal's predicate, so
+a round only re-joins rules that can actually see the delta (the old
+loop re-scanned every plan of every rule each round).
+
+Head variables not bound by the positive body (the paper's programs are
+not required to be range-restricted — see program (2) in §1) are
+enumerated over the universe.  Over an empty universe such rules have no
+instances at all (there are no ground atoms of positive arity).
+
+:func:`least_model_interned` exposes the int-level result for callers
+that keep working with interned ids (the relevant grounder);
+:func:`least_model` / :func:`upper_bound_model` decode to the legacy
+:class:`~repro.engine.facts.FactStore` surface.
 """
 
 from __future__ import annotations
@@ -19,37 +35,187 @@ from __future__ import annotations
 from itertools import product
 from typing import Iterable, Sequence
 
-from repro.datalog.atoms import Literal
 from repro.datalog.database import Database
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant
 from repro.engine.facts import FactStore
-from repro.engine.matching import Binding, enumerate_bindings, match_literal, order_body_for_join
+from repro.engine.matching import order_body_for_join
+from repro.engine.plan import (
+    ConstantPool,
+    IntFactStore,
+    JoinPlan,
+    build_row,
+    compile_row_spec,
+)
 from repro.errors import GroundingError
 
-__all__ = ["least_model", "upper_bound_model"]
+__all__ = ["least_model", "least_model_interned", "upper_bound_model"]
 
 
-def _head_rows(rule: Rule, binding: Binding, universe: Sequence[Constant]):
-    """Yield head argument rows for ``binding``, enumerating unbound variables.
+class _RulePlan:
+    """One rule compiled for semi-naive evaluation (see module docstring)."""
 
-    Over an empty universe a rule with unbound variables has no instances
-    at all (there are no ground atoms of positive arity), so nothing is
-    yielded.
+    __slots__ = (
+        "head_predicate",
+        "head_spec",
+        "head_row",
+        "ground_body",
+        "unbound_head_slots",
+        "n_slots",
+        "full_plan",
+        "delta_plans",
+    )
+
+    def __init__(self, rule: Rule, pool: ConstantPool, idb: frozenset[str]) -> None:
+        variables = rule.variables()
+        self.n_slots = len(variables)
+        self.head_predicate = rule.head.predicate
+
+        body = list(rule.body)
+        if not variables:
+            # Fully ground rule (e.g. any propositional program): firing is
+            # pure membership — no join machinery compiled at all.  The
+            # "plan" of a delta promotion is just the promoted body index.
+            intern = pool.intern
+            self.head_spec = None
+            self.ground_body = [
+                (lit.predicate, tuple([intern(t) for t in lit.atom.args])) for lit in body
+            ]
+            self.head_row = tuple([intern(t) for t in rule.head.args])
+            self.full_plan = -1
+            self.delta_plans = [
+                (lit.predicate, j) for j, lit in enumerate(body) if lit.predicate in idb
+            ]
+            self.unbound_head_slots = ()
+            return
+        slot_of = {v: i for i, v in enumerate(variables)}
+        self.head_spec = compile_row_spec(rule.head, slot_of, pool)
+        self.ground_body = None
+        self.head_row = None
+        self.full_plan = JoinPlan.compile(order_body_for_join(body), slot_of, pool)
+        # One plan per body position promoted to the delta probe — but only
+        # for derivable (IDB) predicates: deltas never contain EDB rows.
+        self.delta_plans = []
+        for i, lit in enumerate(body):
+            if lit.predicate not in idb:
+                continue
+            if len(body) == 1:
+                self.delta_plans.append((lit.predicate, self.full_plan))
+                continue
+            ordered = [lit] + order_body_for_join(body[:i] + body[i + 1 :])
+            self.delta_plans.append((lit.predicate, JoinPlan.compile(ordered, slot_of, pool)))
+
+        bound = self.full_plan.bound_slots
+        self.unbound_head_slots = tuple(
+            slot_of[v]
+            for v in dict.fromkeys(rule.head.variables())
+            if slot_of[v] not in bound
+        )
+
+    def fire(
+        self,
+        join_plan: "JoinPlan | int",
+        store: IntFactStore,
+        sink: IntFactStore,
+        universe_ids: Sequence[int],
+        delta: IntFactStore | None = None,
+    ) -> None:
+        """Join the body; add head rows not already in ``store`` to ``sink``."""
+        head_pred = self.head_predicate
+        ground_body = self.ground_body
+        if ground_body is not None:
+            delta_index = join_plan if type(join_plan) is int else -1
+            for j, (pred, row) in enumerate(ground_body):
+                source = delta if j == delta_index else store
+                if row not in source.rows(pred):
+                    return
+            head_row = self.head_row
+            if head_row not in store.rows(head_pred):
+                sink.add(head_pred, head_row)
+            return
+        head_spec = self.head_spec
+        existing = store.rows(head_pred)
+        unbound = self.unbound_head_slots
+        slots = [0] * self.n_slots
+
+        if not unbound:
+
+            def emit(slots: list[int]) -> None:
+                row = build_row(head_spec, slots)
+                if row not in existing:
+                    sink.add(head_pred, row)
+
+        else:
+
+            def emit(slots: list[int]) -> None:
+                for values in product(universe_ids, repeat=len(unbound)):
+                    for s, v in zip(unbound, values):
+                        slots[s] = v
+                    row = build_row(head_spec, slots)
+                    if row not in existing:
+                        sink.add(head_pred, row)
+
+        join_plan.execute(store, slots, emit, delta)
+
+
+def least_model_interned(
+    rules: Sequence[Rule],
+    database: Database,
+    *,
+    universe: Sequence[Constant] = (),
+    pool: ConstantPool,
+    database_rows: IntFactStore | None = None,
+) -> IntFactStore:
+    """Least model of positive ``rules``, at the interned-id level.
+
+    ``rules`` must already be positive (callers positivize).  The result
+    shares ``pool``: decode rows with :meth:`ConstantPool.constant`.
+    ``database_rows`` may supply ``database`` already interned under
+    ``pool`` (the relevant grounder interns Δ once for both U\\* and the
+    negative-EDB prune); rows are copied, never aliased.
     """
-    unbound = [v for v in dict.fromkeys(rule.head.variables()) if v not in binding]
-    if not unbound:
-        yield tuple(
-            binding[t] if isinstance(t, Variable) else t for t in rule.head.args
-        )
-        return
-    for values in product(universe, repeat=len(unbound)):
-        extended = dict(binding)
-        extended.update(zip(unbound, values))
-        yield tuple(
-            extended[t] if isinstance(t, Variable) else t for t in rule.head.args
-        )
+    universe_ids = [pool.intern(c) for c in universe]
+    idb = frozenset(r.head.predicate for r in rules)
+    plans = [_RulePlan(r, pool, idb) for r in rules]
+    plans_by_pred: dict[str, list[tuple[_RulePlan, JoinPlan]]] = {}
+    for plan in plans:
+        for pred, delta_plan in plan.delta_plans:
+            plans_by_pred.setdefault(pred, []).append((plan, delta_plan))
+
+    store = IntFactStore()
+    if database_rows is not None:
+        for pred, rows in database_rows.items():
+            for row in rows:
+                store.add(pred, row)
+    else:
+        for pred in database.predicates():
+            for const_row in database[pred]:
+                store.add(pred, tuple([pool.intern(c) for c in const_row]))
+
+    # Round 0: full join of every rule; then delta-indexed rounds.
+    new = IntFactStore()
+    for plan in plans:
+        plan.fire(plan.full_plan, store, new, universe_ids)
+    while len(new):
+        for pred, rows in new.items():
+            for row in rows:
+                store.add(pred, row)
+        delta = new
+        new = IntFactStore()
+        for pred, _rows in delta.items():
+            for plan, delta_plan in plans_by_pred.get(pred, ()):
+                plan.fire(delta_plan, store, new, universe_ids, delta)
+    return store
+
+
+def _positive_rules(program: Program | Iterable[Rule], positivize: bool) -> list[Rule]:
+    rules = list(program.rules if isinstance(program, Program) else program)
+    if positivize:
+        return [Rule(r.head, r.positive_body()) for r in rules]
+    if any(not lit.positive for r in rules for lit in r.body):
+        raise GroundingError("least_model requires a positive program (or positivize=True)")
+    return rules
 
 
 def least_model(
@@ -62,64 +228,18 @@ def least_model(
     """Least model of a positive program over ``database``.
 
     With ``positivize=True`` negative body literals are dropped first (the
-    U\\* construction); otherwise the program must be positive.
-
-    Uses semi-naive iteration: each round re-joins only those rule bodies
-    through a literal matching the previous round's *delta*.
+    U\\* construction); otherwise the program must be positive.  The
+    compiled interned evaluation runs underneath; the result is decoded
+    into the legacy :class:`FactStore` surface.
     """
-    rules = list(program.rules if isinstance(program, Program) else program)
-    if positivize:
-        rules = [Rule(r.head, r.positive_body()) for r in rules]
-    elif any(not lit.positive for r in rules for lit in r.body):
-        raise GroundingError("least_model requires a positive program (or positivize=True)")
-
-    store = FactStore.from_database(database)
-    delta = FactStore()
-
-    # Precompute, per rule, the join orders with each body position promoted
-    # to the delta slot.
-    plans: list[tuple[Rule, list[list[Literal]]]] = []
-    for r in rules:
-        body = list(r.body)
-        orders: list[list[Literal]] = []
-        for i in range(len(body)):
-            rest = body[:i] + body[i + 1 :]
-            orders.append([body[i]] + order_body_for_join(rest))
-        plans.append((r, orders))
-
-    def fire(rule: Rule, ordered: list[Literal], delta_store: FactStore | None, sink: FactStore) -> bool:
-        """Join the body (first literal against delta if given); add heads to sink."""
-        changed = False
-        if not ordered:
-            bindings: Iterable[Binding] = [dict()]
-        elif delta_store is None:
-            bindings = enumerate_bindings(ordered, store)
-        else:
-            def chain() -> Iterable[Binding]:
-                for first in match_literal(ordered[0], delta_store, {}):
-                    yield from enumerate_bindings(ordered[1:], store, first)
-            bindings = chain()
-        for binding in bindings:
-            for row in _head_rows(rule, binding, universe):
-                if not store.contains(rule.head.predicate, row):
-                    if sink.add(rule.head.predicate, row):
-                        changed = True
-        return changed
-
-    # Round 0: full join of every rule.
-    new = FactStore()
-    for r, _orders in plans:
-        fire(r, order_body_for_join(list(r.body)), None, new)
-    while len(new):
-        for atom_ in new.atoms():
-            store.add_atom(atom_)
-        delta = new
-        new = FactStore()
-        for r, orders in plans:
-            for ordered in orders:
-                if delta.count(ordered[0].predicate) == 0:
-                    continue
-                fire(r, ordered, delta, new)
+    rules = _positive_rules(program, positivize)
+    pool = ConstantPool()
+    interned = least_model_interned(rules, database, universe=universe, pool=pool)
+    constant = pool.constant
+    store = FactStore()
+    for pred, rows in interned.items():
+        for row in rows:
+            store.add(pred, tuple([constant(v) for v in row]))
     return store
 
 

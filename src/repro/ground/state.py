@@ -569,7 +569,8 @@ class GroundGraphState:
         # became cross edges; edges from other components stayed).
         idx = self._idx
         rules_by_head_t = idx.rules_by_head_t
-        gp_rules = self.gp.rules
+        pos_off, pos_atoms = idx.pos_off, idx.pos_atoms
+        neg_off, neg_atoms = idx.neg_off, idx.neg_atoms
         for cid, piece in fresh:
             count = 0
             for node in piece:
@@ -578,11 +579,11 @@ class GroundGraphState:
                         if rule_alive[r] and comp_of[n_atoms + r] != cid:
                             count += 1
                 else:
-                    gr = gp_rules[node - n_atoms]
-                    for a in gr.pos:
+                    r = node - n_atoms
+                    for a in pos_atoms[pos_off[r] : pos_off[r + 1]]:
                         if atom_alive[a] and comp_of[a] != cid:
                             count += 1
-                    for a in gr.neg:
+                    for a in neg_atoms[neg_off[r] : neg_off[r + 1]]:
                         if atom_alive[a] and comp_of[a] != cid:
                             count += 1
             incross[cid] = count

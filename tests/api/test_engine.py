@@ -27,14 +27,14 @@ class TestGroundOnce:
             ground_calls.append(kwargs.get("mode"))
             return real_ground(*args, **kwargs)
 
-        real_index_init = GroundIndex.__init__
+        real_index_build = GroundIndex._build
 
-        def counting_index_init(self, gp):
-            index_builds.append(id(gp))
-            real_index_init(self, gp)
+        def counting_index_build(self, *args, **kwargs):
+            index_builds.append(id(self))
+            real_index_build(self, *args, **kwargs)
 
         monkeypatch.setattr(engine_module, "ground", counting_ground)
-        monkeypatch.setattr(GroundIndex, "__init__", counting_index_init)
+        monkeypatch.setattr(GroundIndex, "_build", counting_index_build)
 
         engine = Engine(WIN_MOVE, DRAW_DB, grounding="relevant")
         for _ in range(4):  # N solves ...

@@ -1,0 +1,242 @@
+"""Compiled join-plan machinery: interning, int relations, slot joins.
+
+Covers the :mod:`repro.engine.plan` primitives directly, plus the
+grounder-level behaviours that ride them: non-range-restricted rules
+(paper §1 program (2)) and empty-universe edge cases through the
+``JoinPlan`` path.
+"""
+
+import pytest
+
+from repro.bench.seed_grounder import seed_ground
+from repro.datalog.atoms import Atom, atom, pos
+from repro.datalog.database import Database
+from repro.datalog.grounding import ground
+from repro.datalog.parser import parse_database, parse_program
+from repro.datalog.terms import Constant, Variable
+from repro.engine.plan import ConstantPool, IntFactStore, JoinPlan, build_row, compile_row_spec
+
+PROGRAM_TWO = "p(X, Y) :- not p(Y, Y), e(X)."  # §1 program (2)
+
+
+class TestConstantPool:
+    def test_intern_is_stable_and_dense(self):
+        pool = ConstantPool()
+        a, b = Constant("a"), Constant(7)
+        assert pool.intern(a) == 0
+        assert pool.intern(b) == 1
+        assert pool.intern(a) == 0  # idempotent
+        assert pool.constant(1) == b
+        assert pool.get(Constant("missing")) is None
+        assert len(pool) == 2 and a in pool
+
+    def test_seed_constants(self):
+        pool = ConstantPool([Constant(i) for i in range(3)])
+        assert [pool.constant(i).value for i in range(3)] == [0, 1, 2]
+
+
+class TestIntFactStore:
+    def test_add_contains_count(self):
+        store = IntFactStore()
+        assert store.add("e", (0, 1))
+        assert not store.add("e", (0, 1))  # duplicate
+        assert store.contains("e", (0, 1))
+        assert store.count("e") == 1 and len(store) == 1
+        assert list(store.predicates()) == ["e"]
+
+    def test_matching_uses_and_maintains_indexes(self):
+        store = IntFactStore()
+        store.add("e", (0, 1))
+        store.add("e", (0, 2))
+        assert sorted(store.matching("e", (0,), (0,))) == [(0, 1), (0, 2)]
+        # Rows added after the index was built must land in it.
+        store.add("e", (0, 3))
+        assert sorted(store.matching("e", (0,), (0,))) == [(0, 1), (0, 2), (0, 3)]
+        assert store.matching("e", (1,), (9,)) == ()
+
+
+def _slots_of(rule_vars):
+    return {Variable(v): i for i, v in enumerate(rule_vars)}
+
+
+class TestJoinPlan:
+    def test_chained_join_binds_slots(self):
+        pool = ConstantPool()
+        store = IntFactStore()
+        for row in [(0, 1), (1, 2), (2, 3)]:
+            store.add("e", row)
+        literals = [pos("e", "X", "Y"), pos("e", "Y", "Z")]
+        plan = JoinPlan.compile(literals, _slots_of("XYZ"), pool)
+        assert plan.bound_slots == {0, 1, 2}
+        results = []
+        plan.execute(store, [0, 0, 0], lambda s: results.append(tuple(s)))
+        assert sorted(results) == [(0, 1, 2), (1, 2, 3)]
+
+    def test_repeated_variable_in_one_literal(self):
+        pool = ConstantPool()
+        store = IntFactStore()
+        store.add("e", (0, 0))
+        store.add("e", (0, 1))
+        plan = JoinPlan.compile([pos("e", "X", "X")], _slots_of("X"), pool)
+        results = []
+        plan.execute(store, [0], lambda s: results.append(tuple(s)))
+        assert results == [(0,)]
+
+    def test_constant_arguments_become_static_keys(self):
+        pool = ConstantPool()
+        key = pool.intern(Constant("a"))
+        store = IntFactStore()
+        store.add("e", (key, 5))
+        plan = JoinPlan.compile([pos("e", "a", "X")], _slots_of("X"), pool)
+        (step,) = plan.steps
+        assert step.static_key == (key,)
+        results = []
+        plan.execute(store, [0], lambda s: results.append(tuple(s)))
+        assert results == [(5,)]
+
+    def test_empty_conjunction_emits_once(self):
+        plan = JoinPlan.compile([], {}, ConstantPool())
+        calls = []
+        plan.execute(IntFactStore(), [], lambda s: calls.append(1))
+        assert calls == [1]
+
+    def test_rejects_negative_literals(self):
+        from repro.datalog.atoms import neg
+
+        with pytest.raises(ValueError):
+            JoinPlan.compile([neg("p", "X")], _slots_of("X"), ConstantPool())
+
+    def test_delta_promotion_probes_delta_first(self):
+        pool = ConstantPool()
+        store = IntFactStore()
+        delta = IntFactStore()
+        store.add("e", (0, 1))
+        store.add("e", (1, 2))
+        delta.add("e", (1, 2))  # only this row may seed the join
+        plan = JoinPlan.compile([pos("e", "X", "Y"), pos("e", "Y", "Z")], _slots_of("XYZ"), pool)
+        results = []
+        plan.execute(store, [0, 0, 0], lambda s: results.append(tuple(s)), delta)
+        # Delta row (1, 2) has no continuation e(2, _) in the full store.
+        assert results == []
+        delta2 = IntFactStore()
+        delta2.add("e", (0, 1))
+        results = []
+        plan.execute(store, [0, 0, 0], lambda s: results.append(tuple(s)), delta2)
+        assert results == [(0, 1, 2)]
+
+
+class TestRowSpecs:
+    def test_spec_mixes_slots_and_constants(self):
+        pool = ConstantPool()
+        slot_of = _slots_of("XY")
+        spec = compile_row_spec(atom("p", "X", "a", "Y"), slot_of, pool)
+        a_id = pool.get(Constant("a"))
+        assert spec == (0, ~a_id, 1)
+        assert build_row(spec, [10, 20]) == (10, a_id, 20)
+
+
+class TestNonRangeRestrictedGrounding:
+    """Paper §1 program (2): the head variable Y is not range-restricted."""
+
+    def test_program_two_grounds_identically_to_seed(self):
+        program = parse_program(PROGRAM_TWO)
+        database = parse_database("e(1). e(2).")
+        for mode in ("full", "relevant", "edb"):
+            gp = ground(program, database, mode=mode)
+            gp_seed = seed_ground(program, database, mode=mode)
+            new = {
+                (
+                    gp.atoms.atom(gr.head),
+                    frozenset(gp.atoms.atom(a) for a in gr.pos),
+                    frozenset(gp.atoms.atom(a) for a in gr.neg),
+                    gr.rule_index,
+                    gr.substitution,
+                )
+                for gr in gp.rules
+            }
+            seed = {
+                (
+                    gp_seed.atoms.atom(gr.head),
+                    frozenset(gp_seed.atoms.atom(a) for a in gr.pos),
+                    frozenset(gp_seed.atoms.atom(a) for a in gr.neg),
+                    gr.rule_index,
+                    gr.substitution,
+                )
+                for gr in gp_seed.rules
+            }
+            assert new == seed, mode
+
+    def test_unbound_head_variable_enumerates_universe(self):
+        program = parse_program(PROGRAM_TWO)
+        database = parse_database("e(a). e(b).")
+        gp = ground(program, database, mode="relevant")
+        assert gp.rule_count == 4  # X bound by e, Y enumerated over {a, b}
+        heads = {gp.atoms.atom(gr.head) for gr in gp.rules}
+        assert heads == {atom("p", x, y) for x in "ab" for y in "ab"}
+
+    def test_unbound_variable_only_in_negative_literal(self):
+        program = parse_program("s(X) :- e(X), not q(Y).")
+        database = parse_database("e(1).")
+        gp = ground(program, database, mode="relevant")
+        assert gp.rule_count == 1  # Y enumerated over the universe {1}
+        (gr,) = gp.rules
+        assert [gp.atoms.atom(a) for a in gr.neg] == [atom("q", 1)]
+
+
+class TestEmptyUniverse:
+    def test_variable_rule_over_empty_universe_has_no_instances(self):
+        program = parse_program("p(Y) :- q.")
+        database = Database.from_dict({"q": [()]})
+        for mode in ("full", "relevant", "edb"):
+            gp = ground(program, database, mode=mode)
+            assert gp.rule_count == 0, mode
+            assert gp.atoms.get(Atom("q")) is not None
+
+    def test_propositional_program_over_empty_universe(self):
+        program = parse_program("p :- not q. q :- not p.")
+        gp = ground(program, Database(), mode="relevant")
+        assert gp.rule_count == 2
+        assert gp.atom_count == 2
+        assert gp.universe == ()
+
+    def test_empty_database_and_program_constants_only(self):
+        program = parse_program("p(a) :- not q(a).")
+        gp = ground(program, Database(), mode="relevant")
+        assert {str(gp.atoms.atom(gr.head)) for gr in gp.rules} == {"p(a)"}
+
+
+class TestLazyGroundSurface:
+    """The object-level views materialize on demand and stay consistent."""
+
+    def test_rule_view_supports_sequence_protocol(self):
+        program, database = parse_program(PROGRAM_TWO), parse_database("e(1). e(2).")
+        gp = ground(program, database, mode="relevant")
+        assert len(gp.rules) == 4
+        assert gp.rules[0] is gp.rules[0]  # materialized once, cached
+        assert gp.rules[-1] == list(gp.rules)[-1]
+        assert [gr.head for gr in gp.rules[:2]] == [gr.head for gr in list(gp.rules)[:2]]
+        with pytest.raises(IndexError):
+            gp.rules[99]
+
+    def test_atom_table_get_unknown_constant(self):
+        program, database = parse_program(PROGRAM_TWO), parse_database("e(1).")
+        gp = ground(program, database, mode="relevant")
+        assert gp.atoms.get(atom("e", "zzz")) is None
+        assert gp.atoms.get(atom("nosuch", 1)) is None
+
+    def test_id_of_growth_invalidates_index_in_joined_mode(self):
+        gp = ground(parse_program("p :- q. q."), Database(), mode="relevant")
+        idx = gp.index
+        n = gp.atom_count
+        fresh = gp.atoms.id_of(Atom("fresh"))
+        assert fresh == n
+        assert gp.atoms.atom(fresh) == Atom("fresh")
+        idx2 = gp.index
+        assert idx2 is not idx and idx2.n_atoms == n + 1
+
+    def test_full_mode_dense_table_roundtrip(self):
+        program, database = parse_program(PROGRAM_TWO), parse_database("e(1). e(2).")
+        gp = ground(program, database, mode="full")
+        table = gp.atoms
+        for i in range(gp.atom_count):
+            assert table.get(table.atom(i)) == i

@@ -17,6 +17,8 @@ class TestRunBench:
         for family in record["families"].values():
             assert family["ground_s"] >= 0
             assert family["compile_s"] >= 0
+            assert family["seed_ground_s"] >= 0
+            assert family["ground_speedup"] is not None and family["ground_speedup"] > 0
             for kernel in ("kernel", "seed"):
                 phases = family["kernels"][kernel]
                 for key in ("init_s", "close_s", "unfounded_s", "tie_s", "run_s"):
@@ -28,6 +30,11 @@ class TestRunBench:
             summary["min_speedup"]
             <= summary["geomean_speedup"]
             <= summary["max_speedup"]
+        )
+        assert (
+            summary["min_ground_speedup"]
+            <= summary["geomean_ground_speedup"]
+            <= summary["max_ground_speedup"]
         )
 
     def test_kernels_reach_identical_models(self):
@@ -47,6 +54,8 @@ class TestRunBench:
         family = record["families"]["committee"]
         assert "seed" not in family["kernels"]
         assert family["speedup"] is None
+        assert family["seed_ground_s"] is None
+        assert family["ground_speedup"] is None
         assert record["summary"] == {}
 
     def test_unknown_scale_and_family_rejected(self):
