@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown documentation.
+
+Scans README.md, DESIGN.md, and every ``docs/*.md`` page for markdown
+links, and verifies that each *relative* target (with any ``#anchor``
+stripped) exists on disk, resolved against the linking file's directory.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+are ignored.  CI runs this in the docs job; run it locally with::
+
+    python docs/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check(paths: list[Path]) -> list[str]:
+    """All broken links in ``paths``, formatted ``file: target``."""
+    broken: list[str] = []
+    for path in paths:
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            bare = target.split("#", 1)[0]
+            if not bare:  # pure in-page anchor
+                continue
+            if not (path.parent / bare).exists():
+                broken.append(f"{path.relative_to(REPO_ROOT)}: {target}")
+    return broken
+
+
+def main() -> int:
+    pages = sorted(
+        [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md"]
+        + list((REPO_ROOT / "docs").glob("*.md"))
+    )
+    missing = [p for p in pages if not p.exists()]
+    if missing:
+        print(f"missing documentation pages: {missing}", file=sys.stderr)
+        return 1
+    broken = check(pages)
+    if broken:
+        print("broken relative links:", file=sys.stderr)
+        for line in broken:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"checked {len(pages)} pages, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

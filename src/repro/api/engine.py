@@ -34,6 +34,7 @@ from repro.datalog.parser import parse_atom, parse_database, parse_program
 from repro.datalog.program import Program
 from repro.engine.plan import ConstantPool
 from repro.errors import GroundingError, SemanticsError
+from repro.io.artifact import ArtifactCache, cache_key, load_artifact, save_ground_program
 from repro.api.registry import SemanticsSpec, SolveRequest, _check_options, get_spec
 from repro.api.solution import Solution
 
@@ -49,6 +50,12 @@ class Engine:
     cache with an existing compiled ground program (it is then used for
     every solve — the legacy ``ground_program=`` calling convention);
     ``policy`` is the default tie-orientation policy.
+
+    ``artifact_cache`` (an :class:`~repro.io.artifact.ArtifactCache` or a
+    directory path) enables the on-disk compile cache: before grounding a
+    mode, the engine looks up the ``repro-ground/1`` artifact keyed by
+    (program hash, mode, pool fingerprint) and warm-starts from it; after
+    a fresh grounding, the artifact is written back for the next process.
     """
 
     def __init__(
@@ -59,6 +66,7 @@ class Engine:
         grounding: GroundingMode | None = None,
         ground_program: GroundProgram | None = None,
         policy: Any | None = None,
+        artifact_cache: ArtifactCache | str | Path | None = None,
     ) -> None:
         t0 = perf_counter()
         if isinstance(program, str):
@@ -72,6 +80,10 @@ class Engine:
         self.default_policy = policy
         self.ground_calls = 0
         self.index_builds = 0
+        self.artifact_hits = 0
+        if artifact_cache is not None and not isinstance(artifact_cache, ArtifactCache):
+            artifact_cache = ArtifactCache(artifact_cache)
+        self.artifact_cache = artifact_cache
         self._timings: dict[str, float] = {"parse_s": parse_s, "ground_s": 0.0, "compile_s": 0.0}
         # One interning session: every grounding mode of this engine shares
         # the same constant → dense-id mapping (and hence row encodings).
@@ -90,7 +102,13 @@ class Engine:
         db_path: str | Path | None = None,
         **kwargs: Any,
     ) -> "Engine":
-        """Build an engine from a program file and an optional facts file."""
+        """Build an engine from a program file and an optional facts file.
+
+        ``program_path`` / ``db_path`` name Datalog¬ source files parsed
+        with :mod:`repro.datalog.parser`; ``kwargs`` pass through to the
+        constructor.  Raises ``OSError`` for unreadable paths and
+        :class:`~repro.errors.ParseError` for invalid source.
+        """
         program = Path(program_path).read_text()
         database = Path(db_path).read_text() if db_path else None
         return cls(program, database, **kwargs)
@@ -109,24 +127,47 @@ class Engine:
 
         A pinned ``ground_program`` (constructor argument) is always
         returned as-is; otherwise each mode is grounded and kernel-compiled
-        on first use and served from the cache afterwards.
+        on first use and served from the cache afterwards.  With an
+        ``artifact_cache`` configured, a first use consults the on-disk
+        artifact before grounding and writes one back after.
+
+        Raises :class:`~repro.errors.GroundingError` when a cached
+        grounding exceeds a newly requested ``max_instances`` cap.
         """
         if self._pinned is not None:
             return self._pinned
         resolved: GroundingMode = mode or self.default_grounding or "relevant"
         gp = self._ground_cache.get(resolved)
         if gp is None:
-            kwargs: dict[str, Any] = {}
-            if max_instances is not None:
-                kwargs["max_instances"] = max_instances
-            t0 = perf_counter()
-            gp = ground(self.program, self.database, mode=resolved, pool=self._pool, **kwargs)
-            self.ground_calls += 1
-            self._timings["ground_s"] += perf_counter() - t0
-            t0 = perf_counter()
-            gp.index  # compile the CSR kernel arrays once, shared by every state
-            self.index_builds += 1
-            self._timings["compile_s"] += perf_counter() - t0
+            key = None
+            if self.artifact_cache is not None:
+                key = cache_key(self.program, self.database, resolved, self._pool)
+                gp = self._load_cached_artifact(key, max_instances)
+            if gp is None:
+                kwargs: dict[str, Any] = {}
+                if max_instances is not None:
+                    kwargs["max_instances"] = max_instances
+                t0 = perf_counter()
+                gp = ground(self.program, self.database, mode=resolved, pool=self._pool, **kwargs)
+                self.ground_calls += 1
+                self._timings["ground_s"] += perf_counter() - t0
+                t0 = perf_counter()
+                gp.index  # compile the CSR kernel arrays once, shared by every state
+                self.index_builds += 1
+                self._timings["compile_s"] += perf_counter() - t0
+                if key is not None:
+                    # Store after the timed compile: the artifact freezes
+                    # the compiled index, so putting it first would smuggle
+                    # the compile cost into an untimed serialization call.
+                    assert self.artifact_cache is not None
+                    t0 = perf_counter()
+                    self.artifact_cache.put(key, gp)
+                    self._timings["artifact_save_s"] = (
+                        self._timings.get("artifact_save_s", 0.0) + perf_counter() - t0
+                    )
+            # Artifact-loaded ground programs arrive with their index
+            # restored (GroundIndex.from_arrays), so there is nothing to
+            # compile or count on that path.
             self._ground_cache[resolved] = gp
         elif max_instances is not None and gp.rule_count > max_instances:
             # The cache holds a grounding that violates the caller's cap;
@@ -136,6 +177,98 @@ class Engine:
                 f"exceeding the requested max_instances={max_instances}"
             )
         return gp
+
+    def _load_cached_artifact(self, key: str, max_instances: int | None) -> GroundProgram | None:
+        """One artifact-cache probe: a warm ground program, or ``None``.
+
+        Misses (absent, corrupt, or version-mismatched entries), pool
+        incompatibilities, and cached groundings that would violate the
+        caller's ``max_instances`` cap all return ``None`` — the caller
+        falls back to grounding from source.
+        """
+        assert self.artifact_cache is not None
+        t0 = perf_counter()
+        artifact = self.artifact_cache.get(key)
+        if artifact is None:
+            return None
+        gp = artifact.ground_program
+        if max_instances is not None and gp.rule_count > max_instances:
+            return None
+        if not self._adopt_pool(artifact.pool):
+            return None
+        self.artifact_hits += 1
+        self._timings["artifact_load_s"] = (
+            self._timings.get("artifact_load_s", 0.0) + perf_counter() - t0
+        )
+        return gp
+
+    def _adopt_pool(self, pool: ConstantPool) -> bool:
+        """Merge an artifact's interning session into the engine's.
+
+        Pools are compatible iff one extends the other (same constant at
+        every shared dense id); the longer session wins, so every row
+        encoding — cached, loaded, or yet to be grounded — stays valid.
+        Returns ``False`` (and leaves the engine untouched) otherwise.
+        """
+        mine = self._pool
+        shorter, longer = (mine, pool) if len(mine) <= len(pool) else (pool, mine)
+        for i in range(len(shorter)):
+            if shorter.constant(i) != longer.constant(i):
+                return False
+        self._pool = longer
+        return True
+
+    def save_artifact(self, path: str | Path, mode: GroundingMode | None = None) -> Path:
+        """Serialize one mode's compiled grounding as a binary artifact.
+
+        Grounds (or reuses the cached grounding of) ``mode`` — resolved
+        exactly like :meth:`ground_for` — and writes it atomically to
+        ``path`` in the ``repro-ground/1`` format.  Returns the written
+        path; the save is timed under ``timings["artifact_save_s"]``.
+        """
+        gp = self.ground_for(mode)
+        t0 = perf_counter()
+        target = save_ground_program(gp, path)
+        self._timings["artifact_save_s"] = (
+            self._timings.get("artifact_save_s", 0.0) + perf_counter() - t0
+        )
+        return target
+
+    @classmethod
+    def from_artifact(
+        cls,
+        source: str | Path | bytes,
+        *,
+        policy: Any | None = None,
+        artifact_cache: ArtifactCache | str | Path | None = None,
+    ) -> "Engine":
+        """Warm-start an engine from a ``repro-ground/1`` artifact.
+
+        The returned engine never re-parses, re-grounds, or recompiles:
+        program, database, constant pool, the compiled ground program,
+        *and* the kernel index (restored array-for-array by
+        :func:`~repro.io.artifact.load_artifact`) all come from the
+        artifact, whose grounding mode becomes the engine's default — so
+        the first ``solve`` pays only solve time, and ``index_builds``
+        stays 0.  ``timings["artifact_load_s"]`` records the load.
+
+        Raises :class:`~repro.errors.ArtifactError` if the artifact is
+        corrupt or from an incompatible format version.
+        """
+        t0 = perf_counter()
+        artifact = load_artifact(source)
+        gp = artifact.ground_program
+        engine = cls(
+            gp.program,
+            gp.database,
+            grounding=gp.mode,
+            policy=policy,
+            artifact_cache=artifact_cache,
+        )
+        engine._pool = artifact.pool
+        engine._ground_cache[gp.mode] = gp
+        engine._timings["artifact_load_s"] = perf_counter() - t0
+        return engine
 
     def _resolve_grounding(
         self, spec: SemanticsSpec, requested: GroundingMode | None
@@ -196,6 +329,10 @@ class Engine:
         ``stable``, ``tie_breaking``, ``fitting``, ``perfect``,
         ``stratified``, ``completion``, ...); ``options`` may include
         ``grounding`` plus whatever the spec accepts (e.g. ``policy``).
+        Raises :class:`~repro.errors.SemanticsError` for unknown names or
+        options the spec rejects, and
+        :class:`~repro.errors.GroundingError` if grounding exceeds a
+        requested ``max_instances`` cap.
 
         Results are cached per (semantics, options): repeated solves — and
         the ``query``/``query_many``/``explain`` helpers built on them —
@@ -223,8 +360,12 @@ class Engine:
     ) -> Iterator[Solution]:
         """Lazily yield every model of an enumerable semantics.
 
-        Deterministic semantics yield their single solution (zero when
-        ``limit=0``), so callers can treat every semantics uniformly.
+        ``limit`` caps the number of yielded solutions (``None`` means
+        all); ``options`` are checked against the spec exactly as in
+        :meth:`solve` (raising :class:`~repro.errors.SemanticsError`
+        otherwise).  Deterministic semantics yield their single solution
+        (zero when ``limit=0``), so callers can treat every semantics
+        uniformly.
         """
         spec = get_spec(semantics)
         all_options = dict(options)
@@ -248,13 +389,16 @@ class Engine:
     # -- batched queries ---------------------------------------------------
 
     def query(self, predicate: str, *, semantics: str = "well_founded", **options: Any):
-        """Rows of one predicate under a semantics (see :class:`QueryResult`).
+        """Rows of one predicate under a semantics.
 
-        Unlike the deprecated :func:`repro.semantics.queries.query`, the
-        engine evaluates the *whole* program once (shared with every other
-        query on this engine) instead of re-grounding the predicate's
-        support cone per call; ``total`` reports the totality of that full
-        model.
+        Returns a :class:`~repro.semantics.queries.QueryResult` with the
+        predicate's ``true_rows`` / ``undefined_rows`` constant tuples;
+        raises :class:`~repro.errors.SemanticsError` when ``predicate``
+        occurs in neither the program nor the database.  Unlike the
+        deprecated :func:`repro.semantics.queries.query`, the engine
+        evaluates the *whole* program once (shared with every other query
+        on this engine) instead of re-grounding the predicate's support
+        cone per call; ``total`` reports the totality of that full model.
         """
         from repro.semantics.queries import QueryResult
 
@@ -294,7 +438,11 @@ class Engine:
 
         The batched path for multi-atom workloads: one solve serves every
         atom in the batch (and future batches reuse the same compiled
-        ground program).  Atoms may be given parsed or as source text.
+        ground program).  Atoms may be given parsed or as source text;
+        returns ``{Atom: True | False | None}`` (``None`` = undefined)
+        under the solution's model convention.  Raises
+        :class:`~repro.errors.ParseError` for unparsable atom text and
+        whatever :meth:`solve` raises for the semantics itself.
         """
         parsed = [parse_atom(a) if isinstance(a, str) else a for a in atoms]
         solution = self.solve(semantics, **options)
@@ -307,7 +455,15 @@ class Engine:
         return classify_program(self.program), structural_report(self.program)
 
     def explain(self, atom: Atom | str, *, semantics: str = "tie_breaking", **options: Any):
-        """Provenance tree for one atom's value under a state-carrying semantics."""
+        """Provenance tree for one atom's value under a state-carrying semantics.
+
+        ``atom`` is a ground atom (parsed or source text); ``max_depth``
+        (default 12) bounds the tree depth; remaining ``options`` go to
+        :meth:`solve`.  Returns an
+        :class:`~repro.ground.explain.Explanation`; raises
+        :class:`~repro.errors.SemanticsError` when the chosen semantics
+        retains no evaluation state to explain from.
+        """
         from repro.ground.explain import explain as explain_state
 
         max_depth = options.pop("max_depth", 12)
@@ -320,7 +476,15 @@ class Engine:
         return explain_state(solution.state, target, max_depth=max_depth)
 
     def witness_search(self, *, max_constants: int = 1, nonuniform: bool = True) -> Database | None:
-        """Bounded §5 search for a database admitting no fixpoint."""
+        """Bounded §5 search for a database admitting no fixpoint.
+
+        ``max_constants`` bounds the fresh constants the searched
+        databases may mention; ``nonuniform`` restricts candidates to
+        EDB-only facts (the paper's nonuniform setting).  Returns a
+        witness :class:`~repro.datalog.database.Database` or ``None``
+        when none exists within the bound (evidence of totality, not
+        proof — Theorem 6).
+        """
         from repro.analysis.totality_search import search_nontotality_witness
 
         return search_nontotality_witness(
@@ -332,6 +496,7 @@ class Engine:
         return {
             "ground_calls": self.ground_calls,
             "index_builds": self.index_builds,
+            "artifact_hits": self.artifact_hits,
             "interned_constants": len(self._pool),
             "cached_modes": sorted(self._ground_cache),
             "cached_solutions": len(self._solution_cache),

@@ -81,7 +81,13 @@ _ALIASES: dict[str, str] = {}
 
 
 def register(spec: SemanticsSpec) -> SemanticsSpec:
-    """Install a semantics spec; its name and aliases become solvable."""
+    """Install a semantics spec; its name and aliases become solvable.
+
+    Returns the spec (so it can be used as a decorator-style one-liner);
+    raises :class:`~repro.errors.SemanticsError` when a name or alias is
+    already registered for a *different* semantics.  Re-registering the
+    same name overwrites it — the plug-in path for replacing a built-in.
+    """
     for name in (spec.name, *spec.aliases):
         taken = _ALIASES.get(name)
         if taken is not None and taken != spec.name:
@@ -93,7 +99,11 @@ def register(spec: SemanticsSpec) -> SemanticsSpec:
 
 
 def get_spec(name: str) -> SemanticsSpec:
-    """Resolve a semantics name or alias to its spec."""
+    """Resolve a semantics name or alias to its spec.
+
+    Raises :class:`~repro.errors.SemanticsError` for unknown names,
+    listing the available canonical names.
+    """
     canonical = _ALIASES.get(name)
     if canonical is None:
         raise SemanticsError(

@@ -36,10 +36,39 @@ __all__ = ["Solution"]
 class Solution:
     """One semantics' answer for one (program, database) pair.
 
-    ``run`` retains the legacy result object (``WellFoundedRun``,
-    ``TieBreakingRun``, ``Interpretation``, ``frozenset`` of true atoms, or
-    ``None`` when nothing was found) so the deprecated free functions can
-    delegate here without changing their return types.
+    Field semantics:
+
+    * ``semantics`` — canonical registry name that produced the result
+      (aliases are resolved before solving);
+    * ``found`` — ``False`` only for search semantics that found no
+      model (``stable``, ``completion``); deterministic semantics always
+      produce their (possibly partial) model;
+    * ``total`` — every atom is true or false, nothing undefined;
+    * ``true_atoms`` / ``undefined_atoms`` — always materialized sets;
+    * ``false_atoms`` — a set under the *materialized* convention, or
+      ``None`` under the *closed-world* convention (everything not
+      listed true or undefined is false — see the module docstring);
+    * ``model`` — the full :class:`~repro.ground.model.Interpretation`
+      for ground-graph semantics, ``None`` for set-based ones;
+    * ``choices`` — the tie-orientation trail (one ``TieChoice`` per
+      orientation, forced or free), empty for tie-free semantics;
+    * ``policy`` — ``repr()`` of the policy that oriented the ties
+      (self-describing: ``"RandomChoice(seed=7)"`` replays the run);
+    * ``iterations`` — semantics-specific loop count (unfounded-set
+      rounds for ``well_founded``, components for ``modular``), or
+      ``None``;
+    * ``grounding`` — the grounding mode actually used, ``None`` for
+      semantics that never ground;
+    * ``timings`` — wall-clock seconds per pipeline phase (``parse_s``,
+      ``ground_s``, ``compile_s``, ``solve_s``; ``artifact_load_s`` /
+      ``artifact_save_s`` when binary artifacts are involved);
+    * ``state`` — the retained evaluation state for ``explain``, or
+      ``None``;
+    * ``run`` — the legacy result object (``WellFoundedRun``,
+      ``TieBreakingRun``, ``Interpretation``, ``frozenset`` of true
+      atoms, or ``None`` when nothing was found), kept so the deprecated
+      free functions can delegate here without changing their return
+      types.
     """
 
     semantics: str

@@ -30,6 +30,17 @@ through an atom bijection since dense ids may be assigned in different
 orders) and for identical *models*: the compiled kernel's decision trail
 is replayed on the seed grounding through the bijection and must land on
 the same true set.
+
+The **throughput** mode measures the serving story on top: per family it
+times the *cold* per-request pipeline (parse → ground → kernel-compile
+from source text, the cost every process pays without artifacts) against
+the *warm* path (:meth:`repro.api.Engine.from_artifact` over a
+``repro-ground/1`` artifact saved once), cross-checks that every
+warm-started model is identical to the cold one, and drives a
+:class:`repro.service.BatchSolver` batch over the artifact to record
+end-to-end requests/sec.  ``warm_speedup`` (cold start over warm start)
+is the compile-once dividend; its per-record summary is the number the
+serving layer is accountable for.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ import json
 import platform
 import subprocess
 import sys
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -45,8 +57,10 @@ from time import perf_counter
 from typing import Callable, Mapping, Sequence
 
 from repro.api.engine import Engine
+from repro.api.registry import get_spec
 from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode
+from repro.datalog.printer import format_database, format_program
 from repro.datalog.program import Program
 from repro.errors import ReproError
 from repro.ground.model import FALSE, TRUE
@@ -341,6 +355,108 @@ def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baselin
     }
 
 
+# Request counts of the throughput mode: enough cold starts for a stable
+# best-of, more warm starts (they are cheap), and a batch big enough that
+# per-request overhead dominates pool bookkeeping.
+_COLD_REQUESTS = 3
+_WARM_REQUESTS = 5
+_BATCH_REQUESTS = 16
+
+
+def _throughput_family(name: str, spec: FamilySpec, base_n: int) -> dict:
+    """Cold-vs-warm serving latency and batch throughput for one family.
+
+    *Cold* requests replay what a process without artifacts pays per
+    request: parse the source text, ground, kernel-compile, then solve.
+    *Warm* requests load the ``repro-ground/1`` artifact (saved once) via
+    :meth:`Engine.from_artifact` and solve.  Every warm model must equal
+    the cold model — the artifact path is cross-checked before any number
+    is recorded.  The batch segment serves ``_BATCH_REQUESTS`` one-atom
+    queries through :class:`repro.service.BatchSolver` on the warm
+    engine; policy-accepting semantics vary the seed per request so each
+    request is a genuine solve, deterministic semantics are served from
+    the engine's solution cache (exactly as a real service would).
+    """
+    from repro.service.batch import BatchSolver
+
+    n = spec.size(base_n)
+    program, database = spec.generator(n)
+    program_text = format_program(program)
+    database_text = format_database(database)
+    semantics = _ENGINE_SEMANTICS[spec.semantics]
+
+    cold_start: list[float] = []
+    cold_solve: list[float] = []
+    cold_true: frozenset[str] = frozenset()
+    engine = None
+    for _ in range(_COLD_REQUESTS):
+        t0 = perf_counter()
+        engine = Engine(program_text, database_text, grounding=spec.grounding)
+        engine.ground_for(spec.grounding)
+        cold_start.append(perf_counter() - t0)
+        t0 = perf_counter()
+        solution = engine.solve(semantics)
+        cold_solve.append(perf_counter() - t0)
+        cold_true = frozenset(str(a) for a in solution.true_atoms)
+    assert engine is not None
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        artifact_path = Path(tmp) / f"{name}.repro-ground"
+        t0 = perf_counter()
+        engine.save_artifact(artifact_path, spec.grounding)
+        artifact_save_s = perf_counter() - t0
+        artifact_bytes = artifact_path.stat().st_size
+
+        warm_start: list[float] = []
+        warm_solve: list[float] = []
+        for _ in range(_WARM_REQUESTS):
+            t0 = perf_counter()
+            warm = Engine.from_artifact(artifact_path)
+            warm_start.append(perf_counter() - t0)
+            t0 = perf_counter()
+            solution = warm.solve(semantics)
+            warm_solve.append(perf_counter() - t0)
+            warm_true = frozenset(str(a) for a in solution.true_atoms)
+            if warm_true != cold_true:
+                raise ReproError(
+                    f"bench family {name!r}: warm-started model differs from the cold one"
+                )
+
+        probe_atom = min(cold_true) if cold_true else None
+        takes_seed = "policy" in get_spec(semantics).options
+        requests = []
+        for i in range(_BATCH_REQUESTS):
+            obj: dict = {"semantics": semantics}
+            if takes_seed:
+                obj["seed"] = i
+            if probe_atom is not None:
+                obj["atoms"] = [probe_atom]
+            requests.append(obj)
+        with BatchSolver(artifact=artifact_path) as solver:
+            t0 = perf_counter()
+            results = solver.solve_many(requests)
+            batch_s = perf_counter() - t0
+        failed = [r for r in results if not r.get("ok")]
+        if failed:
+            raise ReproError(f"bench family {name!r}: batch request failed: {failed[0]}")
+
+    return {
+        "n": n,
+        "semantics": spec.semantics,
+        "grounding": spec.grounding,
+        "requests": {"cold": _COLD_REQUESTS, "warm": _WARM_REQUESTS, "batch": _BATCH_REQUESTS},
+        "cold_start_s": min(cold_start),
+        "cold_solve_s": min(cold_solve),
+        "warm_start_s": min(warm_start),
+        "warm_solve_s": min(warm_solve),
+        "artifact_save_s": artifact_save_s,
+        "artifact_bytes": artifact_bytes,
+        "warm_speedup": min(cold_start) / max(min(warm_start), 1e-12),
+        "batch_s": batch_s,
+        "requests_per_s": _BATCH_REQUESTS / max(batch_s, 1e-12),
+    }
+
+
 def current_revision() -> str:
     """Short git revision of the working tree, or ``"unknown"``.
 
@@ -385,8 +501,16 @@ def run_bench(
     family_names: Sequence[str] | None = None,
     repeat: int = 1,
     baseline: bool = True,
+    throughput: bool = True,
 ) -> dict:
-    """Run the benchmark suite and return the JSON-ready record."""
+    """Run the benchmark suite and return the JSON-ready record.
+
+    ``baseline`` times the frozen seed kernel and grounder alongside the
+    production pipeline (and cross-checks them); ``throughput`` runs the
+    cold-vs-warm serving mode (:func:`_throughput_family`) per family.
+    Raises :class:`~repro.errors.ReproError` for unknown scales or
+    families, and whenever any cross-check fails.
+    """
     if scale not in SCALES:
         raise ReproError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
     base_n = SCALES[scale]
@@ -398,6 +522,11 @@ def run_bench(
         name: _bench_family(name, FAMILIES[name], base_n, repeat, baseline)
         for name in names
     }
+    throughput_results = (
+        {name: _throughput_family(name, FAMILIES[name], base_n) for name in names}
+        if throughput
+        else None
+    )
     def _stats(values: list[float], prefix: str) -> dict:
         if not values:
             return {}
@@ -414,7 +543,10 @@ def run_bench(
     speedups = [r["speedup"] for r in results.values() if r["speedup"]]
     ground_speedups = [r["ground_speedup"] for r in results.values() if r["ground_speedup"]]
     summary: dict = {**_stats(speedups, "speedup"), **_stats(ground_speedups, "ground_speedup")}
-    return {
+    if throughput_results:
+        warm_speedups = [t["warm_speedup"] for t in throughput_results.values()]
+        summary.update(_stats(warm_speedups, "warm_speedup"))
+    record = {
         "schema": SCHEMA,
         "revision": current_revision(),
         "generated_unix": time.time(),
@@ -426,6 +558,9 @@ def run_bench(
         "families": results,
         "summary": summary,
     }
+    if throughput_results is not None:
+        record["throughput"] = throughput_results
+    return record
 
 
 def default_output_path(record: Mapping) -> Path:
@@ -464,7 +599,7 @@ def format_table(record: Mapping) -> str:
             f"{(f'{speedup:>7.2f}x' if speedup else '       —')}"
         )
     summary = record.get("summary") or {}
-    if summary:
+    if "geomean_speedup" in summary:
         lines.append(
             f"kernel speedup: min {summary['min_speedup']:.2f}x / "
             f"geomean {summary['geomean_speedup']:.2f}x / "
@@ -475,5 +610,28 @@ def format_table(record: Mapping) -> str:
                 f"ground speedup: min {summary['min_ground_speedup']:.2f}x / "
                 f"geomean {summary['geomean_ground_speedup']:.2f}x / "
                 f"max {summary['max_ground_speedup']:.2f}x"
+            )
+    throughput = record.get("throughput")
+    if throughput:
+        lines.append("")
+        lines.append(
+            f"throughput (compile-once serving): "
+            f"{'family':<18} {'cold-start':>11} {'warm-start':>11} "
+            f"{'speedup':>8} {'req/s':>9} {'artifact':>10}"
+        )
+        for name, fam in throughput.items():
+            lines.append(
+                f"{'':<35}{name:<18} "
+                f"{fam['cold_start_s'] * 1e3:>9.2f}ms "
+                f"{fam['warm_start_s'] * 1e3:>9.2f}ms "
+                f"{fam['warm_speedup']:>7.1f}x "
+                f"{fam['requests_per_s']:>9.1f} "
+                f"{fam['artifact_bytes'] / 1024:>8.1f}kB"
+            )
+        if "geomean_warm_speedup" in summary:
+            lines.append(
+                f"warm-start speedup: min {summary['min_warm_speedup']:.2f}x / "
+                f"geomean {summary['geomean_warm_speedup']:.2f}x / "
+                f"max {summary['max_warm_speedup']:.2f}x"
             )
     return "\n".join(lines)

@@ -10,8 +10,11 @@ Subcommands:
 * ``witness FILE``            — bounded search for a no-fixpoint database;
 * ``explain FILE ATOM``       — provenance of one atom's truth value;
 * ``dot FILE``                — Graphviz export of the program/ground graph;
-* ``bench``                   — per-phase kernel timings over the workload
-  families, written to ``BENCH_<rev>.json``.
+* ``serve``                   — warm-start batch service: answer a JSONL
+  request file from one compiled ground artifact, optionally across a
+  process pool (``--workers``);
+* ``bench``                   — per-phase kernel timings plus the
+  cold-vs-warm throughput mode, written to ``BENCH_<rev>.json``.
 
 Program files use the Datalog syntax of :mod:`repro.datalog.parser`;
 databases are fact files (``--db``).  Every subcommand evaluates through
@@ -310,6 +313,42 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from time import perf_counter
+
+    from repro.service.batch import BatchSolver
+
+    if not args.artifact and not args.program:
+        print("error: serve needs a program file or an existing --artifact", file=sys.stderr)
+        return 2
+    program = Path(args.program).read_text() if args.program else None
+    database = Path(args.db).read_text() if args.db else None
+    with BatchSolver(
+        artifact=args.artifact,
+        program=program,
+        database=database,
+        grounding=args.grounding,
+        workers=args.workers,
+    ) as solver:
+        t0 = perf_counter()
+        results = solver.solve_file(args.batch)
+        elapsed = perf_counter() - t0
+    lines = [json.dumps(r, sort_keys=True) for r in results]
+    if args.output:
+        Path(args.output).write_text("\n".join(lines) + ("\n" if lines else ""))
+    else:
+        for line in lines:
+            print(line)
+    failed = sum(1 for r in results if not r.get("ok"))
+    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"served {len(results)} request(s) ({failed} failed) in {elapsed:.3f}s "
+        f"({rate:.1f} req/s, workers={args.workers})",
+        file=sys.stderr,
+    )
+    return 0 if failed == 0 else 3
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.runner import format_table, run_bench, write_bench
 
@@ -323,6 +362,7 @@ def _cmd_bench(args) -> int:
         family_names=family_names,
         repeat=args.repeat,
         baseline=not args.no_baseline,
+        throughput=not args.no_throughput,
     )
     path = write_bench(record, Path(args.output) if args.output else None)
     print(format_table(record))
@@ -406,6 +446,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grounding", choices=["full", "relevant", "edb"], default="full")
     p.set_defaults(func=_cmd_dot)
 
+    p = sub.add_parser("serve", help="warm-start batch service over one ground artifact")
+    p.add_argument(
+        "program",
+        nargs="?",
+        help="Datalog¬ program file (optional when --artifact already exists)",
+    )
+    p.add_argument("--db", help="database (facts) file")
+    p.add_argument(
+        "--batch", required=True, help="JSONL request file (repro-batchreq/1, one per line)"
+    )
+    p.add_argument(
+        "--artifact",
+        help="repro-ground artifact path: loaded if present, else compiled and saved there",
+    )
+    p.add_argument(
+        "--grounding",
+        choices=["full", "relevant", "edb"],
+        help="grounding mode used when compiling the artifact",
+    )
+    p.add_argument("--workers", type=int, default=0, help="worker processes (0 = inline)")
+    p.add_argument("--output", help="write result lines here instead of stdout")
+    p.set_defaults(func=_cmd_serve)
+
     from repro.bench.runner import FAMILIES, SCALES
 
     p = sub.add_parser("bench", help="kernel benchmark suite (per-phase timings)")
@@ -420,6 +483,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-baseline",
         action="store_true",
         help="skip the seed-kernel baseline column (no speedup recorded)",
+    )
+    p.add_argument(
+        "--no-throughput",
+        action="store_true",
+        help="skip the cold-vs-warm artifact serving (throughput) mode",
     )
     p.set_defaults(func=_cmd_bench)
     return parser

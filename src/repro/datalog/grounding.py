@@ -508,6 +508,72 @@ class GroundIndex:
         )
         return self
 
+    @classmethod
+    def from_arrays(
+        cls,
+        n_atoms: int,
+        heads: array,
+        pos_off: array,
+        pos_atoms: array,
+        neg_off: array,
+        neg_atoms: array,
+        edb_mask: bytearray,
+        initial_status: array,
+        *,
+        support: array,
+        body_len: array,
+        pos_len: array,
+        pos_occ_off: array,
+        pos_occ: array,
+        neg_occ_off: array,
+        neg_occ: array,
+        head_occ_off: array,
+        head_occ: array,
+        initial_valued: array,
+        empty_body_rules: array,
+        zero_support_atoms: array,
+    ) -> "GroundIndex":
+        """Restore a fully compiled index from its flat arrays.
+
+        The deserialization twin of :meth:`_build`: every derived array —
+        the occurrence-list transpositions, counters, M₀ worklist, and
+        ``close()`` seeds — is taken as given (e.g. read back from a
+        ``repro-ground/1`` artifact, see :mod:`repro.io.artifact`), so
+        construction is dominated by rebuilding the tuple views and does
+        no per-rule Python work at all.
+        """
+        self = cls.__new__(cls)
+        self.n_atoms = n_atoms
+        self.n_rules = len(heads)
+        self.head_of = heads
+        self.head_of_t = tuple(heads)
+        self.pos_off, self.pos_atoms = pos_off, pos_atoms
+        self.neg_off, self.neg_atoms = neg_off, neg_atoms
+        self.support = support
+        self.body_len = body_len
+        self.pos_len = pos_len
+        self.pos_occ_off, self.pos_occ = pos_occ_off, pos_occ
+        self.neg_occ_off, self.neg_occ = neg_occ_off, neg_occ
+        # Box each flat adjacency once, then cut tuple views by slicing the
+        # boxed tuple — slice-of-tuple is a C pointer copy, so restoring the
+        # views costs O(edges) rather than O(edges) boxing per view entry.
+        flat = tuple(pos_occ)
+        self.pos_occ_t = tuple(flat[pos_occ_off[a] : pos_occ_off[a + 1]] for a in range(n_atoms))
+        flat = tuple(neg_occ)
+        self.neg_occ_t = tuple(flat[neg_occ_off[a] : neg_occ_off[a + 1]] for a in range(n_atoms))
+        flat = tuple(head_occ)
+        self.rules_by_head_t = tuple(
+            flat[head_occ_off[a] : head_occ_off[a + 1]] for a in range(n_atoms)
+        )
+        self.initial_status = initial_status
+        self.initial_valued = initial_valued
+        self.edb_mask = edb_mask
+        self.empty_body_rules = empty_body_rules
+        self.zero_support_atoms = zero_support_atoms
+        self.iota_atoms = array("i", range(n_atoms))
+        self.iota_rules = array("i", range(self.n_rules))
+        return self
+
     def _build(
         self,
         n_atoms: int,

@@ -13,6 +13,7 @@ __all__ = [
     "ValidationError",
     "ArityError",
     "GroundingError",
+    "ArtifactError",
     "CloseConflictError",
     "NotStronglyConnectedError",
     "NotATieError",
@@ -51,6 +52,16 @@ class ArityError(ValidationError):
 
 class GroundingError(ReproError):
     """Raised when a program cannot be grounded (e.g. empty universe)."""
+
+
+class ArtifactError(ReproError):
+    """Raised when a binary ground artifact cannot be read or verified.
+
+    Covers every failure mode of the ``repro-ground/1`` container
+    (:mod:`repro.io.artifact`): bad magic, unsupported format version,
+    truncated files (short reads), checksum mismatches, and payloads
+    whose section table disagrees with the bytes on disk.
+    """
 
 
 class CloseConflictError(ReproError):

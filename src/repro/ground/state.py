@@ -69,7 +69,9 @@ class BottomComponent:
     plays K is the interpreter's choice).
     """
 
-    def __init__(self, atom_ids: list[int], rule_ids: list[int], analysis: TieAnalysis, atom_count: int):
+    def __init__(
+        self, atom_ids: list[int], rule_ids: list[int], analysis: TieAnalysis, atom_count: int
+    ):
         self.atom_ids = atom_ids
         self.rule_ids = rule_ids
         self.analysis = analysis

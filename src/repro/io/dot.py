@@ -45,7 +45,13 @@ def ground_graph_dot(
     ground_program: GroundProgram,
     model: Optional[Interpretation] = None,
 ) -> str:
-    """DOT source of G(Π, Δ), optionally coloured by a model."""
+    """DOT source of the ground graph G(Π, Δ).
+
+    ``ground_program`` supplies the atom and rule-instance nodes; with a
+    ``model`` given, atom nodes are filled by truth value (green true,
+    red false, grey undefined).  Returns the DOT text, one node per
+    ground atom (ellipse) and rule instance (box).
+    """
     gp = ground_program
     lines = ["digraph ground_graph {", "  rankdir=LR;"]
 
@@ -63,7 +69,6 @@ def ground_graph_dot(
         label = _quote(str(gp.atoms.atom(index)))
         lines.append(f"  atom{index} [label={label}{colour(index)}];")
     for r_index, gr in enumerate(gp.rules):
-        source = gp.program.rules[gr.rule_index]
         label = _quote(f"r{gr.rule_index}({', '.join(str(c) for c in gr.substitution)})")
         lines.append(f"  rule{r_index} [label={label}, shape=box];")
         lines.append(f"  rule{r_index} -> atom{gr.head};")

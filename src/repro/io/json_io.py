@@ -90,6 +90,9 @@ def program_to_json(program: Program, *, indent: int | None = 2) -> str:
 def program_from_json(text: str) -> Program:
     """Parse a program from its JSON serialization (round-trips exactly).
 
+    Raises :class:`~repro.errors.ValidationError` for malformed term
+    objects and ``json.JSONDecodeError`` for invalid JSON.
+
     >>> from repro.datalog.parser import parse_program
     >>> prog = parse_program("win(X) :- move(X, Y), not win(Y).")
     >>> program_from_json(program_to_json(prog)) == prog
@@ -114,7 +117,12 @@ def database_to_json(database: Database, *, indent: int | None = 2) -> str:
 
 
 def database_from_json(text: str) -> Database:
-    """Parse a database from its JSON serialization."""
+    """Parse a database from its JSON serialization.
+
+    Raises :class:`~repro.errors.ValidationError` for malformed term
+    objects or non-ground facts, ``json.JSONDecodeError`` for invalid
+    JSON.
+    """
     payload = json.loads(text)
     db = Database()
     for obj in payload["facts"]:

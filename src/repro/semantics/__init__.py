@@ -46,7 +46,12 @@ from repro.semantics.stable import (
     is_stable_model,
     reduct_least_model,
 )
-from repro.semantics.stratified import Stratification, is_stratified, stratification, stratified_model
+from repro.semantics.stratified import (
+    Stratification,
+    is_stratified,
+    stratification,
+    stratified_model,
+)
 from repro.semantics.tie_breaking import (
     TieBreakingRun,
     TieChoice,

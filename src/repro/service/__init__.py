@@ -1,0 +1,28 @@
+"""repro.service — the warm-start serving layer.
+
+Compile once, answer many: a :class:`BatchSolver` shards batches of solve
+requests for *one* compiled ground artifact across a pool of worker
+processes, each of which warm-starts via
+:meth:`repro.api.Engine.from_artifact` and never re-parses or re-grounds.
+The CLI surface is ``repro serve --batch requests.jsonl``; the wire
+formats are ``repro-batchreq/1`` (request lines) and ``repro-batch/1``
+(result lines) — see ``docs/serving.md`` for the tour.
+"""
+
+from repro.service.batch import (
+    BATCH_SCHEMA,
+    REQUEST_SCHEMA,
+    BatchRequest,
+    BatchSolver,
+    read_requests,
+    solve_one,
+)
+
+__all__ = [
+    "BATCH_SCHEMA",
+    "REQUEST_SCHEMA",
+    "BatchRequest",
+    "BatchSolver",
+    "read_requests",
+    "solve_one",
+]

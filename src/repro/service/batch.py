@@ -1,0 +1,430 @@
+"""The warm-start batch solver: one artifact, many requests, many workers.
+
+The serving model is *compile once, serve many*: the expensive pipeline
+(parse → ground → kernel-compile) runs exactly once, is frozen into a
+``repro-ground/1`` artifact (:mod:`repro.io.artifact`), and every request
+afterwards is answered by an engine warm-started from that artifact.
+:class:`BatchSolver` runs a whole batch:
+
+* ``workers=0`` (the default) answers inline on one warm engine — the
+  deterministic mode used by tests and the bench pipeline;
+* ``workers=N`` shards the batch across ``N`` worker processes; each
+  worker loads the artifact once (process-pool initializer), so the
+  per-request cost is pure solve time, never grounding.
+
+Each request carries its own semantics, grounding mode, tie policy, and
+seed (``repro-batchreq/1``); each result line is ``repro-batch/1``.  A
+request that fails — unknown semantics, bad policy, grounding explosion —
+produces an ``"ok": false`` result for *that* line; the batch never dies
+half-way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from multiprocessing.pool import Pool
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.api.engine import Engine
+from repro.datalog.database import Database
+from repro.datalog.grounding import GroundingMode
+from repro.datalog.parser import parse_atom, parse_database, parse_program
+from repro.datalog.program import Program
+from repro.errors import ReproError, ValidationError
+from repro.io.artifact import program_fingerprint, read_artifact_header
+from repro.io.json_io import solution_to_obj
+from repro.semantics.choices import (
+    FewestTrue,
+    FirstSideTrue,
+    MostTrue,
+    RandomChoice,
+    SecondSideTrue,
+)
+
+__all__ = [
+    "REQUEST_SCHEMA",
+    "BATCH_SCHEMA",
+    "BatchRequest",
+    "BatchSolver",
+    "read_requests",
+    "solve_one",
+]
+
+REQUEST_SCHEMA = "repro-batchreq/1"
+BATCH_SCHEMA = "repro-batch/1"
+
+_REQUEST_FIELDS = frozenset({"schema", "id", "semantics", "grounding", "policy", "seed", "atoms"})
+
+_POLICIES = {
+    "first_side_true": FirstSideTrue,
+    "second_side_true": SecondSideTrue,
+    "fewest_true": FewestTrue,
+    "most_true": MostTrue,
+    "random": RandomChoice,
+}
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One solve request of a batch (wire schema ``repro-batchreq/1``).
+
+    * ``id`` — caller-chosen correlation value, echoed on the result
+      (defaults to the request's position in the batch);
+    * ``semantics`` — any registry name or alias (default
+      ``tie_breaking``);
+    * ``grounding`` — per-request grounding mode override, if any;
+    * ``policy`` / ``seed`` — tie-orientation policy by name
+      (``first_side_true``, ``second_side_true``, ``fewest_true``,
+      ``most_true``, ``random``) and the seed for ``random``; a bare
+      ``seed`` implies ``random``;
+    * ``atoms`` — optional ground atoms to evaluate; when given, the
+      result carries their three truth values instead of the full model.
+    """
+
+    id: Any = None
+    semantics: str = "tie_breaking"
+    grounding: GroundingMode | None = None
+    policy: str | None = None
+    seed: int | None = None
+    atoms: tuple[str, ...] = ()
+
+    @classmethod
+    def from_obj(cls, obj: Any, default_id: Any = None) -> "BatchRequest":
+        """Validate one decoded JSON request line into a request.
+
+        Raises :class:`~repro.errors.ValidationError` on non-object
+        lines, unknown fields, or malformed field types, so a typo in a
+        request file fails that request loudly instead of being ignored.
+        """
+        if not isinstance(obj, dict):
+            raise ValidationError(f"batch request must be a JSON object, got {type(obj).__name__}")
+        unknown = sorted(set(obj) - _REQUEST_FIELDS)
+        if unknown:
+            raise ValidationError(
+                f"unknown batch request field(s) {', '.join(unknown)}; "
+                f"allowed: {', '.join(sorted(_REQUEST_FIELDS))}"
+            )
+        schema = obj.get("schema")
+        if schema is not None and schema != REQUEST_SCHEMA:
+            raise ValidationError(f"request schema {schema!r} is not {REQUEST_SCHEMA!r}")
+        atoms = obj.get("atoms", ())
+        if isinstance(atoms, str) or not isinstance(atoms, (list, tuple)):
+            raise ValidationError("'atoms' must be a list of ground atom strings")
+        seed = obj.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ValidationError("'seed' must be an integer")
+        return cls(
+            id=obj.get("id", default_id),
+            semantics=obj.get("semantics", "tie_breaking"),
+            grounding=obj.get("grounding"),
+            policy=obj.get("policy"),
+            seed=seed,
+            atoms=tuple(str(a) for a in atoms),
+        )
+
+    def to_obj(self) -> dict[str, Any]:
+        """The JSON-ready ``repro-batchreq/1`` object of this request."""
+        obj: dict[str, Any] = {"id": self.id, "semantics": self.semantics}
+        if self.grounding is not None:
+            obj["grounding"] = self.grounding
+        if self.policy is not None:
+            obj["policy"] = self.policy
+        if self.seed is not None:
+            obj["seed"] = self.seed
+        if self.atoms:
+            obj["atoms"] = list(self.atoms)
+        return obj
+
+    def resolve_policy(self) -> Any | None:
+        """The tie policy object this request asks for, or ``None``.
+
+        Raises :class:`~repro.errors.ValidationError` for unknown policy
+        names or a ``seed`` on a non-random policy.
+        """
+        if self.policy is None:
+            return RandomChoice(self.seed) if self.seed is not None else None
+        factory = _POLICIES.get(self.policy)
+        if factory is None:
+            raise ValidationError(
+                f"unknown policy {self.policy!r}; available: {', '.join(sorted(_POLICIES))}"
+            )
+        if factory is RandomChoice:
+            return RandomChoice(self.seed)
+        if self.seed is not None:
+            raise ValidationError(f"policy {self.policy!r} does not take a seed")
+        return factory()
+
+
+def read_requests(source: str | Path | Iterable[str]) -> list[BatchRequest | ValidationError]:
+    """Parse a JSONL request stream, one entry per non-blank line.
+
+    ``source`` is a path or an iterable of lines.  Malformed lines are
+    returned *in place* as :class:`~repro.errors.ValidationError` values
+    (tagged with their 1-based line number, and carrying the line's
+    ``id`` on ``request_id`` when one could be read) rather than raised,
+    so one bad line fails one request, not the batch.
+    """
+
+    def failure(message: str, request_id: Any = None) -> ValidationError:
+        error = ValidationError(message)
+        error.request_id = request_id
+        return error
+
+    lines = Path(source).read_text().splitlines() if isinstance(source, (str, Path)) else source
+    out: list[BatchRequest | ValidationError] = []
+    index = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as error:
+            out.append(failure(f"line {lineno}: invalid JSON: {error}"))
+            index += 1
+            continue
+        try:
+            out.append(BatchRequest.from_obj(obj, default_id=index))
+        except ValidationError as error:
+            rid = obj.get("id") if isinstance(obj, dict) else None
+            out.append(failure(f"line {lineno}: {error}", rid))
+        index += 1
+    return out
+
+
+def solve_one(engine: Engine, request: BatchRequest) -> dict[str, Any]:
+    """Answer one request on a warm engine (wire schema ``repro-batch/1``).
+
+    Returns the JSON-ready result object: ``{"ok": true, ...}`` with
+    either per-atom ``values`` (when the request listed atoms) or the
+    full ``repro-solution/1`` object; or ``{"ok": false, "error": ...}``
+    when the request fails.  Library errors never propagate — a batch is
+    fault-isolated per request.
+    """
+    try:
+        options: dict[str, Any] = {}
+        if request.grounding is not None:
+            options["grounding"] = request.grounding
+        policy = request.resolve_policy()
+        if policy is not None:
+            options["policy"] = policy
+        # Parse query atoms first: a malformed atom must fail the request
+        # before the (potentially expensive) solve, not after it.
+        parsed = [parse_atom(a) for a in request.atoms]
+        solution = engine.solve(request.semantics, **options)
+        result: dict[str, Any] = {
+            "schema": BATCH_SCHEMA,
+            "id": request.id,
+            "ok": True,
+            "semantics": solution.semantics,
+            "found": solution.found,
+            "total": solution.total,
+        }
+        if parsed:
+            result["values"] = {str(a): solution.value(a) for a in parsed}
+        else:
+            result["solution"] = solution_to_obj(solution)
+        return result
+    except ReproError as error:
+        return {"schema": BATCH_SCHEMA, "id": request.id, "ok": False, "error": str(error)}
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing.  One engine per worker process, loaded once by
+# the pool initializer; requests travel as plain JSON-ready dicts.
+# ---------------------------------------------------------------------------
+
+_WORKER_ENGINE: Engine | None = None
+
+
+def _worker_init(artifact_path: str) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = Engine.from_artifact(artifact_path)
+
+
+def _worker_solve(obj: dict[str, Any]) -> dict[str, Any]:
+    assert _WORKER_ENGINE is not None, "worker used before its initializer ran"
+    try:
+        request = BatchRequest.from_obj(obj)
+    except ValidationError as error:
+        return {"schema": BATCH_SCHEMA, "id": obj.get("id"), "ok": False, "error": str(error)}
+    return solve_one(_WORKER_ENGINE, request)
+
+
+class BatchSolver:
+    """Shard batches of requests over one compiled ground artifact.
+
+    Construction fixes the (program, database, grounding) triple — either
+    from an existing ``artifact`` path or by compiling ``program`` /
+    ``database`` once — and the worker count:
+
+    * ``artifact`` — path of a ``repro-ground/1`` artifact; if it exists
+      it is the source of truth (``program`` may be omitted; when given,
+      its fingerprint must match the artifact's — serving a stale
+      artifact for an edited program fails loudly instead of answering
+      for the wrong program), and if it does not exist but ``program``
+      is given, the compiled grounding is saved there for the next
+      process;
+    * ``workers=0`` — answer inline on one warm engine in this process;
+    * ``workers=N`` — fork ``N`` workers, each warm-starting from the
+      artifact once; requests are sharded across them (no engine is
+      loaded in the parent).
+
+    Use as a context manager (or call :meth:`close`) to reclaim the
+    worker pool and any temporary artifact.
+    """
+
+    def __init__(
+        self,
+        artifact: str | Path | None = None,
+        *,
+        program: Program | str | None = None,
+        database: Database | str | None = None,
+        grounding: GroundingMode | None = None,
+        workers: int = 0,
+    ) -> None:
+        if workers < 0:
+            raise ValidationError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self._pool: Pool | None = None
+        self._engine: Engine | None = None
+        self._owns_artifact = False
+        path = Path(artifact) if artifact is not None else None
+        if path is not None and path.exists():
+            # Verify the container up front: a corrupt artifact must fail
+            # here, not inside a pool initializer (a raising initializer
+            # puts multiprocessing into an endless worker-respawn loop).
+            read_artifact_header(path)
+            if program is not None:
+                self._check_artifact_matches(path, program, database)
+            self._artifact_path = path  # inline engine loads lazily (see .engine)
+        elif program is not None:
+            engine = Engine(program, database, grounding=grounding)
+            if path is None:
+                fd, tmp = tempfile.mkstemp(prefix="repro-ground-", suffix=".repro-ground")
+                os.close(fd)
+                path = Path(tmp)
+                self._owns_artifact = True
+            engine.save_artifact(path, grounding)
+            self._artifact_path = path
+            self._engine = engine
+        else:
+            raise ValidationError("BatchSolver needs an existing artifact or a program")
+
+    @staticmethod
+    def _check_artifact_matches(
+        path: Path, program: Program | str, database: Database | str | None
+    ) -> None:
+        """Refuse to serve an artifact compiled from different inputs."""
+        if isinstance(program, str):
+            program = parse_program(program)
+        if isinstance(database, str):
+            database = parse_database(database)
+        expected = program_fingerprint(program, database if database is not None else Database())
+        stored = read_artifact_header(path).get("program_fingerprint")
+        if stored != expected:
+            raise ValidationError(
+                f"artifact {path} was compiled from a different (program, database) "
+                "pair; delete it to recompile, or serve from the artifact alone"
+            )
+
+    @property
+    def artifact_path(self) -> Path:
+        """The artifact every worker (and the inline engine) serves from."""
+        return self._artifact_path
+
+    @property
+    def engine(self) -> Engine:
+        """The warm inline engine (the ``workers=0`` serving path).
+
+        Loaded from the artifact on first use, so a pool-only solver
+        (``workers=N``) never materializes a ground program in the
+        parent process.
+        """
+        if self._engine is None:
+            self._engine = Engine.from_artifact(self._artifact_path)
+        return self._engine
+
+    def _ensure_pool(self) -> Pool:
+        if self._pool is None:
+            # Late import keeps multiprocessing out of the common inline path.
+            from multiprocessing import get_context
+
+            self._pool = get_context().Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(str(self._artifact_path),),
+            )
+        return self._pool
+
+    def solve_many(
+        self, requests: Iterable[BatchRequest | dict[str, Any] | ValidationError]
+    ) -> list[dict[str, Any]]:
+        """Answer a batch, preserving request order.
+
+        ``requests`` may mix :class:`BatchRequest` objects, raw JSON-ready
+        dicts, and the :class:`~repro.errors.ValidationError` placeholders
+        produced by :func:`read_requests` (which become ``"ok": false``
+        results, echoing the request ``id`` whenever one was readable).
+        With workers configured, valid requests are sharded across the
+        process pool; errors are answered locally.
+        """
+        results: list[dict[str, Any] | None] = []
+        solvable: list[tuple[int, BatchRequest]] = []
+        for i, req in enumerate(requests):
+            if isinstance(req, BatchRequest):
+                solvable.append((i, req))
+                results.append(None)
+                continue
+            if isinstance(req, ValidationError):
+                rid = getattr(req, "request_id", None)
+                error = req
+            else:
+                rid = req.get("id") if isinstance(req, dict) else None
+                try:
+                    solvable.append((i, BatchRequest.from_obj(req, default_id=i)))
+                    results.append(None)
+                    continue
+                except ValidationError as exc:
+                    error = exc
+            results.append({"schema": BATCH_SCHEMA, "id": rid, "ok": False, "error": str(error)})
+
+        if self.workers and solvable:
+            pool = self._ensure_pool()
+            chunksize = max(1, len(solvable) // (self.workers * 4))
+            answers = pool.map(_worker_solve, [r.to_obj() for _, r in solvable], chunksize)
+            for (i, _), answer in zip(solvable, answers):
+                results[i] = answer
+        else:
+            for i, req in solvable:
+                results[i] = solve_one(self.engine, req)
+        return [r for r in results if r is not None]
+
+    def solve_file(self, source: str | Path | Iterable[str]) -> list[dict[str, Any]]:
+        """Answer a JSONL request stream (see :func:`read_requests`)."""
+        return self.solve_many(read_requests(source))
+
+    def close(self) -> None:
+        """Terminate the worker pool and delete a temporary artifact."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._owns_artifact:
+            try:
+                self._artifact_path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            self._owns_artifact = False
+
+    def __enter__(self) -> "BatchSolver":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"BatchSolver(artifact={str(self._artifact_path)!r}, workers={self.workers})"

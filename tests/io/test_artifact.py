@@ -1,0 +1,321 @@
+"""The ``repro-ground/1`` binary artifact layer: format, cache, engine wiring."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.api import Engine
+from repro.datalog.database import Database
+from repro.datalog.grounding import GroundProgram, GroundRule, AtomTable, ground
+from repro.datalog.parser import parse_atom, parse_database, parse_program
+from repro.errors import ArtifactError, GroundingError
+from repro.io.artifact import (
+    ARTIFACT_SCHEMA,
+    ArtifactCache,
+    cache_key,
+    dump_ground_program,
+    load_artifact,
+    pool_fingerprint,
+    program_fingerprint,
+    save_ground_program,
+)
+
+GAME = "win(X) :- move(X, Y), not win(Y)."
+BOARD = "move(1, 2). move(2, 1). move(2, 3)."
+
+
+def _game(mode="relevant"):
+    return ground(parse_program(GAME), parse_database(BOARD), mode=mode)
+
+
+def _true_set(solution):
+    return {str(a) for a in solution.true_atoms}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mode", ["full", "relevant", "edb"])
+    def test_identical_atoms_rules_and_index(self, mode):
+        gp = _game(mode)
+        art = load_artifact(dump_ground_program(gp))
+        gp2 = art.ground_program
+        assert gp2.mode == mode
+        assert gp2.program == gp.program
+        assert gp2.database == gp.database
+        assert gp2.universe == gp.universe
+        assert gp2.atom_count == gp.atom_count
+        assert {gp.atoms.atom(i) for i in range(gp.atom_count)} == {
+            gp2.atoms.atom(i) for i in range(gp2.atom_count)
+        }
+        # Dense ids are part of the format: the loaded program is id-for-id
+        # identical, not merely isomorphic.
+        for r1, r2 in zip(gp.rules, gp2.rules):
+            assert (r1.head, r1.pos, r1.neg, r1.rule_index, r1.substitution) == (
+                r2.head,
+                r2.pos,
+                r2.neg,
+                r2.rule_index,
+                r2.substitution,
+            )
+        i1, i2 = gp.index, gp2.index
+        assert i1.pos_occ_t == i2.pos_occ_t
+        assert i1.neg_occ_t == i2.neg_occ_t
+        assert i1.rules_by_head_t == i2.rules_by_head_t
+        assert i1.head_of_t == i2.head_of_t
+        assert bytes(i1.edb_mask) == bytes(i2.edb_mask)
+        assert i1.initial_status.tobytes() == i2.initial_status.tobytes()
+        assert tuple(i1.initial_valued) == tuple(i2.initial_valued)
+
+    @pytest.mark.parametrize("mode", ["full", "relevant", "edb"])
+    def test_reserialization_is_byte_identical(self, mode):
+        blob = dump_ground_program(_game(mode))
+        assert dump_ground_program(load_artifact(blob).ground_program) == blob
+
+    def test_hand_built_ground_program_serializes(self):
+        # No compiled CSR emitter attached: the generic re-encode path.
+        program = parse_program("p :- not q.")
+        table = AtomTable()
+        p, q = table.id_of(parse_atom("p")), table.id_of(parse_atom("q"))
+        gp = GroundProgram(program, Database(), (), "full", table)
+        gp.rules = [GroundRule(head=p, pos=(), neg=(q,), rule_index=0, substitution=())]
+        art = load_artifact(dump_ground_program(gp))
+        assert art.ground_program.atom_count == 2
+        assert art.ground_program.rules[0].neg == (q,)
+        warm = Engine(art.ground_program.program, ground_program=art.ground_program)
+        assert _true_set(warm.solve("well_founded")) == {"p"}
+
+    def test_atom_table_decodes_lazily(self):
+        art = load_artifact(dump_ground_program(_game()))
+        table = art.ground_program.atoms
+        assert not table._built
+        win1 = parse_atom("win(1)")
+        assert table.atom(table.get(win1)) == win1  # get() forces the lookup maps
+        assert table._built
+
+    def test_save_is_atomic_and_loadable(self, tmp_path):
+        target = tmp_path / "game.repro-ground"
+        save_ground_program(_game(), target)
+        assert load_artifact(target).ground_program.rule_count == _game().rule_count
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+
+class TestCorruption:
+    def _blob(self):
+        return dump_ground_program(_game())
+
+    def test_short_read_truncations(self):
+        blob = self._blob()
+        for cut in (0, 4, 11, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(ArtifactError, match="short read|bad magic"):
+                load_artifact(blob[:cut])
+
+    def test_bad_magic(self):
+        blob = self._blob()
+        with pytest.raises(ArtifactError, match="bad magic"):
+            load_artifact(b"NOTMAGIC" + blob[8:])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ArtifactError, match="trailing garbage"):
+            load_artifact(self._blob() + b"\x00")
+
+    def test_checksum_mismatch_on_payload_flip(self):
+        blob = bytearray(self._blob())
+        blob[-20] ^= 0xFF  # a payload byte near the end, before the CRC
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            load_artifact(bytes(blob))
+
+    def test_version_mismatch(self):
+        blob = self._blob()
+        header_len = int.from_bytes(blob[8:12], "little")
+        header = json.loads(blob[12 : 12 + header_len])
+        header["schema"] = "repro-ground/999"
+        new_header = json.dumps(header, separators=(",", ":")).encode()
+        payload = blob[12 + header_len : -4]
+        crc = zlib.crc32(new_header + payload) & 0xFFFFFFFF
+        rebuilt = (
+            blob[:8]
+            + len(new_header).to_bytes(4, "little")
+            + new_header
+            + payload
+            + crc.to_bytes(4, "little")
+        )
+        with pytest.raises(ArtifactError, match="version mismatch"):
+            load_artifact(rebuilt)
+
+    def test_tampered_counts_fail_consistency(self):
+        blob = self._blob()
+        header_len = int.from_bytes(blob[8:12], "little")
+        header = json.loads(blob[12 : 12 + header_len])
+        header["counts"]["rules"] += 1
+        new_header = json.dumps(header, separators=(",", ":")).encode()
+        payload = blob[12 + header_len : -4]
+        crc = zlib.crc32(new_header + payload) & 0xFFFFFFFF
+        rebuilt = (
+            blob[:8]
+            + len(new_header).to_bytes(4, "little")
+            + new_header
+            + payload
+            + crc.to_bytes(4, "little")
+        )
+        with pytest.raises(ArtifactError):
+            load_artifact(rebuilt)
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_artifact(tmp_path / "absent.repro-ground")
+
+    def test_malformed_section_table_entries(self):
+        # A CRC-valid artifact whose section table is structurally wrong
+        # must fail as ArtifactError, never TypeError.
+        blob = self._blob()
+        header_len = int.from_bytes(blob[8:12], "little")
+        header = json.loads(blob[12 : 12 + header_len])
+        for bad_entry in (["heads", "i", "oops"], ["heads", "i", -1], ["heads", "i"], "heads"):
+            tampered = json.loads(json.dumps(header))
+            tampered["sections"][0] = bad_entry
+            new_header = json.dumps(tampered, separators=(",", ":")).encode()
+            payload = blob[12 + header_len : -4]
+            crc = zlib.crc32(new_header + payload) & 0xFFFFFFFF
+            rebuilt = (
+                blob[:8]
+                + len(new_header).to_bytes(4, "little")
+                + new_header
+                + payload
+                + crc.to_bytes(4, "little")
+            )
+            with pytest.raises(ArtifactError, match="malformed section table"):
+                load_artifact(rebuilt)
+
+    def test_out_of_range_body_atom_id_rejected(self):
+        # CRC-valid but inconsistent payload: a negative id in `pos` must
+        # fail as ArtifactError, never silently index from the back.
+        blob = self._blob()
+        header_len = int.from_bytes(blob[8:12], "little")
+        header = json.loads(blob[12 : 12 + header_len])
+        payload = bytearray(blob[12 + header_len : -4])
+        offset = 0
+        for name, _, nbytes in header["sections"]:
+            if name == "pos":
+                assert nbytes >= 4
+                payload[offset : offset + 4] = (-1).to_bytes(4, "little", signed=True)
+                break
+            offset += nbytes
+        else:  # pragma: no cover - the section always exists
+            pytest.fail("no pos section")
+        header_blob = blob[12 : 12 + header_len]
+        crc = zlib.crc32(header_blob + bytes(payload)) & 0xFFFFFFFF
+        rebuilt = blob[: 12 + header_len] + bytes(payload) + crc.to_bytes(4, "little")
+        with pytest.raises(ArtifactError, match="pos reference ids outside"):
+            load_artifact(rebuilt)
+
+    def test_read_artifact_header_verifies_but_skips_decode(self):
+        from repro.io.artifact import read_artifact_header
+
+        blob = self._blob()
+        header = read_artifact_header(blob)
+        assert header["schema"] == ARTIFACT_SCHEMA
+        assert header["mode"] == "relevant"
+        with pytest.raises(ArtifactError, match="checksum|short read"):
+            read_artifact_header(blob[:-1])
+
+
+class TestFingerprints:
+    def test_program_fingerprint_is_content_addressed(self):
+        p1, d1 = parse_program(GAME), parse_database(BOARD)
+        p2, d2 = parse_program(GAME), parse_database(BOARD)
+        assert program_fingerprint(p1, d1) == program_fingerprint(p2, d2)
+        assert program_fingerprint(p1, d1) != program_fingerprint(p1, parse_database("move(9, 9)."))
+
+    def test_pool_fingerprint_distinguishes_type_and_order(self):
+        from repro.datalog.terms import Constant
+        from repro.engine.plan import ConstantPool
+
+        assert pool_fingerprint(None) == pool_fingerprint(ConstantPool())
+        ints = ConstantPool([Constant(1), Constant(2)])
+        strs = ConstantPool([Constant("1"), Constant("2")])
+        flipped = ConstantPool([Constant(2), Constant(1)])
+        assert len({pool_fingerprint(p) for p in (ints, strs, flipped)}) == 3
+
+    def test_cache_key_varies_by_mode(self):
+        p, d = parse_program(GAME), parse_database(BOARD)
+        assert cache_key(p, d, "relevant") != cache_key(p, d, "full")
+
+
+class TestArtifactCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        gp = _game()
+        key = cache_key(gp.program, gp.database, gp.mode)
+        assert cache.get(key) is None
+        cache.put(key, gp)
+        assert len(cache) == 1
+        art = cache.get(key)
+        assert art is not None
+        assert art.header["schema"] == ARTIFACT_SCHEMA
+        assert art.ground_program.rule_count == gp.rule_count
+
+    def test_corrupt_entry_is_a_miss_and_evicted(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        gp = _game()
+        key = cache_key(gp.program, gp.database, gp.mode)
+        path = cache.put(key, gp)
+        path.write_bytes(path.read_bytes()[:40])
+        assert cache.get(key) is None
+        assert not path.exists()
+
+
+class TestEngineArtifacts:
+    def test_save_and_warm_start(self, tmp_path):
+        engine = Engine(GAME, BOARD)
+        path = engine.save_artifact(tmp_path / "game.repro-ground")
+        warm = Engine.from_artifact(path)
+        assert warm.ground_calls == 0
+        assert warm.index_builds == 0  # the index arrives restored, not rebuilt
+        assert warm.default_grounding == "relevant"
+        assert "artifact_load_s" in warm.timings
+        for semantics in ("well_founded", "tie_breaking", "stable"):
+            assert _true_set(warm.solve(semantics)) == _true_set(engine.solve(semantics))
+        # query paths ride the restored atom table and database
+        assert warm.query_many(["win(1)", "win(3)"]) == engine.query_many(["win(1)", "win(3)"])
+
+    def test_engine_artifact_cache_skips_grounding(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        e1 = Engine(GAME, BOARD, artifact_cache=cache_dir)
+        e1.ground_for("relevant")
+        assert (e1.ground_calls, e1.artifact_hits) == (1, 0)
+        e2 = Engine(GAME, BOARD, artifact_cache=cache_dir)
+        e2.ground_for("relevant")
+        assert (e2.ground_calls, e2.artifact_hits, e2.index_builds) == (0, 1, 0)
+        assert _true_set(e1.solve("tie_breaking")) == _true_set(e2.solve("tie_breaking"))
+
+    def test_engine_cache_key_distinguishes_modes_and_inputs(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        e1 = Engine(GAME, BOARD, artifact_cache=cache_dir)
+        e1.ground_for("relevant")
+        e2 = Engine(GAME, BOARD, artifact_cache=cache_dir)
+        e2.ground_for("full")
+        assert e2.ground_calls == 1  # different mode: no false hit
+        e3 = Engine(GAME, "move(5, 6).", artifact_cache=cache_dir)
+        e3.ground_for("relevant")
+        assert e3.ground_calls == 1  # different database: no false hit
+
+    def test_cached_artifact_respects_max_instances(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        e1 = Engine(GAME, BOARD, artifact_cache=cache_dir)
+        e1.ground_for("relevant")
+        e2 = Engine(GAME, BOARD, artifact_cache=cache_dir)
+        with pytest.raises(GroundingError):
+            e2.ground_for("relevant", max_instances=1)
+
+    def test_pool_adoption_across_modes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        e1 = Engine(GAME, BOARD, artifact_cache=cache_dir)
+        e1.ground_for("relevant")
+        warm = Engine(GAME, BOARD, artifact_cache=cache_dir)
+        warm.ground_for("relevant")
+        assert warm.artifact_hits == 1
+        # Grounding another mode afterwards extends the adopted pool and
+        # still produces the same models.
+        assert _true_set(warm.solve("fitting", grounding="full")) == _true_set(
+            e1.solve("fitting", grounding="full")
+        )

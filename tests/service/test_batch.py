@@ -1,0 +1,254 @@
+"""The warm-start batch service: requests, sharding, CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ValidationError
+from repro.service import BATCH_SCHEMA, BatchRequest, BatchSolver, read_requests, solve_one
+
+GAME = "win(X) :- move(X, Y), not win(Y)."
+BOARD = "move(1, 2). move(2, 1). move(2, 3)."
+COMMITTEE = "in(X) :- member(X), not out(X).\nout(X) :- member(X), not in(X)."
+MEMBERS = "member(a). member(b). member(c)."
+
+
+class TestBatchRequest:
+    def test_defaults_and_round_trip(self):
+        req = BatchRequest.from_obj({"id": "r1", "semantics": "stable"}, default_id=0)
+        assert req.id == "r1" and req.semantics == "stable"
+        assert BatchRequest.from_obj(req.to_obj()) == req
+
+    def test_default_id_is_positional(self):
+        assert BatchRequest.from_obj({}, default_id=7).id == 7
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="unknown batch request field"):
+            BatchRequest.from_obj({"semantic": "wf"})
+
+    def test_rejects_non_object_and_bad_types(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            BatchRequest.from_obj(["not", "an", "object"])
+        with pytest.raises(ValidationError, match="'atoms'"):
+            BatchRequest.from_obj({"atoms": "win(1)"})
+        with pytest.raises(ValidationError, match="'seed'"):
+            BatchRequest.from_obj({"seed": "seven"})
+        with pytest.raises(ValidationError, match="schema"):
+            BatchRequest.from_obj({"schema": "repro-batchreq/999"})
+
+    def test_policy_resolution(self):
+        assert BatchRequest().resolve_policy() is None
+        assert repr(BatchRequest(policy="first_side_true").resolve_policy()) == "FirstSideTrue()"
+        assert repr(BatchRequest(seed=3).resolve_policy()) == "RandomChoice(seed=3)"
+        assert (
+            repr(BatchRequest(policy="random", seed=9).resolve_policy()) == "RandomChoice(seed=9)"
+        )
+        with pytest.raises(ValidationError, match="unknown policy"):
+            BatchRequest(policy="coin_flip").resolve_policy()
+        with pytest.raises(ValidationError, match="does not take a seed"):
+            BatchRequest(policy="fewest_true", seed=1).resolve_policy()
+
+
+class TestReadRequests:
+    def test_blank_lines_skipped_bad_lines_isolated(self):
+        lines = [
+            '{"id": "a"}',
+            "",
+            "not json",
+            '{"id": "b", "bogus": 1}',
+        ]
+        parsed = read_requests(lines)
+        assert isinstance(parsed[0], BatchRequest) and parsed[0].id == "a"
+        assert isinstance(parsed[1], ValidationError) and "line 3" in str(parsed[1])
+        assert isinstance(parsed[2], ValidationError) and "line 4" in str(parsed[2])
+
+    def test_reads_from_path(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"id": 1}\n{"id": 2}\n')
+        assert [r.id for r in read_requests(path)] == [1, 2]
+
+
+class TestBatchSolverInline:
+    def test_per_request_semantics_and_atoms(self, tmp_path):
+        with BatchSolver(
+            tmp_path / "game.rg", program=GAME, database=BOARD, grounding="relevant"
+        ) as solver:
+            results = solver.solve_many(
+                [
+                    {"id": "wf", "semantics": "well_founded", "atoms": ["win(1)", "win(2)"]},
+                    {"id": "tb", "semantics": "tie_breaking"},
+                    {"id": "bad", "semantics": "nonsense"},
+                ]
+            )
+        assert [r["id"] for r in results] == ["wf", "tb", "bad"]
+        assert results[0]["ok"] and results[0]["values"] == {"win(1)": False, "win(2)": True}
+        assert results[1]["ok"] and results[1]["solution"]["schema"] == "repro-solution/1"
+        assert not results[2]["ok"] and "unknown semantics" in results[2]["error"]
+        assert all(r["schema"] == BATCH_SCHEMA for r in results)
+
+    def test_requests_never_reground(self, tmp_path):
+        with BatchSolver(tmp_path / "game.rg", program=GAME, database=BOARD) as solver:
+            solver.solve_many([{"semantics": "well_founded"}, {"semantics": "tie_breaking"}])
+            assert solver.engine.ground_calls <= 1  # one compile serves the batch
+
+    def test_seeded_requests_replay(self, tmp_path):
+        with BatchSolver(
+            tmp_path / "c.rg", program=COMMITTEE, database=MEMBERS, grounding="relevant"
+        ) as solver:
+            a1, a2, b = solver.solve_many(
+                [
+                    {"id": 1, "seed": 7, "atoms": ["in(a)", "in(b)", "in(c)"]},
+                    {"id": 2, "seed": 7, "atoms": ["in(a)", "in(b)", "in(c)"]},
+                    {"id": 3, "seed": 8, "atoms": ["in(a)", "in(b)", "in(c)"]},
+                ]
+            )
+        assert a1["values"] == a2["values"]
+        assert all(r["total"] for r in (a1, a2, b))
+
+    def test_temp_artifact_cleanup(self):
+        solver = BatchSolver(program=GAME, database=BOARD)
+        path = solver.artifact_path
+        assert path.exists()
+        solver.close()
+        assert not path.exists()
+
+    def test_needs_program_or_artifact(self, tmp_path):
+        with pytest.raises(ValidationError, match="existing artifact or a program"):
+            BatchSolver(tmp_path / "missing.rg")
+
+    def test_validation_error_placeholders_become_results(self, tmp_path):
+        with BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD) as solver:
+            results = solver.solve_many(read_requests(['{"id": 1}', "garbage"]))
+        assert results[0]["ok"]
+        assert not results[1]["ok"] and "invalid JSON" in results[1]["error"]
+
+    def test_failed_validation_echoes_request_id(self, tmp_path):
+        with BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD) as solver:
+            results = solver.solve_many(
+                read_requests(['{"id": "req-7", "bogus": 1}'])
+                + [{"id": "req-8", "also_bogus": 2}]
+            )
+        assert [r["id"] for r in results] == ["req-7", "req-8"]
+        assert not any(r["ok"] for r in results)
+
+    def test_stale_artifact_is_rejected(self, tmp_path):
+        artifact = tmp_path / "g.rg"
+        with BatchSolver(artifact, program=GAME, database=BOARD):
+            pass
+        # Same inputs: the fingerprint matches, serving proceeds.
+        with BatchSolver(artifact, program=GAME, database=BOARD) as solver:
+            assert solver.solve_many([{"semantics": "well_founded"}])[0]["ok"]
+        # Edited program against the stale artifact: refused loudly.
+        with pytest.raises(ValidationError, match="different \\(program, database\\)"):
+            BatchSolver(artifact, program="r(b).", database=None)
+
+
+class TestBatchSolverWorkers:
+    def test_worker_pool_matches_inline(self, tmp_path):
+        requests = [
+            {"id": i, "semantics": "tie_breaking", "seed": i, "atoms": ["in(a)", "out(a)"]}
+            for i in range(6)
+        ] + [{"id": "oops", "semantics": "nope"}]
+        artifact = tmp_path / "c.rg"
+        with BatchSolver(artifact, program=COMMITTEE, database=MEMBERS) as inline:
+            expected = inline.solve_many(requests)
+        with BatchSolver(artifact, workers=2) as sharded:
+            actual = sharded.solve_many(requests)
+            # A pool-only solver never loads an engine in the parent.
+            assert sharded._engine is None
+        assert actual == expected
+        assert [r["id"] for r in actual] == [r["id"] for r in requests]
+
+    def test_solve_file_round_trip(self, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"id": "q", "semantics": "well_founded", "atoms": ["win(3)"]}\n')
+        with BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD, workers=1) as solver:
+            results = solver.solve_file(requests)
+        assert results[0]["values"] == {"win(3)": False}
+
+    def test_rejects_negative_workers(self, tmp_path):
+        with pytest.raises(ValidationError, match="workers"):
+            BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD, workers=-1)
+
+    def test_corrupt_artifact_fails_at_construction_not_in_workers(self, tmp_path):
+        # A raising pool initializer would respawn workers forever; the
+        # solver must reject a corrupt artifact before any pool exists.
+        from repro.errors import ArtifactError
+
+        artifact = tmp_path / "c.rg"
+        with BatchSolver(artifact, program=GAME, database=BOARD):
+            pass
+        artifact.write_bytes(artifact.read_bytes()[:50])
+        with pytest.raises(ArtifactError):
+            BatchSolver(artifact, workers=2)
+
+    def test_malformed_atom_fails_the_request(self, tmp_path):
+        with BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD) as solver:
+            result = solver.solve_many(
+                [{"id": "bad-atom", "semantics": "well_founded", "atoms": ["win("]}]
+            )[0]
+        assert result["id"] == "bad-atom" and not result["ok"]
+
+
+class TestServeCli:
+    def _files(self, tmp_path):
+        program = tmp_path / "game.dl"
+        program.write_text(GAME + "\n")
+        db = tmp_path / "board.facts"
+        db.write_text(BOARD + "\n")
+        return program, db
+
+    def test_serve_writes_results_and_artifact(self, tmp_path, capsys):
+        program, db = self._files(tmp_path)
+        batch = tmp_path / "requests.jsonl"
+        batch.write_text(
+            '{"id": "a", "semantics": "well_founded", "atoms": ["win(2)"]}\n'
+            '{"id": "b", "semantics": "tie_breaking"}\n'
+        )
+        artifact = tmp_path / "game.repro-ground"
+        code = main(
+            [
+                "serve",
+                str(program),
+                "--db",
+                str(db),
+                "--batch",
+                str(batch),
+                "--artifact",
+                str(artifact),
+            ]
+        )
+        assert code == 0
+        assert artifact.exists()
+        lines = [json.loads(x) for x in capsys.readouterr().out.splitlines()]
+        assert [r["id"] for r in lines] == ["a", "b"]
+        assert lines[0]["values"] == {"win(2)": True}
+
+        # Second invocation: warm start from the artifact alone, to a file.
+        out = tmp_path / "results.jsonl"
+        code = main(
+            ["serve", "--batch", str(batch), "--artifact", str(artifact), "--output", str(out)]
+        )
+        assert code == 0
+        warm = [json.loads(x) for x in out.read_text().splitlines()]
+
+        def scrub(results):
+            for r in results:
+                if "solution" in r:
+                    r["solution"].pop("timings", None)
+            return results
+
+        assert scrub(warm) == scrub(lines)
+
+    def test_serve_failed_request_exit_code(self, tmp_path, capsys):
+        program, db = self._files(tmp_path)
+        batch = tmp_path / "requests.jsonl"
+        batch.write_text('{"id": "x", "semantics": "nope"}\n')
+        code = main(["serve", str(program), "--db", str(db), "--batch", str(batch)])
+        assert code == 3
+
+    def test_serve_needs_program_or_artifact(self, tmp_path, capsys):
+        batch = tmp_path / "requests.jsonl"
+        batch.write_text("{}\n")
+        assert main(["serve", "--batch", str(batch)]) == 2

@@ -56,7 +56,33 @@ class TestRunBench:
         assert family["speedup"] is None
         assert family["seed_ground_s"] is None
         assert family["ground_speedup"] is None
+        # No seed-kernel/grounder stats; the throughput (serving) summary
+        # is independent of the frozen baselines and survives.
+        assert not any(k.endswith("_speedup") and "warm" not in k for k in record["summary"])
+
+    def test_no_throughput_mode(self):
+        record = run_bench(
+            scale="smoke", family_names=["committee"], baseline=False, throughput=False
+        )
+        assert "throughput" not in record
         assert record["summary"] == {}
+
+    def test_throughput_mode_records_serving_metrics(self):
+        record = run_bench(scale="smoke", family_names=["win_move_line", "committee"])
+        assert set(record["throughput"]) == {"win_move_line", "committee"}
+        for fam in record["throughput"].values():
+            assert fam["cold_start_s"] > 0
+            assert fam["warm_start_s"] > 0
+            assert fam["warm_speedup"] > 0
+            assert fam["artifact_bytes"] > 0
+            assert fam["requests_per_s"] > 0
+            assert fam["requests"]["batch"] > 0
+        summary = record["summary"]
+        assert (
+            summary["min_warm_speedup"]
+            <= summary["geomean_warm_speedup"]
+            <= summary["max_warm_speedup"]
+        )
 
     def test_unknown_scale_and_family_rejected(self):
         from repro.errors import ReproError
