@@ -92,9 +92,7 @@ def negation_depth(program: Program) -> dict[str, int | None]:
 
     graph = program_graph(program)
     succ = graph.successor_lists()
-    components = strongly_connected_components(
-        graph.node_count, lambda u: (v for v, _ in succ[u])
-    )
+    components = strongly_connected_components(graph.node_count, lambda u: (v for v, _ in succ[u]))
     comp_id = [0] * graph.node_count
     for cid, comp in enumerate(components):
         for node in comp:
@@ -142,6 +140,4 @@ def relevant_subprogram(program: Program, predicates: Iterable[str]) -> Program:
     cone: set[str] = set()
     for predicate in predicates:
         cone |= depends_on(program, predicate)
-    return Program(
-        tuple(rule for rule in program.rules if rule.head.predicate in cone)
-    )
+    return Program(tuple(rule for rule in program.rules if rule.head.predicate in cone))

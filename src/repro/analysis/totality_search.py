@@ -44,10 +44,7 @@ def _canonical_key(
     for perm in permutations(used):
         mapping = dict(zip(used, perm))
         key = tuple(
-            sorted(
-                (pred, tuple(str(mapping.get(c, c)) for c in row))
-                for pred, row in facts
-            )
+            sorted((pred, tuple(str(mapping.get(c, c)) for c in row)) for pred, row in facts)
         )
         if best is None or key < best:
             best = key
@@ -100,9 +97,7 @@ def candidate_databases(
                 seen.add(canon)
                 emitted += 1
                 if emitted > max_databases:
-                    raise SemanticsError(
-                        f"more than {max_databases} candidate databases"
-                    )
+                    raise SemanticsError(f"more than {max_databases} candidate databases")
                 db = Database()
                 for pred, row in sorted(facts, key=str):
                     db.add(pred, *row)

@@ -107,8 +107,6 @@ def reduced_program(program: Program) -> Program:
             # Unreachable by the largest-set property (such a rule must have a
             # useless positive body atom), kept as a guard for malformed input.
             continue
-        body = tuple(
-            lit for lit in rule.body if lit.positive or lit.predicate not in useless
-        )
+        body = tuple(lit for lit in rule.body if lit.positive or lit.predicate not in useless)
         kept.append(Rule(rule.head, body))
     return Program(kept)

@@ -154,6 +154,7 @@ def _solve_well_founded(req: SolveRequest) -> Solution:
         iterations=run.iterations,
         state=run.state,
         run=run,
+        timings=dict(run.timings or {}),
     )
 
 
@@ -165,6 +166,7 @@ def _tie_solution(name: str, run: Any) -> Solution:
         policy=run.policy,
         state=run.state,
         run=run,
+        timings=dict(run.timings or {}),
     )
 
 

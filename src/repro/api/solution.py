@@ -61,7 +61,10 @@ class Solution:
       semantics that never ground;
     * ``timings`` — wall-clock seconds per pipeline phase (``parse_s``,
       ``ground_s``, ``compile_s``, ``solve_s``; ``artifact_load_s`` /
-      ``artifact_save_s`` when binary artifacts are involved);
+      ``artifact_save_s`` when binary artifacts are involved).  The
+      ground-graph interpreters additionally break ``solve_s`` down into
+      the kernel phases ``close_s`` / ``unfounded_s`` / ``tie_select_s``
+      / ``tie_apply_s`` (summing to ~``solve_s``);
     * ``state`` — the retained evaluation state for ``explain``, or
       ``None``;
     * ``run`` — the legacy result object (``WellFoundedRun``,

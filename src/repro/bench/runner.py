@@ -41,6 +41,14 @@ warm-started model is identical to the cold one, and drives a
 end-to-end requests/sec.  ``warm_speedup`` (cold start over warm start)
 is the compile-once dividend; its per-record summary is the number the
 serving layer is accountable for.
+
+The **enumerate** mode records models/sec of the exhaustive tie-breaking
+explorer per tie-breaking family, both for the production trail-undo DFS
+and the clone-based reference explorer (identical (model, choice-trail)
+sequences cross-checked), so the undo-log dividend has its own tracked
+number.  Alongside, every family records ``solve_phases`` — the kernel's
+``close_s`` / ``unfounded_s`` / ``tie_select_s`` / ``tie_apply_s``
+breakdown of the engine solve.
 """
 
 from __future__ import annotations
@@ -68,6 +76,10 @@ from repro.ground.state import GroundGraphState
 from repro.bench.seed_grounder import seed_ground
 from repro.bench.seed_kernel import SeedGroundGraphState
 from repro.semantics.choices import FirstSideTrue, forced_orientation
+from repro.semantics.tie_breaking import (
+    _enumerate_reference,
+    _enumerate_tie_breaking_models,
+)
 from repro.workloads import families
 
 __all__ = [
@@ -126,8 +138,18 @@ _KERNELS: dict[str, Callable] = {
 
 
 def _drive(state, semantics: str) -> dict:
-    """Run one interpreter to completion, timing each phase separately."""
+    """Run one interpreter to completion, timing each phase separately.
+
+    The production kernel is driven through its v2 hot path (the fused
+    ``falsify_unfounded`` cascade and the ``select_tie`` schedule); the
+    frozen seed kernel, which predates both, runs the equivalent
+    query/assign/close loop.  The property suite pins the two paths to
+    identical trajectories, so the recorded models and decision trails
+    stay comparable.  For the fused path the internal re-closes are
+    accounted under ``unfounded_s``.
+    """
     policy = FirstSideTrue()
+    fused = hasattr(state, "falsify_unfounded")
     close_s = unfounded_s = tie_s = 0.0
     unfounded_iterations = 0
     tie_choices = 0
@@ -137,29 +159,39 @@ def _drive(state, semantics: str) -> dict:
     state.close()
     close_s += perf_counter() - t0
     while True:
-        t0 = perf_counter()
-        unfounded = state.unfounded_atoms()
-        unfounded_s += perf_counter() - t0
-        if unfounded:
-            unfounded_iterations += 1
-            state.assign_many(unfounded, FALSE, ("unfounded", unfounded_iterations))
+        if fused:
             t0 = perf_counter()
-            state.close()
-            close_s += perf_counter() - t0
-            continue
+            unfounded_iterations += state.falsify_unfounded(numbered=False)
+            unfounded_s += perf_counter() - t0
+        else:
+            t0 = perf_counter()
+            unfounded = state.unfounded_atoms()
+            unfounded_s += perf_counter() - t0
+            if unfounded:
+                unfounded_iterations += 1
+                state.assign_many(unfounded, FALSE, ("unfounded", unfounded_iterations))
+                t0 = perf_counter()
+                state.close()
+                close_s += perf_counter() - t0
+                continue
         if semantics != "wf-tb":
             break
-        t0 = perf_counter()
-        bottoms = state.bottom_components_live()
-        tie_s += perf_counter() - t0
-        tie = None
-        tie_key = None
-        for component in bottoms:
-            if not component.is_tie:
-                continue
-            key = min(component.atom_ids)
-            if tie_key is None or key < tie_key:
-                tie, tie_key = component, key
+        if fused:
+            t0 = perf_counter()
+            tie = state.select_tie()
+            tie_s += perf_counter() - t0
+        else:
+            t0 = perf_counter()
+            bottoms = state.bottom_components_live()
+            tie_s += perf_counter() - t0
+            tie = None
+            tie_key = None
+            for component in bottoms:
+                if not component.is_tie:
+                    continue
+                key = min(component.atom_ids)
+                if tie_key is None or key < tie_key:
+                    tie, tie_key = component, key
         if tie is None:
             break
         sides = tie.side_of_atom()
@@ -351,7 +383,83 @@ def _bench_family(name: str, spec: FamilySpec, base_n: int, repeat: int, baselin
         "compile_s": compile_s,
         "kernels": kernels,
         "engine_solve_s": solution.timings["solve_s"],
+        # The kernel's per-phase breakdown of that solve (fused unfounded
+        # cascade, schedule-driven tie selection): sums to ~engine_solve_s
+        # minus result materialization.
+        "solve_phases": {
+            key: solution.timings.get(key, 0.0)
+            for key in ("close_s", "unfounded_s", "tie_select_s", "tie_apply_s")
+        },
         "speedup": speedup,
+    }
+
+
+# Model cap of the enumerate mode: enough leaves that steady-state
+# models/sec dominates the first descent, small enough that the
+# clone-based reference column stays affordable at large scale.
+_ENUM_LIMIT = 64
+
+
+def _enum_key(run) -> tuple:
+    """Comparable view of one enumerated run: (true set, id-based trail)."""
+    return (
+        frozenset(run.model.true_set()),
+        tuple((c.true_ids, c.false_ids, c.forced) for c in run.choices),
+    )
+
+
+def _enumerate_family(name: str, spec: FamilySpec, base_n: int, repeat: int) -> dict:
+    """Enumeration throughput (models/sec) for one tie-breaking family.
+
+    Runs the exhaustive explorer twice over the same compiled grounding —
+    the production trail-undo DFS and the clone-based reference — capped
+    at ``_ENUM_LIMIT`` models, best-of-``repeat``.  The two (model,
+    choice-trail) sequences must be identical before any number is
+    recorded; ``enumerate_speedup`` (clone time over trail time) is the
+    dividend of undoing work instead of copying state per branch.
+    """
+    n = spec.size(base_n)
+    program, database = spec.generator(n)
+    engine = Engine(program, database, grounding=spec.grounding)
+    gp = engine.ground_for(spec.grounding)
+
+    trail_s: float | None = None
+    clone_s: float | None = None
+    trail_keys: list[tuple] = []
+    clone_keys: list[tuple] = []
+    for _ in range(max(1, repeat)):
+        t0 = perf_counter()
+        trail_keys = [
+            _enum_key(run)
+            for run in _enumerate_tie_breaking_models(
+                program, database, ground_program=gp, limit=_ENUM_LIMIT
+            )
+        ]
+        elapsed = perf_counter() - t0
+        if trail_s is None or elapsed < trail_s:
+            trail_s = elapsed
+        t0 = perf_counter()
+        clone_keys = [
+            _enum_key(run) for run in _enumerate_reference(gp, limit=_ENUM_LIMIT)
+        ]
+        elapsed = perf_counter() - t0
+        if clone_s is None or elapsed < clone_s:
+            clone_s = elapsed
+    if trail_keys != clone_keys:
+        raise ReproError(
+            f"bench family {name!r}: trail-undo and clone-based enumeration disagree"
+        )
+    assert trail_s is not None and clone_s is not None
+    models = len(trail_keys)
+    return {
+        "n": n,
+        "limit": _ENUM_LIMIT,
+        "models": models,
+        "trail_s": trail_s,
+        "clone_s": clone_s,
+        "trail_models_per_s": models / max(trail_s, 1e-12),
+        "clone_models_per_s": models / max(clone_s, 1e-12),
+        "enumerate_speedup": clone_s / max(trail_s, 1e-12),
     }
 
 
@@ -502,12 +610,15 @@ def run_bench(
     repeat: int = 1,
     baseline: bool = True,
     throughput: bool = True,
+    enumerate_mode: bool = True,
 ) -> dict:
     """Run the benchmark suite and return the JSON-ready record.
 
     ``baseline`` times the frozen seed kernel and grounder alongside the
     production pipeline (and cross-checks them); ``throughput`` runs the
-    cold-vs-warm serving mode (:func:`_throughput_family`) per family.
+    cold-vs-warm serving mode (:func:`_throughput_family`) per family;
+    ``enumerate_mode`` runs the trail-vs-clone enumeration throughput
+    mode (:func:`_enumerate_family`) for the tie-breaking families.
     Raises :class:`~repro.errors.ReproError` for unknown scales or
     families, and whenever any cross-check fails.
     """
@@ -525,6 +636,15 @@ def run_bench(
     throughput_results = (
         {name: _throughput_family(name, FAMILIES[name], base_n) for name in names}
         if throughput
+        else None
+    )
+    enumerate_results = (
+        {
+            name: _enumerate_family(name, FAMILIES[name], base_n, repeat)
+            for name in names
+            if FAMILIES[name].semantics == "wf-tb"
+        }
+        if enumerate_mode
         else None
     )
     def _stats(values: list[float], prefix: str) -> dict:
@@ -546,6 +666,9 @@ def run_bench(
     if throughput_results:
         warm_speedups = [t["warm_speedup"] for t in throughput_results.values()]
         summary.update(_stats(warm_speedups, "warm_speedup"))
+    if enumerate_results:
+        enum_speedups = [e["enumerate_speedup"] for e in enumerate_results.values()]
+        summary.update(_stats(enum_speedups, "enumerate_speedup"))
     record = {
         "schema": SCHEMA,
         "revision": current_revision(),
@@ -560,6 +683,8 @@ def run_bench(
     }
     if throughput_results is not None:
         record["throughput"] = throughput_results
+    if enumerate_results is not None:
+        record["enumerate"] = enumerate_results
     return record
 
 
@@ -633,5 +758,26 @@ def format_table(record: Mapping) -> str:
                 f"warm-start speedup: min {summary['min_warm_speedup']:.2f}x / "
                 f"geomean {summary['geomean_warm_speedup']:.2f}x / "
                 f"max {summary['max_warm_speedup']:.2f}x"
+            )
+    enumerate_results = record.get("enumerate")
+    if enumerate_results:
+        lines.append("")
+        lines.append(
+            f"enumerate (trail-undo DFS vs clone-based): "
+            f"{'family':<18} {'models':>7} {'trail/s':>9} {'clone/s':>9} {'speedup':>8}"
+        )
+        for name, fam in enumerate_results.items():
+            lines.append(
+                f"{'':<43}{name:<18} "
+                f"{fam['models']:>7} "
+                f"{fam['trail_models_per_s']:>9.1f} "
+                f"{fam['clone_models_per_s']:>9.1f} "
+                f"{fam['enumerate_speedup']:>7.2f}x"
+            )
+        if "geomean_enumerate_speedup" in summary:
+            lines.append(
+                f"enumerate speedup: min {summary['min_enumerate_speedup']:.2f}x / "
+                f"geomean {summary['geomean_enumerate_speedup']:.2f}x / "
+                f"max {summary['max_enumerate_speedup']:.2f}x"
             )
     return "\n".join(lines)

@@ -341,9 +341,31 @@ def _cmd_serve(args) -> int:
             print(line)
     failed = sum(1 for r in results if not r.get("ok"))
     rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    # Aggregate solve-phase stats over *distinct* solves: requests served
+    # from an engine's solution cache echo the timings of the solve that
+    # populated it, and double-counting those would report more solve
+    # seconds than wall-clock time.
+    distinct_solves: set[tuple] = set()
+    for r in results:
+        timings = r.get("timings")
+        if timings:
+            distinct_solves.add(tuple(sorted(timings.items())))
+    solve_stats: dict[str, float] = {}
+    for solve in distinct_solves:
+        for key, value in solve:
+            solve_stats[key] = solve_stats.get(key, 0.0) + value
+    phase_note = ""
+    if solve_stats:
+        phase_note = (
+            f"; {len(distinct_solves)} solve(s) {solve_stats.get('solve_s', 0.0):.3f}s"
+            f" (close {solve_stats.get('close_s', 0.0):.3f}"
+            f" / unfounded {solve_stats.get('unfounded_s', 0.0):.3f}"
+            f" / tie-select {solve_stats.get('tie_select_s', 0.0):.3f}"
+            f" / tie-apply {solve_stats.get('tie_apply_s', 0.0):.3f})"
+        )
     print(
         f"served {len(results)} request(s) ({failed} failed) in {elapsed:.3f}s "
-        f"({rate:.1f} req/s, workers={args.workers})",
+        f"({rate:.1f} req/s, workers={args.workers}{phase_note})",
         file=sys.stderr,
     )
     return 0 if failed == 0 else 3
@@ -363,6 +385,7 @@ def _cmd_bench(args) -> int:
         repeat=args.repeat,
         baseline=not args.no_baseline,
         throughput=not args.no_throughput,
+        enumerate_mode=not args.no_enumerate,
     )
     path = write_bench(record, Path(args.output) if args.output else None)
     print(format_table(record))
@@ -488,6 +511,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-throughput",
         action="store_true",
         help="skip the cold-vs-warm artifact serving (throughput) mode",
+    )
+    p.add_argument(
+        "--no-enumerate",
+        action="store_true",
+        help="skip the trail-vs-clone enumeration (models/sec) mode",
     )
     p.set_defaults(func=_cmd_bench)
     return parser

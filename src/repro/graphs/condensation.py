@@ -67,7 +67,5 @@ def topological_component_order(
             for v in successors(u):
                 cv = ids[v]
                 if cv != -1 and cv > comp_index:
-                    raise AssertionError(
-                        "components are not in reverse topological order"
-                    )
+                    raise AssertionError("components are not in reverse topological order")
     return list(range(len(components)))

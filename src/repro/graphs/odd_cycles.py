@@ -36,9 +36,7 @@ def component_analyses(graph: SignedDigraph) -> list[tuple[list[int], TieAnalysi
     dense node indices (``graph.label_of`` maps them back).
     """
     succ = _indexed_successors(graph)
-    components = strongly_connected_components(
-        graph.node_count, lambda u: (v for v, _ in succ(u))
-    )
+    components = strongly_connected_components(graph.node_count, lambda u: (v for v, _ in succ(u)))
     return [(comp, analyze_component(comp, succ)) for comp in components]
 
 
@@ -81,9 +79,7 @@ def find_negative_cycle(graph: SignedDigraph) -> Optional[list[SignedEdge]]:
     from collections import deque
 
     succ = graph.successor_lists()
-    components = strongly_connected_components(
-        graph.node_count, lambda u: (v for v, _ in succ[u])
-    )
+    components = strongly_connected_components(graph.node_count, lambda u: (v for v, _ in succ[u]))
     comp_id = [0] * graph.node_count
     for cid, comp in enumerate(components):
         for node in comp:

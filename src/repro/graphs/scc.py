@@ -91,7 +91,5 @@ def scc_of_signed_digraph(graph) -> list[list[object]]:
     :func:`strongly_connected_components`).
     """
     succ = graph.successor_lists()
-    components = strongly_connected_components(
-        graph.node_count, lambda u: (v for v, _ in succ[u])
-    )
+    components = strongly_connected_components(graph.node_count, lambda u: (v for v, _ in succ[u]))
     return [[graph.label_of(i) for i in comp] for comp in components]

@@ -1,7 +1,8 @@
 """Provenance: why did an atom get its truth value?
 
 Every value assigned during an interpreter run carries a reason recorded by
-:class:`~repro.ground.state.GroundGraphState`:
+:class:`~repro.ground.state.GroundGraphState` (stored in flat kind/argument
+buffers, reconstituted per atom by ``reason_of``):
 
 * ``delta`` — the atom is in the initial database Δ;
 * ``edb-absent`` — an EDB atom outside Δ (closed world);
@@ -89,7 +90,7 @@ def _explain_index(
     gp = state.gp
     atom = gp.atoms.atom(index)
     value = _value_of(state.status[index])
-    reason = state.reason[index]
+    reason = state.reason_of(index)
 
     if reason is None:
         return Explanation(

@@ -14,30 +14,46 @@ interleaved with two *global* queries on the remaining graph: the greatest
 unfounded set ``Atoms[close(M, G+)]`` (well-founded steps) and the bottom
 strongly connected components that are ties (tie-breaking steps).
 
-:class:`GroundGraphState` is a *compiled kernel* over the shared
+:class:`GroundGraphState` is the v2 *compiled kernel* over the shared
 :class:`~repro.datalog.grounding.GroundIndex` (CSR arrays plus tuple
 views, built once per ground program):
 
 * ``close`` is an O(edges) worklist over the compiled adjacency with
-  per-rule pending counters and per-atom support counters;
-* the greatest-unfounded-set query touches only the *live* subgraph: a
-  persistent ``pos_live`` counter (live positive body atoms per rule) is
-  maintained by ``close`` itself, live atoms/rules sit in swap-remove
-  compaction lists, and the derivability cascade runs over epoch-marked
-  scratch arrays — nothing of size O(total) is rebuilt or cleared per
-  call;
+  per-rule pending counters and per-atom support counters; provenance is
+  recorded in flat kind/argument buffers (no per-atom tuple allocation —
+  see :meth:`GroundGraphState.reason_of`), and batch assignment
+  (:meth:`assign_many`, the fused unfounded step) enqueues directly;
+* the greatest-unfounded-set query is **incrementally valid across
+  rounds**: every derived live atom carries a *source pointer* (the rule
+  that first derived it in the positive cascade).  ``close`` detects when
+  a source rule dies and queues the head; a query then only withdraws and
+  re-establishes sources in the affected region instead of re-running the
+  cascade over the whole live graph — a round in which no source was
+  touched answers in O(1).  ``unfounded_atoms(full_recompute=True)`` runs
+  the seed-era full cascade (the differential oracle);
+  :meth:`falsify_unfounded` fuses query → falsify → close into one call,
+  so a well-founded round never rebuilds anything it already knows;
 * the bottom-SCC query is fully incremental.  Evaluation only ever
   *removes* nodes, so strongly connected components can split but never
-  merge: the cached condensation keeps stable component ids, Tarjan is
-  re-run only inside components that lost a node since the last query,
-  and each component carries a count of incoming cross edges that
-  ``close`` decrements as edges disappear — a component is a bottom
-  component exactly when that count hits zero, so the query itself is
-  O(answer) plus the refinement work.  Tie analyses and the returned
-  :class:`BottomComponent` objects are cached per component and reused
-  until the component is touched.  ``bottom_components_live(
-  full_recompute=True)`` bypasses all of it (the escape hatch the
-  property suite pins against the incremental path).
+  merge: the cached condensation keeps stable (never reused) component
+  ids, Tarjan is re-run only inside components that lost a node, and each
+  component carries a count of incoming cross edges that ``close``
+  decrements as edges disappear — a component is a bottom component
+  exactly when that count hits zero.  On top of the cache sits a
+  **min-keyed tie schedule**: every component that becomes bottom is
+  pushed onto a heap keyed by its smallest atom id, and
+  :meth:`select_tie` peeks the schedule (lazily discarding entries whose
+  component split, resolved, or turned out not to be a tie) instead of
+  rescanning all bottom components per round.
+  ``bottom_components_live(full_recompute=True)`` bypasses the cache (the
+  escape hatch the property suite pins against the incremental path);
+* branching interpreters use a **trail-based undo log** instead of
+  ``clone``: :meth:`trail_begin` starts recording, :meth:`trail_mark`
+  marks a decision point, and :meth:`trail_undo` rewinds assignments,
+  liveness, counters, and the SCC/unfounded/schedule caches to the mark —
+  cost proportional to the work performed since the mark, not to the
+  state size.  ``clone`` remains for callers that need an independent
+  copy (trails are not cloned).
 
 ``close`` is confluent (the paper notes the result is independent of
 operation order); a property test shuffles worklist order to confirm.
@@ -46,6 +62,8 @@ operation order); a property test shuffles worklist order to confirm.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop, heappush
+from time import perf_counter
 from typing import Iterable, Iterator
 
 from repro.datalog.grounding import GroundProgram
@@ -56,9 +74,37 @@ from repro.ground.model import FALSE, TRUE, UNDEF, Interpretation
 
 __all__ = ["GroundGraphState", "BottomComponent"]
 
-_DELTA = ("delta",)
-_EDB_ABSENT = ("edb-absent",)
-_NO_SUPPORT = ("no-support",)
+# Provenance kinds, stored in the flat ``_reason_kind`` buffer.  The
+# argument buffer holds the fired rule id (R_FIRED) or the interned label
+# id (R_ASSIGNED); reason_of() reconstitutes the legacy tuples.
+_R_NONE = 0
+_R_DELTA = 1
+_R_EDB_ABSENT = 2
+_R_FIRED = 3
+_R_NO_SUPPORT = 4
+_R_ASSIGNED = 5
+
+_KIND_TUPLES = {
+    _R_DELTA: ("delta",),
+    _R_EDB_ABSENT: ("edb-absent",),
+    _R_NO_SUPPORT: ("no-support",),
+}
+
+# Trail entry tags (first element of each undo-log entry).
+_T_SET = 0  # (tag, atom): status/reason were written
+_T_ATOM = 1  # (tag, atom, slot): atom left the live set
+_T_RULE = 2  # (tag, rule, slot): rule left the live set
+_T_INCROSS = 3  # (tag, cid): incoming-cross-edge count decremented
+_T_DIRTY = 4  # (tag, cid): cid newly added to the SCC dirty set
+_T_REFINE = 5  # (tag, removed, fresh): a refinement replaced components
+_T_REBUILD = 6  # (tag,): a full condensation rebuild ran
+_T_SRC = 8  # (tag, atom, old): source pointer overwritten
+_T_SL_ADD = 9  # (tag, atom): atom added to the sourceless set
+_T_SL_DISCARD = 10  # (tag, atom): atom discarded from the sourceless set
+_T_SL_REPLACE = 11  # (tag, old_set): sourceless set replaced wholesale
+_T_LOST_CLEAR = 12  # (tag, old_list): lost queue consumed
+_T_LOST_APPEND = 13  # (tag,): one entry appended to the lost queue
+_T_UNF_VALID = 14  # (tag, old): validity flag overwritten
 
 
 class BottomComponent:
@@ -93,7 +139,7 @@ class BottomComponent:
 
 
 class _QueryScratch:
-    """Epoch-marked scratch for the unfounded-set cascade.
+    """Epoch-marked scratch for the unfounded-set cascades.
 
     Shared (by reference) between a state and all of its clones: every
     query bumps the shared epoch, so stale marks from any other state are
@@ -117,10 +163,14 @@ class GroundGraphState:
     atoms — but does **not** run ``close``; interpreters call
     :meth:`close` explicitly, mirroring the paper's pseudocode.
 
-    All per-state storage is flat (lists and bytearrays) and initialized
-    by C-level copies from the shared
-    :class:`~repro.datalog.grounding.GroundIndex`, so construction and
-    :meth:`clone` cost O(n) memcpy rather than O(edges) Python loops.
+    All per-state storage is flat (lists, bytearrays, and parallel
+    kind/argument buffers) and initialized by C-level copies from the
+    shared :class:`~repro.datalog.grounding.GroundIndex`, so construction
+    and :meth:`clone` cost O(n) memcpy rather than O(edges) Python loops.
+    ``phase_s`` accumulates wall-clock seconds per kernel phase
+    (``close_s`` / ``unfounded_s`` / ``tie_select_s`` / ``tie_apply_s``)
+    for the solve-phase accounting surfaced in
+    :class:`~repro.api.solution.Solution` timings.
     """
 
     def __init__(self, ground_program: GroundProgram):
@@ -137,19 +187,21 @@ class GroundGraphState:
         self.status: list[int] = list(idx.initial_status)
         self.atom_alive = bytearray(b"\x01" * n_atoms)
         self.rule_alive = bytearray(b"\x01" * n_rules)
-        # Provenance: why each atom received its value.  Entries are tuples
-        # whose first element is a kind tag:
+        # Provenance, as flat parallel buffers (kind byte + int argument;
+        # assignment labels interned once per batch in _labels) instead of
+        # one tuple per atom; reason_of() rebuilds the legacy tuples:
         #   ("delta",)          — true because it is in Δ
         #   ("edb-absent",)     — EDB atom outside Δ
         #   ("fired", r)        — head of rule instance r, body all true
         #   ("no-support",)     — every rule instance for it was deleted
         #   ("assigned", label) — external assignment (unfounded set / tie)
-        self.reason: list[tuple | None] = [None] * n_atoms
-        self._assign_label: tuple | None = None
+        self._reason_kind = bytearray(n_atoms)
+        self._reason_arg: list[int] = [0] * n_atoms
+        self._labels: list[tuple | None] = []
         self.rule_pending: list[int] = list(idx.body_len)
         self.atom_support: list[int] = list(idx.support)
         # Live positive body atoms per rule, maintained incrementally by
-        # close(); seeds the unfounded-set cascade without a rebuild.
+        # close(); seeds the unfounded-set cascades without a rebuild.
         self.pos_live: list[int] = list(idx.pos_len)
 
         # Swap-remove compaction of the live node sets: *_slot maps a node
@@ -162,18 +214,29 @@ class GroundGraphState:
 
         self._dirty: deque[int] = deque(idx.initial_valued)
         status = self.status
-        reason = self.reason
+        kind = self._reason_kind
         for a in idx.initial_valued:
-            reason[a] = _DELTA if status[a] == TRUE else _EDB_ABSENT
+            kind[a] = _R_DELTA if status[a] == TRUE else _R_EDB_ABSENT
 
         self._scratch = _QueryScratch(n_atoms, n_rules)
 
+        # Incremental unfounded-set machinery (source pointers).  _src[a]
+        # is the live rule whose firing derived a in the last positive
+        # cascade (-1 = none); valid only while _unf_valid.  _unf_lost
+        # queues atoms whose source rule died since the last query;
+        # _unf_sourceless is the current greatest unfounded set.
+        self._src: list[int] = [-1] * n_atoms
+        self._unf_valid = False
+        self._unf_lost: list[int] = []
+        self._unf_sourceless: set[int] = set()
+
         # Cached condensation of the live graph (see bottom_components_live).
-        # Components have *stable* ids: a dict cid → sorted node list, a
-        # node → cid map, a per-cid count of incoming cross edges
-        # (decremented by close as edges disappear), the cids whose count
-        # reached zero (the bottom components), memoized BottomComponent
-        # objects, and the cids that lost a node since the last query.
+        # Components have *stable, never reused* ids: a dict cid → sorted
+        # node list, a node → cid map, a per-cid count of incoming cross
+        # edges (decremented by close as edges disappear), the cids whose
+        # count reached zero (the bottom components), memoized
+        # BottomComponent objects, and the cids that lost a node since the
+        # last query.
         self._scc_comps: dict[int, list[int]] | None = None
         self._scc_comp_of: list[int] | None = None
         self._scc_incross: dict[int, int] = {}
@@ -182,20 +245,62 @@ class GroundGraphState:
         self._scc_next_cid = 0
         self._scc_dirty: set[int] = set()
 
+        # Min-keyed schedule of bottom components: (smallest node, cid)
+        # heap entries pushed whenever a component becomes bottom; stale
+        # entries (split, resolved, or non-tie components) are discarded
+        # lazily by select_tie().
+        self._tie_heap: list[tuple[int, int]] = []
+
+        # Undo trail (None = disabled).  See trail_begin/trail_mark/undo.
+        self._trail: list[tuple] | None = None
+
+        # Per-phase wall-clock accounting (seconds, accumulated).
+        self.phase_s: dict[str, float] = {
+            "close_s": 0.0,
+            "unfounded_s": 0.0,
+            "tie_select_s": 0.0,
+            "tie_apply_s": 0.0,
+        }
+
         # Rule nodes that start with no incoming edges (empty bodies) fire
         # during the first close; atoms with no support start falsifiable.
         self._initial = True
 
+    # -- provenance ---------------------------------------------------------
+
+    def _intern_label(self, label: tuple | None) -> int:
+        self._labels.append(label)
+        return len(self._labels) - 1
+
+    def reason_of(self, index: int) -> tuple | None:
+        """Why atom ``index`` received its value (legacy tuple form).
+
+        Returns ``None`` for unvalued atoms; otherwise one of the
+        provenance tuples documented on the class (``("fired", r)``,
+        ``("assigned", label)``, ``("delta",)``, ...).
+        """
+        kind = self._reason_kind[index]
+        if kind == _R_NONE:
+            return None
+        if kind == _R_FIRED:
+            return ("fired", self._reason_arg[index])
+        if kind == _R_ASSIGNED:
+            return ("assigned", self._labels[self._reason_arg[index]])
+        return _KIND_TUPLES[kind]
+
     # -- assignment and closure --------------------------------------------
 
-    def _set(self, index: int, value: int, reason: tuple | None = None) -> None:
+    def _set(self, index: int, value: int, kind: int, arg: int = 0) -> None:
         current = self.status[index]
         if current == value:
             return
         if current != UNDEF:
             raise CloseConflictError(index)
         self.status[index] = value
-        self.reason[index] = reason
+        self._reason_kind[index] = kind
+        self._reason_arg[index] = arg
+        if self._trail is not None:
+            self._trail.append((_T_SET, index))
         self._dirty.append(index)
 
     def assign(self, index: int, value: int, label: tuple | None = None) -> None:
@@ -208,17 +313,41 @@ class GroundGraphState:
         """
         if value not in (TRUE, FALSE):
             raise SemanticsError("assign() takes TRUE or FALSE")
-        self._set(index, value, ("assigned", label))
+        self._set(index, value, _R_ASSIGNED, self._intern_label(label))
 
     def assign_many(
         self, indices: Iterable[int], value: int, label: tuple | None = None
     ) -> None:
-        """Assign a batch of atoms the same value."""
+        """Assign a batch of atoms the same value.
+
+        The label is interned once and the batch is written straight into
+        the flat buffers and the close worklist — no per-atom tuple is
+        allocated.
+        """
+        if value not in (TRUE, FALSE):
+            raise SemanticsError("assign() takes TRUE or FALSE")
+        arg = self._intern_label(label)
+        status = self.status
+        kind = self._reason_kind
+        reason_arg = self._reason_arg
+        dirty = self._dirty
+        trail = self._trail
         for index in indices:
-            self.assign(index, value, label)
+            current = status[index]
+            if current == value:
+                continue
+            if current != UNDEF:
+                raise CloseConflictError(index)
+            status[index] = value
+            kind[index] = _R_ASSIGNED
+            reason_arg[index] = arg
+            if trail is not None:
+                trail.append((_T_SET, index))
+            dirty.append(index)
 
     def close(self) -> None:
         """Run the paper's ``close(M, G)`` until no operation applies."""
+        t_close = perf_counter()
         idx = self._idx
         if self._initial:
             self._initial = False
@@ -228,10 +357,11 @@ class GroundGraphState:
             status = self.status
             for index in idx.zero_support_atoms:
                 if status[index] == UNDEF and self.atom_support[index] == 0:
-                    self._set(index, FALSE, _NO_SUPPORT)
+                    self._set(index, FALSE, _R_NO_SUPPORT)
 
         dirty = self._dirty
         if not dirty:
+            self.phase_s["close_s"] += perf_counter() - t_close
             return
         # Hot loop: everything in locals.  Rule fire/kill events happen at
         # most once per rule and stay as method calls; per-edge work is
@@ -246,9 +376,13 @@ class GroundGraphState:
         live_atoms, atom_slot = self._live_atoms, self._atom_slot
         comp_of = self._scc_comp_of
         track = comp_of is not None
+        comps = self._scc_comps
         scc_dirty = self._scc_dirty
         incross = self._scc_incross
         bottom = self._scc_bottom
+        heap = self._tie_heap
+        sourceless = self._unf_sourceless
+        trail = self._trail
         n_atoms = self.n_atoms
 
         while dirty:
@@ -263,12 +397,29 @@ class GroundGraphState:
                 live_atoms[slot] = last
                 atom_slot[last] = slot
             atom_slot[index] = -1
+            if trail is not None:
+                trail.append((_T_ATOM, index, slot))
+            if sourceless and index in sourceless:
+                sourceless.discard(index)
+                if trail is not None:
+                    trail.append((_T_SL_DISCARD, index))
             cu = -1
             if track:
                 cu = comp_of[index]
-                scc_dirty.add(cu)
+                if cu not in scc_dirty:
+                    scc_dirty.add(cu)
+                    if trail is not None:
+                        trail.append((_T_DIRTY, cu))
             value = status[index]
             if value == TRUE:
+                # A true exit can only make *more* atoms derivable, which
+                # is irrelevant while every live atom has a source — but
+                # with standing unfounded atoms it could re-found them, so
+                # the incremental machinery surrenders to a full rebuild.
+                if self._unf_valid and sourceless:
+                    self._unf_valid = False
+                    if trail is not None:
+                        trail.append((_T_UNF_VALID, True))
                 # Positive occurrences are satisfied, negative ones violated.
                 for r in pos_occ_t[index]:
                     pos_live[r] -= 1
@@ -278,8 +429,11 @@ class GroundGraphState:
                             if cr != cu:
                                 count = incross[cr] - 1
                                 incross[cr] = count
+                                if trail is not None:
+                                    trail.append((_T_INCROSS, cr))
                                 if count == 0:
                                     bottom.add(cr)
+                                    heappush(heap, (comps[cr][0], cr))
                         pending = rule_pending[r] - 1
                         rule_pending[r] = pending
                         if pending == 0:
@@ -291,10 +445,33 @@ class GroundGraphState:
                             if cr != cu:
                                 count = incross[cr] - 1
                                 incross[cr] = count
+                                if trail is not None:
+                                    trail.append((_T_INCROSS, cr))
                                 if count == 0:
                                     bottom.add(cr)
+                                    heappush(heap, (comps[cr][0], cr))
                         self._kill_rule(r)
             else:
+                # Negative occurrences first (satisfaction decrements),
+                # then positive ones (kills): decrements strictly precede
+                # same-atom kills, so the trail undo can replay the exact
+                # inverse without recording per-edge entries.
+                for r in neg_occ_t[index]:
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if trail is not None:
+                                    trail.append((_T_INCROSS, cr))
+                                if count == 0:
+                                    bottom.add(cr)
+                                    heappush(heap, (comps[cr][0], cr))
+                        pending = rule_pending[r] - 1
+                        rule_pending[r] = pending
+                        if pending == 0:
+                            self._fire(r)
                 for r in pos_occ_t[index]:
                     pos_live[r] -= 1
                     if rule_alive[r]:
@@ -303,22 +480,13 @@ class GroundGraphState:
                             if cr != cu:
                                 count = incross[cr] - 1
                                 incross[cr] = count
+                                if trail is not None:
+                                    trail.append((_T_INCROSS, cr))
                                 if count == 0:
                                     bottom.add(cr)
+                                    heappush(heap, (comps[cr][0], cr))
                         self._kill_rule(r)
-                for r in neg_occ_t[index]:
-                    if rule_alive[r]:
-                        if track:
-                            cr = comp_of[n_atoms + r]
-                            if cr != cu:
-                                count = incross[cr] - 1
-                                incross[cr] = count
-                                if count == 0:
-                                    bottom.add(cr)
-                        pending = rule_pending[r] - 1
-                        rule_pending[r] = pending
-                        if pending == 0:
-                            self._fire(r)
+        self.phase_s["close_s"] += perf_counter() - t_close
 
     def _fire(self, r_index: int) -> None:
         """Rule node with no incoming edges: its head becomes true."""
@@ -331,7 +499,7 @@ class GroundGraphState:
                 f"rule instance #{r_index} fired but its head atom "
                 f"{self.gp.atoms.atom(head)} is already false",
             )
-        self._set(head, TRUE, ("fired", r_index))
+        self._set(head, TRUE, _R_FIRED, r_index)
 
     def _kill_rule(self, r_index: int) -> None:
         """Rule node deleted because a body literal became false."""
@@ -339,8 +507,16 @@ class GroundGraphState:
         head = self._idx.head_of_t[r_index]
         support = self.atom_support[head] - 1
         self.atom_support[head] = support
+        if self._unf_valid and self._src[head] == r_index:
+            # The head's derivation rule died: queue it for the next
+            # incremental unfounded query to re-derive or falsify.
+            self._src[head] = -1
+            self._unf_lost.append(head)
+            if self._trail is not None:
+                self._trail.append((_T_SRC, head, r_index))
+                self._trail.append((_T_LOST_APPEND,))
         if support == 0 and self.status[head] == UNDEF:
-            self._set(head, FALSE, _NO_SUPPORT)
+            self._set(head, FALSE, _R_NO_SUPPORT)
 
     def _remove_rule(self, r_index: int) -> None:
         """Mark a rule node dead; maintain compaction and the SCC cache.
@@ -356,18 +532,27 @@ class GroundGraphState:
             self._live_rules[slot] = last
             self._rule_slot[last] = slot
         self._rule_slot[r_index] = -1
+        trail = self._trail
+        if trail is not None:
+            trail.append((_T_RULE, r_index, slot))
         comp_of = self._scc_comp_of
         if comp_of is not None:
             cr = comp_of[self.n_atoms + r_index]
-            self._scc_dirty.add(cr)
+            if cr not in self._scc_dirty:
+                self._scc_dirty.add(cr)
+                if trail is not None:
+                    trail.append((_T_DIRTY, cr))
             head = self._idx.head_of_t[r_index]
             if self.atom_alive[head]:
                 ch = comp_of[head]
                 if ch != cr:
                     count = self._scc_incross[ch] - 1
                     self._scc_incross[ch] = count
+                    if trail is not None:
+                        trail.append((_T_INCROSS, ch))
                     if count == 0:
                         self._scc_bottom.add(ch)
+                        heappush(self._tie_heap, (self._scc_comps[ch][0], ch))
 
     # -- global queries on the live graph -----------------------------------
 
@@ -380,7 +565,7 @@ class GroundGraphState:
         """Number of atoms still undefined/alive (O(1), maintained)."""
         return self._live_atom_count
 
-    def unfounded_atoms(self) -> list[int]:
+    def unfounded_atoms(self, *, full_recompute: bool = False) -> list[int]:
         """The greatest unfounded set: ``Atoms[close(M, G+)]`` (§2).
 
         Graph-theoretically: run the positive firing cascade on the live
@@ -388,11 +573,62 @@ class GroundGraphState:
         the largest set whose induced positive subgraph has no source.
         Must be called on a closed state.
 
-        Touches only the live subgraph: the persistent ``pos_live``
-        counters seed the cascade, and the scratch is epoch-marked instead
-        of being reallocated or cleared.
+        The default path is incremental: source pointers established by
+        the previous query stay valid across rounds, and only the region
+        whose sources were invalidated by ``close`` is re-derived — a
+        round that killed no source rule answers without touching the
+        graph.  ``full_recompute=True`` runs the read-only full cascade
+        (the seed-era algorithm, used as the differential oracle).
         """
         self._require_closed()
+        t0 = perf_counter()
+        if full_recompute:
+            result = sorted(self._unfounded_full_scan())
+        else:
+            self._unfounded_refresh()
+            result = sorted(self._unf_sourceless)
+        self.phase_s["unfounded_s"] += perf_counter() - t0
+        return result
+
+    def falsify_unfounded(self, *, numbered: bool = True, start: int = 1) -> int:
+        """Fused well-founded cascade: falsify unfounded sets to fixpoint.
+
+        Equivalent to the §2 loop ``while U := unfounded_atoms():
+        assign_many(U, FALSE); close()`` but fused into the kernel: each
+        round reuses the incrementally-maintained source pointers, writes
+        the batch straight into the worklist, and re-closes — no sorted
+        list or per-atom label tuple crosses the API per round.  Returns
+        the number of nonempty rounds.  Provenance labels are
+        ``("unfounded", k)`` with ``k`` counting from ``start``
+        (``numbered=False`` records ``("unfounded", None)``, matching the
+        tie-breaking interpreter's convention).
+        """
+        self._require_closed()
+        rounds = 0
+        while True:
+            t0 = perf_counter()
+            self._unfounded_refresh()
+            sourceless = self._unf_sourceless
+            if not sourceless:
+                self.phase_s["unfounded_s"] += perf_counter() - t0
+                return rounds
+            label = ("unfounded", start + rounds if numbered else None)
+            rounds += 1
+            # Sorted order keeps the close trajectory (and hence
+            # fired-rule provenance) identical to the step-by-step
+            # unfounded_atoms()/assign_many() loop.
+            self.assign_many(sorted(sourceless), FALSE, label)
+            self.phase_s["unfounded_s"] += perf_counter() - t0
+            self.close()
+
+    def _unfounded_full_scan(self) -> list[int]:
+        """Read-only full positive cascade (the seed-era query).
+
+        Touches only the live subgraph: the persistent ``pos_live``
+        counters seed the cascade, and the scratch is epoch-marked instead
+        of being reallocated or cleared.  Does not touch the incremental
+        source-pointer state — this is the differential oracle for it.
+        """
         idx = self._idx
         scratch = self._scratch
         scratch.epoch += 1
@@ -424,7 +660,151 @@ class GroundGraphState:
                     rule_pend[r2] = pending
                     if pending == 0:
                         stack.append(r2)
-        return sorted(i for i in self._live_atoms if atom_mark[i] != epoch)
+        return [i for i in self._live_atoms if atom_mark[i] != epoch]
+
+    def _unfounded_refresh(self) -> None:
+        """Bring the source pointers up to date with the live graph."""
+        if not self._unf_valid:
+            self._unf_rebuild()
+        elif self._unf_lost:
+            self._unf_repair()
+
+    def _unf_rebuild(self) -> None:
+        """Full positive cascade installing fresh source pointers."""
+        idx = self._idx
+        scratch = self._scratch
+        scratch.epoch += 1
+        epoch = scratch.epoch
+        rule_mark = scratch.rule_mark
+        rule_pend = scratch.rule_pend
+        atom_mark = scratch.atom_mark
+        pos_live = self.pos_live
+        rule_alive = self.rule_alive
+        atom_alive = self.atom_alive
+        head_of = idx.head_of_t
+        pos_occ_t = idx.pos_occ_t
+        src = self._src
+        trail = self._trail
+
+        stack = [r for r in self._live_rules if not pos_live[r]]
+        while stack:
+            r = stack.pop()
+            head = head_of[r]
+            if atom_mark[head] == epoch or not atom_alive[head]:
+                continue
+            atom_mark[head] = epoch
+            if trail is not None:
+                trail.append((_T_SRC, head, src[head]))
+            src[head] = r
+            for r2 in pos_occ_t[head]:
+                if rule_alive[r2]:
+                    if rule_mark[r2] != epoch:
+                        rule_mark[r2] = epoch
+                        rule_pend[r2] = pos_live[r2]
+                    pending = rule_pend[r2] - 1
+                    rule_pend[r2] = pending
+                    if pending == 0:
+                        stack.append(r2)
+        new_sourceless: set[int] = set()
+        for i in self._live_atoms:
+            if atom_mark[i] != epoch:
+                new_sourceless.add(i)
+                if src[i] != -1:
+                    if trail is not None:
+                        trail.append((_T_SRC, i, src[i]))
+                    src[i] = -1
+        if trail is not None:
+            trail.append((_T_SL_REPLACE, self._unf_sourceless))
+            if self._unf_lost:
+                trail.append((_T_LOST_CLEAR, self._unf_lost))
+            trail.append((_T_UNF_VALID, self._unf_valid))
+        self._unf_sourceless = new_sourceless
+        self._unf_lost = []
+        self._unf_valid = True
+
+    def _unf_repair(self) -> None:
+        """Re-derive only the region whose sources were invalidated.
+
+        Phase 1 transitively withdraws sources that depended (through
+        positive edges) on atoms that lost theirs; phase 2 re-establishes
+        sources inside that affected region via rules whose live positive
+        body atoms are all sourced (counters initialized lazily per
+        touched rule, cascaded to fixpoint); whatever remains sourceless
+        joins the unfounded set.  Soundness rests on deletion-only
+        dynamics: anything derivable now was derivable before, so sources
+        outside the affected region stay exact.
+        """
+        idx = self._idx
+        atom_alive = self.atom_alive
+        rule_alive = self.rule_alive
+        head_of = idx.head_of_t
+        pos_occ_t = idx.pos_occ_t
+        src = self._src
+        trail = self._trail
+        scratch = self._scratch
+        scratch.epoch += 1
+        epoch = scratch.epoch
+        atom_mark = scratch.atom_mark
+        rule_mark = scratch.rule_mark
+        rule_pend = scratch.rule_pend
+
+        stack = [a for a in self._unf_lost if atom_alive[a]]
+        if trail is not None:
+            trail.append((_T_LOST_CLEAR, self._unf_lost))
+        self._unf_lost = []
+        affected: list[int] = []
+        while stack:
+            a = stack.pop()
+            if atom_mark[a] == epoch:
+                continue
+            atom_mark[a] = epoch
+            affected.append(a)
+            for r in pos_occ_t[a]:
+                if rule_alive[r]:
+                    h = head_of[r]
+                    if src[h] == r:
+                        if trail is not None:
+                            trail.append((_T_SRC, h, r))
+                        src[h] = -1
+                        if atom_alive[h]:
+                            stack.append(h)
+        if not affected:
+            return
+
+        pos_off, pos_atoms = idx.pos_off, idx.pos_atoms
+        rules_by_head_t = idx.rules_by_head_t
+        ready: list[int] = []
+        for a in affected:
+            for r in rules_by_head_t[a]:
+                if rule_alive[r] and rule_mark[r] != epoch:
+                    rule_mark[r] = epoch
+                    bad = 0
+                    for b in pos_atoms[pos_off[r] : pos_off[r + 1]]:
+                        if atom_alive[b] and src[b] == -1:
+                            bad += 1
+                    rule_pend[r] = bad
+                    if bad == 0:
+                        ready.append(r)
+        while ready:
+            r = ready.pop()
+            h = head_of[r]
+            if src[h] != -1 or not atom_alive[h] or atom_mark[h] != epoch:
+                continue
+            if trail is not None:
+                trail.append((_T_SRC, h, -1))
+            src[h] = r
+            for r2 in pos_occ_t[h]:
+                if rule_alive[r2] and rule_mark[r2] == epoch:
+                    pending = rule_pend[r2] - 1
+                    rule_pend[r2] = pending
+                    if pending == 0:
+                        ready.append(r2)
+        sourceless = self._unf_sourceless
+        for a in affected:
+            if src[a] == -1 and atom_alive[a]:
+                sourceless.add(a)
+                if trail is not None:
+                    trail.append((_T_SL_ADD, a))
 
     def _require_closed(self) -> None:
         if self._dirty or self._initial:
@@ -448,7 +828,14 @@ class GroundGraphState:
                 yield head, True
 
     def _rebuild_scc(self) -> None:
-        """Full Tarjan over the live graph; installs a fresh condensation."""
+        """Full Tarjan over the live graph; installs a fresh condensation.
+
+        Component ids continue from ``_scc_next_cid`` so ids are never
+        reused across rebuilds — stale schedule entries and trail records
+        referring to pre-rebuild components can be recognized as such.
+        """
+        if self._trail is not None:
+            self._trail.append((_T_REBUILD,))
         n_atoms = self.n_atoms
         node_count = n_atoms + self.n_rules
         live_nodes = sorted(self._live_atoms)
@@ -463,17 +850,19 @@ class GroundGraphState:
         if self._scc_comp_of is None:
             self._scc_comp_of = [-1] * node_count
         comp_of = self._scc_comp_of
+        base = self._scc_next_cid
         comps: dict[int, list[int]] = {}
-        for cid, component in enumerate(components):
+        for offset, component in enumerate(components):
             # Canonical node order inside each component: deterministic
             # regardless of whether it came from a full or a partial
             # (refinement) Tarjan run.
             component.sort()
+            cid = base + offset
             comps[cid] = component
             for node in component:
                 comp_of[node] = cid
         self._scc_comps = comps
-        self._scc_next_cid = len(components)
+        self._scc_next_cid = base + len(components)
         self._scc_bottom_obj = {}
         self._scc_dirty.clear()
 
@@ -504,6 +893,9 @@ class GroundGraphState:
                     incross[ch] += 1
         self._scc_incross = incross
         self._scc_bottom = {cid for cid, count in incross.items() if count == 0}
+        heap = self._tie_heap
+        for cid in self._scc_bottom:
+            heappush(heap, (comps[cid][0], cid))
 
     def _refine_scc(self) -> None:
         """Re-run Tarjan only inside components that lost a node.
@@ -526,7 +918,9 @@ class GroundGraphState:
         incross = self._scc_incross
         bottom = self._scc_bottom
         bottom_obj = self._scc_bottom_obj
+        trail = self._trail
 
+        removed: list[tuple] = []
         affected: list[int] = []
         for cid in dirty:
             for node in comps[cid]:
@@ -537,12 +931,18 @@ class GroundGraphState:
                 )
                 if alive:
                     affected.append(node)
+            if trail is not None:
+                removed.append(
+                    (cid, comps[cid], incross[cid], cid in bottom, bottom_obj.get(cid))
+                )
             del comps[cid]
             del incross[cid]
             bottom.discard(cid)
             bottom_obj.pop(cid, None)
         dirty.clear()
         if not affected:
+            if trail is not None:
+                trail.append((_T_REFINE, removed, []))
             return
 
         # Successors restricted to the same *old* component (comp_of still
@@ -565,6 +965,8 @@ class GroundGraphState:
         for cid, piece in fresh:
             for node in piece:
                 comp_of[node] = cid
+        if trail is not None:
+            trail.append((_T_REFINE, removed, [cid for cid, _ in fresh]))
 
         # Recount incoming cross edges of each new piece from its reverse
         # adjacency (edges from other pieces of the same old component
@@ -573,6 +975,7 @@ class GroundGraphState:
         rules_by_head_t = idx.rules_by_head_t
         pos_off, pos_atoms = idx.pos_off, idx.pos_atoms
         neg_off, neg_atoms = idx.neg_off, idx.neg_atoms
+        heap = self._tie_heap
         for cid, piece in fresh:
             count = 0
             for node in piece:
@@ -591,6 +994,22 @@ class GroundGraphState:
             incross[cid] = count
             if count == 0:
                 bottom.add(cid)
+                heappush(heap, (piece[0], cid))
+
+    def _bottom_component(self, cid: int) -> BottomComponent:
+        """Memoized :class:`BottomComponent` (with analysis) for one cid."""
+        obj = self._scc_bottom_obj.get(cid)
+        if obj is None:
+            comps = self._scc_comps
+            assert comps is not None
+            component = comps[cid]
+            n_atoms = self.n_atoms
+            analysis = analyze_component(component, self._live_successors)
+            atom_ids = [n for n in component if n < n_atoms]
+            rule_ids = [n - n_atoms for n in component if n >= n_atoms]
+            obj = BottomComponent(atom_ids, rule_ids, analysis, n_atoms)
+            self._scc_bottom_obj[cid] = obj
+        return obj
 
     def bottom_components_live(
         self, *, full_recompute: bool = False
@@ -614,26 +1033,224 @@ class GroundGraphState:
 
         comps = self._scc_comps
         assert comps is not None
-        n_atoms = self.n_atoms
-        bottom_obj = self._scc_bottom_obj
         result: list[BottomComponent] = []
         for cid in sorted(self._scc_bottom):
-            component = comps[cid]
-            if len(component) == 1:
+            if len(comps[cid]) == 1:
                 # No self-loops exist in a bipartite graph; a singleton
                 # bottom component would have been resolved by close().
                 raise AssertionError(
                     "singleton bottom component survived close(); graph state corrupt"
                 )
-            obj = bottom_obj.get(cid)
-            if obj is None:
-                analysis = analyze_component(component, self._live_successors)
-                atom_ids = [n for n in component if n < n_atoms]
-                rule_ids = [n - n_atoms for n in component if n >= n_atoms]
-                obj = BottomComponent(atom_ids, rule_ids, analysis, n_atoms)
-                bottom_obj[cid] = obj
-            result.append(obj)
+            result.append(self._bottom_component(cid))
         return result
+
+    def select_tie(self) -> BottomComponent | None:
+        """The bottom tie containing the smallest atom id, or ``None``.
+
+        Serves from the min-keyed schedule: the heap holds every
+        component that became bottom, and this peeks the smallest valid
+        entry, lazily discarding components that split (their cid left
+        the condensation), resolved (no longer bottom), or analyze as
+        non-ties.  Equivalent to scanning
+        ``bottom_components_live()`` for the tie with the smallest atom
+        id, at O(log n) instead of O(components) per round.
+        """
+        t0 = perf_counter()
+        self._require_closed()
+        if self._scc_comps is None:
+            self._rebuild_scc()
+        elif self._scc_dirty:
+            self._refine_scc()
+        comps = self._scc_comps
+        assert comps is not None
+        bottom = self._scc_bottom
+        heap = self._tie_heap
+        result: BottomComponent | None = None
+        while heap:
+            cid = heap[0][1]
+            component = comps.get(cid)
+            if component is None or cid not in bottom:
+                # Stale: the component split, resolved, or (under an
+                # active trail) belongs to an undone timeline.  Pops are
+                # permanent — component ids are never reused, and the
+                # trail undo re-pushes any component it restores to
+                # bottom, so a dropped entry can never be missed.
+                heappop(heap)
+                continue
+            if len(component) == 1:
+                raise AssertionError(
+                    "singleton bottom component survived close(); graph state corrupt"
+                )
+            obj = self._bottom_component(cid)
+            if not obj.is_tie:
+                # Non-ties stay non-ties until the component splits, at
+                # which point the fresh pieces get their own entries.
+                heappop(heap)
+                continue
+            result = obj
+            break
+        self.phase_s["tie_select_s"] += perf_counter() - t0
+        return result
+
+    # -- trail-based undo ----------------------------------------------------
+
+    def trail_begin(self) -> None:
+        """Start recording an undo trail (idempotent).
+
+        Every subsequent mutation — assignments, liveness changes,
+        counter updates, SCC-cache and schedule maintenance, source
+        pointer moves — appends an inverse record, so
+        :meth:`trail_undo` can rewind to any :meth:`trail_mark` at cost
+        proportional to the work performed since.  Clones never inherit
+        an active trail.
+        """
+        if self._trail is None:
+            self._trail = []
+
+    def trail_mark(self):
+        """An opaque mark for the current state (requires an active trail)."""
+        trail = self._trail
+        if trail is None:
+            raise SemanticsError("trail_mark() requires trail_begin() first")
+        return (len(trail), len(self._labels), self._initial, tuple(self._dirty))
+
+    def trail_undo(self, mark) -> None:
+        """Rewind the state to ``mark``, undoing everything since.
+
+        Replays the trail in reverse: each record restores exactly the
+        state its operation observed (liveness conditions at undo time
+        equal those at do time because every later change has already
+        been reverted).  Auxiliary caches are restored to a *consistent*
+        view: component ids are never reused, so schedule entries and
+        memoized analyses that were re-pushed or survive the rewind
+        revalidate naturally.
+        """
+        trail = self._trail
+        if trail is None:
+            raise SemanticsError("trail_undo() requires trail_begin() first")
+        length, labels_len, initial, dirty_snapshot = mark
+        idx = self._idx
+        status = self.status
+        reason_kind = self._reason_kind
+        atom_alive = self.atom_alive
+        rule_alive = self.rule_alive
+        rule_pending = self.rule_pending
+        pos_live = self.pos_live
+        pos_occ_t = idx.pos_occ_t
+        neg_occ_t = idx.neg_occ_t
+        head_of = idx.head_of_t
+        live_atoms, atom_slot = self._live_atoms, self._atom_slot
+        live_rules, rule_slot = self._live_rules, self._rule_slot
+        for pos in range(len(trail) - 1, length - 1, -1):
+            entry = trail[pos]
+            tag = entry[0]
+            if tag == _T_SET:
+                a = entry[1]
+                status[a] = UNDEF
+                reason_kind[a] = _R_NONE
+            elif tag == _T_ATOM:
+                a, slot = entry[1], entry[2]
+                if slot == len(live_atoms):
+                    live_atoms.append(a)
+                else:
+                    moved = live_atoms[slot]
+                    live_atoms.append(moved)
+                    atom_slot[moved] = len(live_atoms) - 1
+                    live_atoms[slot] = a
+                atom_slot[a] = slot
+                atom_alive[a] = 1
+                self._live_atom_count += 1
+                # The atom's value is still set (its _T_SET record is
+                # earlier in the trail); replay the inverse edge updates
+                # under the liveness the original operation observed.
+                if status[a] == TRUE:
+                    for r in pos_occ_t[a]:
+                        pos_live[r] += 1
+                        if rule_alive[r]:
+                            rule_pending[r] += 1
+                else:
+                    for r in pos_occ_t[a]:
+                        pos_live[r] += 1
+                    for r in neg_occ_t[a]:
+                        if rule_alive[r]:
+                            rule_pending[r] += 1
+            elif tag == _T_RULE:
+                r, slot = entry[1], entry[2]
+                if slot == len(live_rules):
+                    live_rules.append(r)
+                else:
+                    moved = live_rules[slot]
+                    live_rules.append(moved)
+                    rule_slot[moved] = len(live_rules) - 1
+                    live_rules[slot] = r
+                rule_slot[r] = slot
+                rule_alive[r] = 1
+                self.atom_support[head_of[r]] += 1
+            elif tag == _T_INCROSS:
+                cid = entry[1]
+                count = self._scc_incross.get(cid)
+                if count is not None:
+                    if count == 0:
+                        self._scc_bottom.discard(cid)
+                    self._scc_incross[cid] = count + 1
+            elif tag == _T_DIRTY:
+                self._scc_dirty.discard(entry[1])
+            elif tag == _T_REFINE:
+                comps = self._scc_comps
+                if comps is not None:
+                    for cid in entry[2]:
+                        comps.pop(cid, None)
+                        self._scc_incross.pop(cid, None)
+                        self._scc_bottom.discard(cid)
+                        self._scc_bottom_obj.pop(cid, None)
+                    comp_of = self._scc_comp_of
+                    assert comp_of is not None
+                    for cid, nodes, count, was_bottom, obj in entry[1]:
+                        comps[cid] = nodes
+                        self._scc_incross[cid] = count
+                        if was_bottom:
+                            self._scc_bottom.add(cid)
+                            # Its schedule entry may have been dropped as
+                            # stale meanwhile; restore the invariant that
+                            # every bottom component has a live entry.
+                            heappush(self._tie_heap, (nodes[0], cid))
+                        if obj is not None:
+                            self._scc_bottom_obj[cid] = obj
+                        for node in nodes:
+                            comp_of[node] = cid
+                        self._scc_dirty.add(cid)
+            elif tag == _T_REBUILD:
+                # Drop the whole condensation (rebuilt on next query).
+                # comp_of must go too: close() keys its tracking off it,
+                # and the counts it would maintain no longer exist.
+                self._scc_comps = None
+                self._scc_comp_of = None
+                self._scc_incross = {}
+                self._scc_bottom = set()
+                self._scc_bottom_obj = {}
+                self._scc_dirty = set()
+            elif tag == _T_SRC:
+                self._src[entry[1]] = entry[2]
+            elif tag == _T_SL_ADD:
+                self._unf_sourceless.discard(entry[1])
+            elif tag == _T_SL_DISCARD:
+                self._unf_sourceless.add(entry[1])
+            elif tag == _T_SL_REPLACE:
+                self._unf_sourceless = entry[1]
+            elif tag == _T_LOST_CLEAR:
+                self._unf_lost = entry[1]
+            elif tag == _T_LOST_APPEND:
+                self._unf_lost.pop()
+            else:  # _T_UNF_VALID
+                self._unf_valid = entry[1]
+        del trail[length:]
+        # Labels interned since the mark are unreferenced once the _T_SET
+        # records are unwound; reclaim them so a long DFS on one state
+        # stays bounded by its current depth, not its total history.
+        del self._labels[labels_len:]
+        self._initial = initial
+        self._dirty.clear()
+        self._dirty.extend(dirty_snapshot)
 
     # -- cloning ------------------------------------------------------------
 
@@ -642,12 +1259,13 @@ class GroundGraphState:
 
         The immutable structure (ground program and its compiled index) is
         shared; the mutable value/liveness/counter arrays are copied at
-        C level.  The SCC cache is carried over (component node lists,
-        analyses, and result objects are immutable and shared; the id map,
-        edge counts, and bookkeeping sets are copied), and the query
+        C level.  The SCC cache and tie schedule are carried over
+        (component node lists, analyses, and result objects are immutable
+        and shared; the id map, edge counts, and bookkeeping sets are
+        copied), as is the incremental unfounded-set state.  The query
         scratch is shared because the epoch discipline makes concurrent
-        reuse safe.  Used by the exhaustive tie-breaking enumerator to
-        branch on choices.
+        reuse safe.  An active undo trail is *not* inherited — clones
+        start with recording disabled.
         """
         other = object.__new__(GroundGraphState)
         other.gp = self.gp
@@ -665,11 +1283,16 @@ class GroundGraphState:
         other._live_rules = list(self._live_rules)
         other._rule_slot = list(self._rule_slot)
         other._live_atom_count = self._live_atom_count
-        other.reason = list(self.reason)
-        other._assign_label = self._assign_label
+        other._reason_kind = bytearray(self._reason_kind)
+        other._reason_arg = list(self._reason_arg)
+        other._labels = list(self._labels)
         other._dirty = deque(self._dirty)
         other._initial = self._initial
         other._scratch = self._scratch
+        other._src = list(self._src)
+        other._unf_valid = self._unf_valid
+        other._unf_lost = list(self._unf_lost)
+        other._unf_sourceless = set(self._unf_sourceless)
         other._scc_comps = (
             dict(self._scc_comps) if self._scc_comps is not None else None
         )
@@ -681,6 +1304,9 @@ class GroundGraphState:
         other._scc_bottom_obj = dict(self._scc_bottom_obj)
         other._scc_next_cid = self._scc_next_cid
         other._scc_dirty = set(self._scc_dirty)
+        other._tie_heap = list(self._tie_heap)
+        other._trail = None
+        other.phase_s = dict(self.phase_s)
         return other
 
     # -- results -------------------------------------------------------------

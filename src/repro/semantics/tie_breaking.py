@@ -17,16 +17,24 @@ Two interpreters:
   the second K is L, exactly as in the pure version — we implement the
   corrected algorithm.
 
-Both are polynomial-time.  Tie orientation is nondeterministic; a
+Both are polynomial-time, and both ride the v2 kernel hot path: the
+unfounded step is the fused
+:meth:`~repro.ground.state.GroundGraphState.falsify_unfounded` cascade and
+tie selection is the kernel's min-keyed schedule
+(:meth:`~repro.ground.state.GroundGraphState.select_tie`) — no per-round
+rescan of the live graph.  Tie orientation is nondeterministic; a
 :class:`~repro.semantics.choices.ChoicePolicy` resolves it and every run
-records its trace of :class:`TieChoice` decisions.
-:func:`enumerate_tie_breaking_models` explores *all* orientations.
+records its trace of :class:`TieChoice` decisions (id-based, decoded to
+atoms lazily).  :func:`enumerate_tie_breaking_models` explores *all*
+orientations with a trail-based undo log — branching costs the work
+undone, not a state copy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator, Mapping
 
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
@@ -45,18 +53,62 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
 class TieChoice:
     """One recorded tie orientation.
 
     ``forced`` marks decisions where one side of the partition was empty
-    (no real nondeterminism); ``made_true`` / ``made_false`` are the atom
-    sets assigned by the decision, as ground atoms.
+    (no real nondeterminism).  The trail is *id-based*: ``true_ids`` /
+    ``false_ids`` are the sorted dense atom ids assigned by the decision,
+    and the ground-atom views ``made_true`` / ``made_false`` decode them
+    against the grounding's atom table lazily, on first access — a run
+    that never inspects its trail never materializes an Atom.  Equality
+    and hashing use the id tuples (trails are compared within one
+    grounding).
     """
 
-    made_true: frozenset[Atom]
-    made_false: frozenset[Atom]
-    forced: bool
+    __slots__ = ("true_ids", "false_ids", "forced", "_table", "_true", "_false")
+
+    def __init__(self, true_ids, false_ids, forced: bool, table) -> None:
+        self.true_ids: tuple[int, ...] = tuple(sorted(true_ids))
+        self.false_ids: tuple[int, ...] = tuple(sorted(false_ids))
+        self.forced = forced
+        self._table = table
+        self._true: frozenset[Atom] | None = None
+        self._false: frozenset[Atom] | None = None
+
+    @property
+    def made_true(self) -> frozenset[Atom]:
+        """The atoms assigned true (decoded lazily, then cached)."""
+        if self._true is None:
+            atom = self._table.atom
+            self._true = frozenset(atom(i) for i in self.true_ids)
+        return self._true
+
+    @property
+    def made_false(self) -> frozenset[Atom]:
+        """The atoms assigned false (decoded lazily, then cached)."""
+        if self._false is None:
+            atom = self._table.atom
+            self._false = frozenset(atom(i) for i in self.false_ids)
+        return self._false
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TieChoice):
+            return NotImplemented
+        return (
+            self.true_ids == other.true_ids
+            and self.false_ids == other.false_ids
+            and self.forced == other.forced
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.true_ids, self.false_ids, self.forced))
+
+    def __repr__(self) -> str:
+        return (
+            f"TieChoice(true_ids={self.true_ids}, false_ids={self.false_ids}, "
+            f"forced={self.forced})"
+        )
 
 
 @dataclass(frozen=True)
@@ -64,10 +116,13 @@ class TieBreakingRun:
     """Result of one tie-breaking run: the model plus the decision trace.
 
     ``state`` retains the final evaluation state for provenance queries
-    (:func:`repro.ground.explain.explain`); ``policy`` records
-    ``repr(policy)`` of the orientation policy that drove the run (e.g.
-    ``RandomChoice(seed=7)``), so nondeterministic runs are reproducible
-    from their own output.
+    (:func:`repro.ground.explain.explain`); enumerated runs carry
+    ``state=None`` (the trail-based explorer reuses one state for every
+    branch).  ``policy`` records ``repr(policy)`` of the orientation
+    policy that drove the run (e.g. ``RandomChoice(seed=7)``), so
+    nondeterministic runs are reproducible from their own output.
+    ``timings`` carries the kernel's per-phase solve accounting
+    (``close_s`` / ``unfounded_s`` / ``tie_select_s`` / ``tie_apply_s``).
     """
 
     model: Interpretation
@@ -75,6 +130,7 @@ class TieBreakingRun:
     variant: str  # "pure" or "well-founded"
     state: GroundGraphState | None = None
     policy: str | None = None
+    timings: Mapping[str, float] | None = field(default=None, compare=False)
 
     @property
     def is_total(self) -> bool:
@@ -88,12 +144,14 @@ class TieBreakingRun:
 
 
 def _select_tie(state: GroundGraphState) -> BottomComponent | None:
-    """Deterministically pick a bottom tie (smallest atom id first).
+    """Reference tie selection: scan all bottom components for the min.
 
-    Bottom components are disjoint and breaking one cannot affect another
-    bottom component (it has no incoming edges), so the processing *order*
-    does not change the set of reachable outcomes — only the orientation
-    choices do.
+    Equivalent to :meth:`GroundGraphState.select_tie` (the property suite
+    pins the two against each other); kept as the schedule-free oracle
+    and for the clone-based reference explorer.  Bottom components are
+    disjoint and breaking one cannot affect another bottom component (it
+    has no incoming edges), so the processing *order* does not change the
+    set of reachable outcomes — only the orientation choices do.
     """
     best: BottomComponent | None = None
     best_key: int | None = None
@@ -106,34 +164,37 @@ def _select_tie(state: GroundGraphState) -> BottomComponent | None:
     return best
 
 
+def _apply_tie(
+    state: GroundGraphState, component: BottomComponent, true_side: int, *, forced: bool
+) -> TieChoice:
+    """Orient one tie: assign the chosen side true, the other false."""
+    atom_sides = component.side_of_atom()
+    made_true = [a for a, s in atom_sides.items() if s == true_side]
+    made_false = [a for a, s in atom_sides.items() if s != true_side]
+    t0 = perf_counter()
+    state.assign_many(made_true, TRUE, ("tie", true_side))
+    state.assign_many(made_false, FALSE, ("tie", 1 - true_side))
+    state.phase_s["tie_apply_s"] += perf_counter() - t0
+    return TieChoice(made_true, made_false, forced, state.gp.atoms)
+
+
 def _break_tie(
     state: GroundGraphState, component: BottomComponent, policy: ChoicePolicy
 ) -> TieChoice:
-    """Orient one tie: assign K's atoms true and L's atoms false."""
+    """Orient one tie under a policy (forced orientations bypass it)."""
     assert component.analysis.sides is not None
     side_nodes = [0, 0]
     for side in component.analysis.sides.values():
         side_nodes[side] += 1
-    atom_sides = component.side_of_atom()
-    side_atoms: tuple[list[int], list[int]] = ([], [])
-    for atom_id, side in atom_sides.items():
-        side_atoms[side].append(atom_id)
-
     true_side = forced_orientation(side_nodes[0], side_nodes[1])
     forced = true_side is not None
     if true_side is None:
+        atom_sides = component.side_of_atom()
+        side_atoms: tuple[list[int], list[int]] = ([], [])
+        for atom_id, side in atom_sides.items():
+            side_atoms[side].append(atom_id)
         true_side = policy.choose_true_side(side_atoms[0], side_atoms[1])
-
-    made_true = side_atoms[true_side]
-    made_false = side_atoms[1 - true_side]
-    state.assign_many(made_true, TRUE, ("tie", true_side))
-    state.assign_many(made_false, FALSE, ("tie", 1 - true_side))
-    table = state.gp.atoms
-    return TieChoice(
-        made_true=frozenset(table.atom(i) for i in made_true),
-        made_false=frozenset(table.atom(i) for i in made_false),
-        forced=forced,
-    )
+    return _apply_tie(state, component, true_side, forced=forced)
 
 
 def _run(
@@ -147,12 +208,8 @@ def _run(
     state.close()
     while True:
         if well_founded:
-            unfounded = state.unfounded_atoms()
-            if unfounded:
-                state.assign_many(unfounded, FALSE, ("unfounded", None))
-                state.close()
-                continue
-        tie = _select_tie(state)
+            state.falsify_unfounded(numbered=False)
+        tie = state.select_tie()
         if tie is None:
             return choices
         choices.append(_break_tie(state, tie, policy))
@@ -172,7 +229,14 @@ def _pure_tie_breaking(
     state = GroundGraphState(gp)
     chosen = policy or FirstSideTrue()
     choices = _run(state, chosen, well_founded=False)
-    return TieBreakingRun(state.interpretation(), tuple(choices), "pure", state, repr(chosen))
+    return TieBreakingRun(
+        state.interpretation(),
+        tuple(choices),
+        "pure",
+        state,
+        repr(chosen),
+        dict(state.phase_s),
+    )
 
 
 def _well_founded_tie_breaking(
@@ -189,7 +253,12 @@ def _well_founded_tie_breaking(
     chosen = policy or FirstSideTrue()
     choices = _run(state, chosen, well_founded=True)
     return TieBreakingRun(
-        state.interpretation(), tuple(choices), "well-founded", state, repr(chosen)
+        state.interpretation(),
+        tuple(choices),
+        "well-founded",
+        state,
+        repr(chosen),
+        dict(state.phase_s),
     )
 
 
@@ -254,6 +323,12 @@ def well_founded_tie_breaking(
     ).run
 
 
+def _check_variant(variant: str) -> bool:
+    if variant not in ("pure", "well-founded"):
+        raise ValueError(f"variant must be 'pure' or 'well-founded', not {variant!r}")
+    return variant == "well-founded"
+
+
 def _enumerate_tie_breaking_models(
     program: Program,
     database: Database | None = None,
@@ -266,26 +341,92 @@ def _enumerate_tie_breaking_models(
     """Every outcome of the tie-breaking interpreter over all free choices.
 
     Performs a depth-first search over tie orientations (two branches per
-    genuinely free decision).  Distinct choice sequences may converge to
-    the same model; runs are yielded per *sequence* — deduplicate on
+    genuinely free decision) on **one** evaluation state with a
+    trail-based undo log: entering a branch marks the trail, leaving it
+    rewinds assignments, counters, and the kernel caches — branch cost is
+    proportional to the work undone, never an O(state) copy.  Runs are
+    yielded per *sequence* with ``state=None``; deduplicate on
     ``run.model.true_set()`` if only models matter.
 
     Worst-case exponential in the number of free choices — this is the
     exhaustive verifier behind the paper's "for all choices" statements,
     not an interpreter.
     """
-    if variant not in ("pure", "well-founded"):
-        raise ValueError(f"variant must be 'pure' or 'well-founded', not {variant!r}")
-    well_founded = variant == "well-founded"
+    well_founded = _check_variant(variant)
     if grounding is None:
         grounding = "relevant" if well_founded else "full"
     gp = ground_program or ground(program, database or Database(), mode=grounding)
 
     emitted = 0
+    state = GroundGraphState(gp)
+    state.trail_begin()
+    state.close()
+    trail: list[TieChoice] = []
+    # Unexplored second branches, deepest last: (trail mark, choice depth,
+    # the tie to re-orient).  Iterative so depth is bounded by memory, not
+    # the interpreter stack, and each yield is O(1), not O(depth).
+    pending: list[tuple] = []
+    advancing = True
+    while True:
+        if advancing:
+            if limit is not None and emitted >= limit:
+                return
+            if well_founded:
+                state.falsify_unfounded(numbered=False)
+            tie = state.select_tie()
+            if tie is None:
+                emitted += 1
+                yield TieBreakingRun(
+                    state.interpretation(), tuple(trail), variant, None, "enumerated"
+                )
+                advancing = False
+                continue
+            assert tie.analysis.sides is not None
+            side_nodes = [0, 0]
+            for side in tie.analysis.sides.values():
+                side_nodes[side] += 1
+            forced = forced_orientation(side_nodes[0], side_nodes[1])
+            if forced is not None:
+                trail.append(_apply_tie(state, tie, forced, forced=True))
+                state.close()
+                continue
+            pending.append((state.trail_mark(), len(trail), tie))
+            trail.append(_apply_tie(state, tie, 0, forced=False))
+            state.close()
+        else:
+            if not pending or (limit is not None and emitted >= limit):
+                return
+            mark, depth, tie = pending.pop()
+            del trail[depth:]
+            state.trail_undo(mark)
+            trail.append(_apply_tie(state, tie, 1, forced=False))
+            state.close()
+            advancing = True
 
-    def explore(state: GroundGraphState, trail: list[TieChoice]) -> Iterator[TieBreakingRun]:
-        nonlocal emitted
-        state.close()
+
+def _enumerate_reference(
+    gp: GroundProgram,
+    *,
+    variant: str = "well-founded",
+    limit: int | None = None,
+) -> Iterator[TieBreakingRun]:
+    """Clone-based reference explorer (the pre-trail algorithm).
+
+    Branches by copying the whole evaluation state and uses the
+    schedule-free queries (``unfounded_atoms`` + ``bottom_components_live``
+    scan), so it shares none of the trail/undo or tie-schedule machinery —
+    the differential oracle the property suite and the enumerate bench
+    drive against the trail-based explorer.
+    """
+    well_founded = _check_variant(variant)
+    emitted = 0
+    start = GroundGraphState(gp)
+    start.close()
+    # Closed states ready to drive, deepest last (depth-first, side 0
+    # first — the same (model, trail) sequence the trail explorer emits).
+    pending: list[tuple[GroundGraphState, list[TieChoice]]] = [(start, [])]
+    while pending:
+        state, trail = pending.pop()
         while True:
             if limit is not None and emitted >= limit:
                 return
@@ -301,30 +442,25 @@ def _enumerate_tie_breaking_models(
                 yield TieBreakingRun(
                     state.interpretation(), tuple(trail), variant, state, "enumerated"
                 )
-                return
+                break
             assert tie.analysis.sides is not None
             side_nodes = [0, 0]
             for side in tie.analysis.sides.values():
                 side_nodes[side] += 1
             forced = forced_orientation(side_nodes[0], side_nodes[1])
             if forced is not None:
-                trail.append(_break_tie_with_side(state, tie, forced, forced=True))
+                trail.append(_apply_tie(state, tie, forced, forced=True))
                 state.close()
                 continue
-            for true_side in (0, 1):
-                # The last branch consumes this state; only the first
-                # needs an independent copy (clones share the compiled
-                # index and SCC cache structure, so this is O(n) memcpy).
-                branch = state.clone() if true_side == 0 else state
-                branch_trail = list(trail)
-                branch_trail.append(
-                    _break_tie_with_side(branch, tie, true_side, forced=False)
-                )
-                yield from explore(branch, branch_trail)
-            return
-
-    initial = GroundGraphState(gp)
-    yield from explore(initial, [])
+            # Side 1 continues later on an independent copy; side 0
+            # consumes this state now.
+            other = state.clone()
+            other_trail = list(trail)
+            other_trail.append(_apply_tie(other, tie, 1, forced=False))
+            other.close()
+            pending.append((other, other_trail))
+            trail.append(_apply_tie(state, tie, 0, forced=False))
+            state.close()
 
 
 def enumerate_tie_breaking_models(
@@ -354,8 +490,7 @@ def enumerate_tie_breaking_models(
     from repro.api import enumerate_solutions, warn_deprecated
 
     warn_deprecated("enumerate_tie_breaking_models()", 'Engine.enumerate("tie_breaking")')
-    if variant not in ("pure", "well-founded"):
-        raise ValueError(f"variant must be 'pure' or 'well-founded', not {variant!r}")
+    _check_variant(variant)
     name = "tie_breaking" if variant == "well-founded" else "pure_tie_breaking"
     options: dict = {}
     if grounding is not None:
@@ -364,20 +499,3 @@ def enumerate_tie_breaking_models(
         name, program, database, ground_program=ground_program, limit=limit, **options
     ):
         yield solution.run
-
-
-def _break_tie_with_side(
-    state: GroundGraphState, component: BottomComponent, true_side: int, *, forced: bool
-) -> TieChoice:
-    """Orient a tie with an explicit side choice (enumeration path)."""
-    atom_sides = component.side_of_atom()
-    made_true = [a for a, s in atom_sides.items() if s == true_side]
-    made_false = [a for a, s in atom_sides.items() if s != true_side]
-    state.assign_many(made_true, TRUE, ("tie", true_side))
-    state.assign_many(made_false, FALSE, ("tie", 1 - true_side))
-    table = state.gp.atoms
-    return TieChoice(
-        made_true=frozenset(table.atom(i) for i in made_true),
-        made_false=frozenset(table.atom(i) for i in made_false),
-        forced=forced,
-    )

@@ -11,12 +11,13 @@ each iteration is linear in the ground graph.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode, GroundProgram, ground
 from repro.datalog.program import Program
-from repro.ground.model import FALSE, Interpretation
+from repro.ground.model import Interpretation
 from repro.ground.state import GroundGraphState
 
 __all__ = ["well_founded_model", "well_founded_state", "WellFoundedRun"]
@@ -29,12 +30,15 @@ class WellFoundedRun:
     ``iterations`` counts executions of the unfounded-set loop body; the
     model is total iff ``model.is_total``.  ``state`` retains the final
     evaluation state for provenance queries
-    (:func:`repro.ground.explain.explain`).
+    (:func:`repro.ground.explain.explain`); ``timings`` carries the
+    kernel's per-phase solve accounting (``close_s`` / ``unfounded_s`` /
+    ``tie_select_s`` / ``tie_apply_s`` — the tie phases are zero here).
     """
 
     model: Interpretation
     iterations: int
     state: GroundGraphState | None = None
+    timings: Mapping[str, float] | None = field(default=None, compare=False)
 
     @property
     def is_total(self) -> bool:
@@ -45,19 +49,17 @@ class WellFoundedRun:
 def well_founded_state(ground_program: GroundProgram) -> tuple[GroundGraphState, int]:
     """Run the well-founded interpreter, returning the live state.
 
-    Exposed separately so the well-founded tie-breaking interpreter can
-    continue from where the well-founded computation got stuck.
+    Exposed separately so callers that need the final evaluation state
+    (provenance, tie-breaking continuations) can share one computation.
+    The unfounded loop is the kernel's fused
+    :meth:`~repro.ground.state.GroundGraphState.falsify_unfounded`
+    cascade — each round reuses the source pointers maintained by
+    ``close`` instead of re-deriving the whole live graph.
     """
     state = GroundGraphState(ground_program)
     state.close()
-    iterations = 0
-    while True:
-        unfounded = state.unfounded_atoms()
-        if not unfounded:
-            return state, iterations
-        iterations += 1
-        state.assign_many(unfounded, FALSE, ("unfounded", iterations))
-        state.close()
+    iterations = state.falsify_unfounded(numbered=True)
+    return state, iterations
 
 
 def _well_founded_model(
@@ -70,7 +72,7 @@ def _well_founded_model(
     """Implementation behind the ``well_founded`` registry entry."""
     gp = ground_program or ground(program, database or Database(), mode=grounding)
     state, iterations = well_founded_state(gp)
-    return WellFoundedRun(state.interpretation(), iterations, state)
+    return WellFoundedRun(state.interpretation(), iterations, state, dict(state.phase_s))
 
 
 def well_founded_model(

@@ -223,6 +223,17 @@ def solve_one(engine: Engine, request: BatchRequest) -> dict[str, Any]:
             "found": solution.found,
             "total": solution.total,
         }
+        # Solve-phase accounting for batch summaries: total solve time
+        # plus the kernel's per-phase breakdown when the semantics
+        # records one.  (A request served from the engine's solution
+        # cache reports the timings of the solve that populated it.)
+        timings = {
+            key: solution.timings[key]
+            for key in ("solve_s", "close_s", "unfounded_s", "tie_select_s", "tie_apply_s")
+            if key in solution.timings
+        }
+        if timings:
+            result["timings"] = timings
         if parsed:
             result["values"] = {str(a): solution.value(a) for a in parsed}
         else:

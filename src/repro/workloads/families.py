@@ -72,7 +72,7 @@ def unfounded_tower(n: int) -> tuple[Program, Database]:
         c_i, t_i, z_i = Atom(f"c{i}"), Atom(f"t{i}"), Atom(f"z{i}")
         rules.append(Rule(c_i, (Literal(c_i, True),)))
         if i > 0:
-            rules.append(Rule(c_i, (Literal(Atom(f"z{i-1}"), True),)))
+            rules.append(Rule(c_i, (Literal(Atom(f"z{i - 1}"), True),)))
         rules.append(Rule(t_i, (Literal(c_i, False),)))
         rules.append(Rule(z_i, (Literal(t_i, False),)))
     return Program(rules), Database()
@@ -88,7 +88,7 @@ def tie_chain(n: int) -> tuple[Program, Database]:
     rules = []
     for i in range(n):
         p_i, q_i, done = Atom(f"p{i}"), Atom(f"q{i}"), Atom(f"done{i}")
-        gate = [] if i == 0 else [Literal(Atom(f"done{i-1}"), True)]
+        gate = [] if i == 0 else [Literal(Atom(f"done{i - 1}"), True)]
         rules.append(Rule(p_i, tuple([Literal(q_i, False)] + gate)))
         rules.append(Rule(q_i, tuple([Literal(p_i, False)] + gate)))
         rules.append(Rule(done, (Literal(p_i, True),)))
@@ -100,7 +100,7 @@ def negation_tower(n: int) -> tuple[Program, Database]:
     """A strictly stratified tower: ``l_0 :- base`` and ``l_{i+1} :- ¬l_i``."""
     rules = [Rule(Atom("l0"), (Literal(Atom("base"), True),))]
     for i in range(1, n + 1):
-        rules.append(Rule(Atom(f"l{i}"), (Literal(Atom(f"l{i-1}"), False),)))
+        rules.append(Rule(Atom(f"l{i}"), (Literal(Atom(f"l{i - 1}"), False),)))
     return Program(rules), Database.from_dict({"base": [()]})
 
 
@@ -120,9 +120,7 @@ def layered_games(layers: int, positions: int) -> tuple[Program, Database]:
         body = [pos(move, "X", "Y"), neg(win, "Y")]
         if layer > 0:
             body.append(Literal(Atom(gate), True))
-            rules.append(
-                Rule(Atom(gate), (Literal(Atom(f"win{layer-1}", (Constant(0),)), False),))
-            )
+            rules.append(Rule(Atom(gate), (Literal(Atom(f"win{layer - 1}", (Constant(0),)), False),)))
         rules.append(Rule(Atom(win, (Variable("X"),)), tuple(body)))
         for i in range(positions - 1):
             db.add(move, i, i + 1)

@@ -25,6 +25,17 @@ class TestRunBench:
                     assert phases[key] >= 0
                 assert phases["is_total"] is True
             assert family["speedup"] is not None and family["speedup"] > 0
+            # The engine solve's kernel-phase breakdown accompanies every
+            # family and stays within the recorded solve time.
+            solve_phases = family["solve_phases"]
+            assert set(solve_phases) == {
+                "close_s",
+                "unfounded_s",
+                "tie_select_s",
+                "tie_apply_s",
+            }
+            assert all(v >= 0 for v in solve_phases.values())
+            assert sum(solve_phases.values()) <= family["engine_solve_s"] + 1e-6
         summary = record["summary"]
         assert (
             summary["min_speedup"]
@@ -56,16 +67,42 @@ class TestRunBench:
         assert family["speedup"] is None
         assert family["seed_ground_s"] is None
         assert family["ground_speedup"] is None
-        # No seed-kernel/grounder stats; the throughput (serving) summary
-        # is independent of the frozen baselines and survives.
-        assert not any(k.endswith("_speedup") and "warm" not in k for k in record["summary"])
+        # No seed-kernel/grounder speedups; the serving (warm) and
+        # enumeration (trail-vs-clone) summaries are independent of the
+        # frozen baselines and survive.
+        assert not any(
+            k.endswith("_speedup") and "warm" not in k and "enumerate" not in k
+            for k in record["summary"]
+        )
 
     def test_no_throughput_mode(self):
         record = run_bench(
-            scale="smoke", family_names=["committee"], baseline=False, throughput=False
+            scale="smoke",
+            family_names=["committee"],
+            baseline=False,
+            throughput=False,
+            enumerate_mode=False,
         )
         assert "throughput" not in record
+        assert "enumerate" not in record
         assert record["summary"] == {}
+
+    def test_enumerate_mode_records_models_per_sec(self):
+        record = run_bench(
+            scale="smoke",
+            family_names=["win_move_line", "committee"],
+            baseline=False,
+            throughput=False,
+        )
+        # Only tie-breaking families enumerate; wf-only families skip it.
+        assert set(record["enumerate"]) == {"committee"}
+        fam = record["enumerate"]["committee"]
+        assert fam["models"] > 0
+        assert fam["models"] <= fam["limit"]
+        assert fam["trail_models_per_s"] > 0
+        assert fam["clone_models_per_s"] > 0
+        assert fam["enumerate_speedup"] > 0
+        assert "geomean_enumerate_speedup" in record["summary"]
 
     def test_throughput_mode_records_serving_metrics(self):
         record = run_bench(scale="smoke", family_names=["win_move_line", "committee"])
