@@ -29,9 +29,10 @@ from repro.analysis.classify import ProgramClassification, classify_program
 from repro.analysis.structural import StructuralReport, structural_report
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
-from repro.datalog.grounding import GroundingMode, GroundProgram, ground
+from repro.datalog.grounding import GroundingMode, GroundProgram, apply_facts_delta, ground
 from repro.datalog.parser import parse_atom, parse_database, parse_program
 from repro.datalog.program import Program
+from repro.datalog.terms import Constant
 from repro.engine.plan import ConstantPool
 from repro.errors import GroundingError, SemanticsError
 from repro.io.artifact import ArtifactCache, cache_key, load_artifact, save_ground_program
@@ -81,6 +82,11 @@ class Engine:
         self.ground_calls = 0
         self.index_builds = 0
         self.artifact_hits = 0
+        self.update_calls = 0
+        self.facts_inserted = 0
+        self.facts_retracted = 0
+        self.delta_applied = 0
+        self.delta_rebuilds = 0
         if artifact_cache is not None and not isinstance(artifact_cache, ArtifactCache):
             artifact_cache = ArtifactCache(artifact_cache)
         self.artifact_cache = artifact_cache
@@ -389,6 +395,111 @@ class Engine:
             yield self._finalize(solution, solve_s)
             t0 = perf_counter()
 
+    # -- streaming updates -------------------------------------------------
+
+    @staticmethod
+    def _parse_facts(facts: Iterable[Atom | str | tuple]) -> list[Atom]:
+        parsed: list[Atom] = []
+        for f in facts:
+            if isinstance(f, Atom):
+                parsed.append(f)
+            elif isinstance(f, str):
+                parsed.append(parse_atom(f))
+            elif isinstance(f, tuple) and f and isinstance(f[0], str):
+                parsed.append(
+                    Atom(
+                        f[0],
+                        tuple(v if isinstance(v, Constant) else Constant(v) for v in f[1:]),
+                    )
+                )
+            else:
+                raise SemanticsError(
+                    f"facts must be Atoms, atom source text, or (predicate, values...) "
+                    f"tuples, not {f!r}"
+                )
+        return parsed
+
+    def insert_facts(self, *facts: Atom | str | tuple) -> list[Atom]:
+        """Insert EDB facts into the live session.
+
+        ``facts`` are ground atoms — parsed, source text (``"move(1, 2)"``)
+        or ``("move", 1, 2)`` tuples.  The database is updated and every
+        cached grounding is re-grounded *incrementally*: the semi-naive
+        plans re-fire from the inserted rows only, new rule instances are
+        appended to the shared kernel arrays, and the next solve runs on
+        the updated graph.  Groundings outside the incremental envelope
+        (e.g. the update changed the Herbrand universe) are transparently
+        dropped and rebuilt on next use (counted in ``delta_rebuilds``).
+
+        Returns the atoms that were actually new (already-present facts
+        are no-ops).  Cached solutions are invalidated either way.
+        """
+        atoms = self._parse_facts(facts)
+        applied = []
+        seen: set[Atom] = set()
+        for a in atoms:
+            if a not in seen and not self.database.contains_atom(a):
+                seen.add(a)
+                applied.append(a)
+        if not applied:
+            return []
+        self._apply_update(applied, [])
+        return applied
+
+    def retract_facts(self, *facts: Atom | str | tuple) -> list[Atom]:
+        """Retract EDB facts from the live session.
+
+        The mirror of :meth:`insert_facts`: rows leave the database, the
+        delete-rederive pass retracts everything no longer derivable,
+        dependent rule instances are disabled, and atoms that left the
+        relevant universe become inert ghosts.  Returns the atoms that
+        were actually present.
+        """
+        atoms = self._parse_facts(facts)
+        applied = []
+        seen: set[Atom] = set()
+        for a in atoms:
+            if a not in seen and self.database.contains_atom(a):
+                seen.add(a)
+                applied.append(a)
+        if not applied:
+            return []
+        self._apply_update([], applied)
+        return applied
+
+    def _apply_update(self, inserted: list[Atom], retracted: list[Atom]) -> None:
+        t0 = perf_counter()
+        self.update_calls += 1
+        self.facts_inserted += len(inserted)
+        self.facts_retracted += len(retracted)
+        synced: set[int] = {id(self.database)}
+        for a in retracted:
+            self.database.discard_atom(a)
+        for a in inserted:
+            self.database.add_atom(a)
+        for mode, gp in list(self._ground_cache.items()):
+            if id(gp.database) not in synced:
+                # A pinned/loaded grounding may carry its own database
+                # object; mirror the change so its view stays consistent.
+                synced.add(id(gp.database))
+                for a in retracted:
+                    gp.database.discard_atom(a)
+                for a in inserted:
+                    gp.database.add_atom(a)
+            if apply_facts_delta(gp, inserted, retracted):
+                self.delta_applied += 1
+            elif gp is self._pinned:
+                raise SemanticsError(
+                    "update falls outside the incremental envelope of the pinned "
+                    "ground program (the universe changed or its mode cannot be "
+                    "updated in place); rebuild the Engine from the mutated database"
+                )
+            else:
+                del self._ground_cache[mode]
+                self.delta_rebuilds += 1
+        self._solution_cache.clear()
+        self._timings["update_s"] = self._timings.get("update_s", 0.0) + perf_counter() - t0
+
     # -- batched queries ---------------------------------------------------
 
     def query(self, predicate: str, *, semantics: str = "well_founded", **options: Any):
@@ -500,6 +611,11 @@ class Engine:
             "ground_calls": self.ground_calls,
             "index_builds": self.index_builds,
             "artifact_hits": self.artifact_hits,
+            "update_calls": self.update_calls,
+            "facts_inserted": self.facts_inserted,
+            "facts_retracted": self.facts_retracted,
+            "delta_applied": self.delta_applied,
+            "delta_rebuilds": self.delta_rebuilds,
             "interned_constants": len(self._pool),
             "cached_modes": sorted(self._ground_cache),
             "cached_solutions": len(self._solution_cache),

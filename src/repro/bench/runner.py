@@ -42,6 +42,15 @@ end-to-end requests/sec.  ``warm_speedup`` (cold start over warm start)
 is the compile-once dividend; its per-record summary is the number the
 serving layer is accountable for.
 
+The **update** mode measures the streaming story: per family it streams
+a deterministic, universe-stable retract/reinsert trace into one warm
+:class:`~repro.api.Engine` (``insert_facts`` / ``retract_facts``, the
+delta re-ground path) and records updates/sec against the full-rebuild
+comparator — a fresh engine grounding and kernel-compiling the mutated
+database per step.  Every rebuild step's model is cross-checked against
+the streamed engine before any number is recorded; ``update_speedup``
+(rebuild step time over update step time) is the streaming dividend.
+
 The **enumerate** mode records models/sec of the exhaustive tie-breaking
 explorer per tie-breaking family, both for the production trail-undo DFS
 and the clone-based reference explorer (identical (model, choice-trail)
@@ -66,6 +75,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.api.engine import Engine
 from repro.api.registry import get_spec
+from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode
 from repro.datalog.printer import format_database, format_program
@@ -565,6 +575,157 @@ def _throughput_family(name: str, spec: FamilySpec, base_n: int) -> dict:
     }
 
 
+# Step counts of the update mode: enough streamed updates that per-step
+# overhead averages out, and few (expensive) full rebuilds — each one is
+# a complete parse-free ground + kernel-compile of the mutated database.
+_UPDATE_STEPS = 60
+_REBUILD_STEPS = 5
+
+
+def _update_trace(program: Program, database: Database, steps: int) -> list:
+    """A deterministic, universe-stable retract/reinsert trace.
+
+    Streams only *safe* EDB facts — ones whose every constant is anchored
+    by the program or by a second fact — and always reinserts a fact
+    before touching the next, so the Herbrand universe never changes and
+    every step stays inside the incremental envelope of
+    :func:`~repro.datalog.grounding.apply_facts_delta` (no silent
+    re-grounds inflating the measured throughput).  Families whose facts
+    all carry unique constants (retracting any would shrink the universe)
+    stream *novel* facts instead: rows built from already-present
+    constants are inserted then retracted, which exercises the
+    instance-addition path under the same universe-stability guarantee.
+    Returns ``[]`` when the family has no streamable facts at all.
+    """
+    from collections import Counter
+
+    occurrences: Counter = Counter()
+    for atom in database.atoms():
+        occurrences.update(atom.args)
+    anchored = program.constants
+    safe = [
+        atom
+        for atom in database.atoms()
+        if all(c in anchored or occurrences[c] >= 2 for c in atom.args)
+    ]
+    if safe:
+        ops: list = []
+        index = 0
+        while len(ops) < steps:
+            fact = safe[index % len(safe)]
+            ops.append(("retract", fact))
+            ops.append(("insert", fact))
+            index += 1
+        return ops[:steps]
+    constants = sorted(occurrences, key=str)
+    novel: list = []
+    for atom in database.atoms():
+        if not atom.args or not constants:
+            continue
+        row = tuple(
+            constants[(constants.index(c) + 1) % len(constants)] for c in atom.args
+        )
+        candidate = Atom(atom.predicate, row)
+        if not database.contains_atom(candidate) and candidate not in novel:
+            novel.append(candidate)
+        if len(novel) >= 8:
+            break
+    if not novel:
+        return []
+    ops = []
+    index = 0
+    while len(ops) < steps:
+        fact = novel[index % len(novel)]
+        ops.append(("insert", fact))
+        ops.append(("retract", fact))
+        index += 1
+    return ops[:steps]
+
+
+def _update_family(name: str, spec: FamilySpec, base_n: int) -> dict | None:
+    """Streaming-update throughput vs full rebuild for one family.
+
+    The *live* segment streams ``_UPDATE_STEPS`` single-fact updates into
+    one warm :class:`Engine` (``insert_facts`` / ``retract_facts``) and
+    times pure update absorption — delta re-ground plus index publish;
+    the solve phase is identical on both sides and timed elsewhere.  The
+    *rebuild* segment replays the first ``_REBUILD_STEPS`` steps the way
+    a process without the update engine must: a fresh engine grounding
+    and kernel-compiling the mutated database from scratch.  Each rebuild
+    step's model is cross-checked against a second live engine driven
+    through the same prefix before any number is recorded; the final live
+    model is cross-checked against a fresh grounding of the end state.
+    Returns ``None`` for families with nothing safely streamable.
+    """
+    n = spec.size(base_n)
+    program, database = spec.generator(n)
+    semantics = _ENGINE_SEMANTICS[spec.semantics]
+    ops = _update_trace(program, database, _UPDATE_STEPS)
+    if not ops:
+        return None
+
+    engine = Engine(program, database.copy(), grounding=spec.grounding)
+    gp = engine.ground_for(spec.grounding)
+    engine.solve(semantics)  # warm the pipeline before the timed segment
+
+    t0 = perf_counter()
+    for op, fact in ops:
+        if op == "insert":
+            engine.insert_facts(fact)
+        else:
+            engine.retract_facts(fact)
+    update_s = perf_counter() - t0
+
+    live_true = frozenset(str(a) for a in engine.solve(semantics).true_atoms)
+    final_engine = Engine(program, engine.database.copy(), grounding=spec.grounding)
+    final_true = frozenset(str(a) for a in final_engine.solve(semantics).true_atoms)
+    if live_true != final_true:
+        raise ReproError(
+            f"bench family {name!r}: live update engine and fresh grounding disagree"
+        )
+
+    rebuild_db = database.copy()
+    verify = Engine(program, database.copy(), grounding=spec.grounding)
+    rebuild_s = 0.0
+    for op, fact in ops[:_REBUILD_STEPS]:
+        if op == "insert":
+            rebuild_db.add_atom(fact)
+            verify.insert_facts(fact)
+        else:
+            rebuild_db.discard_atom(fact)
+            verify.retract_facts(fact)
+        t0 = perf_counter()
+        rebuilt = Engine(program, rebuild_db.copy(), grounding=spec.grounding)
+        rebuilt.ground_for(spec.grounding)
+        rebuild_s += perf_counter() - t0
+        rebuilt_true = frozenset(str(a) for a in rebuilt.solve(semantics).true_atoms)
+        stream_true = frozenset(str(a) for a in verify.solve(semantics).true_atoms)
+        if rebuilt_true != stream_true:
+            raise ReproError(
+                f"bench family {name!r}: streamed update and full rebuild disagree"
+            )
+
+    steps = len(ops)
+    update_step_s = update_s / steps
+    rebuild_step_s = rebuild_s / _REBUILD_STEPS
+    return {
+        "n": n,
+        "semantics": spec.semantics,
+        "grounding": spec.grounding,
+        "atoms": gp.atom_count,
+        "rules": gp.rule_count,
+        "steps": steps,
+        "rebuild_steps": _REBUILD_STEPS,
+        "update_s": update_s,
+        "updates_per_s": steps / max(update_s, 1e-12),
+        "rebuild_s": rebuild_s,
+        "rebuilds_per_s": _REBUILD_STEPS / max(rebuild_s, 1e-12),
+        "update_speedup": rebuild_step_s / max(update_step_s, 1e-12),
+        "delta_applied": engine.delta_applied,
+        "delta_rebuilds": engine.delta_rebuilds,
+    }
+
+
 def current_revision() -> str:
     """Short git revision of the working tree, or ``"unknown"``.
 
@@ -611,6 +772,7 @@ def run_bench(
     baseline: bool = True,
     throughput: bool = True,
     enumerate_mode: bool = True,
+    updates: bool = True,
 ) -> dict:
     """Run the benchmark suite and return the JSON-ready record.
 
@@ -618,9 +780,11 @@ def run_bench(
     production pipeline (and cross-checks them); ``throughput`` runs the
     cold-vs-warm serving mode (:func:`_throughput_family`) per family;
     ``enumerate_mode`` runs the trail-vs-clone enumeration throughput
-    mode (:func:`_enumerate_family`) for the tie-breaking families.
-    Raises :class:`~repro.errors.ReproError` for unknown scales or
-    families, and whenever any cross-check fails.
+    mode (:func:`_enumerate_family`) for the tie-breaking families;
+    ``updates`` runs the streaming-update mode (:func:`_update_family`)
+    for every family with streamable EDB facts.  Raises
+    :class:`~repro.errors.ReproError` for unknown scales or families,
+    and whenever any cross-check fails.
     """
     if scale not in SCALES:
         raise ReproError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
@@ -647,6 +811,13 @@ def run_bench(
         if enumerate_mode
         else None
     )
+    update_results = None
+    if updates:
+        update_results = {}
+        for name in names:
+            family_updates = _update_family(name, FAMILIES[name], base_n)
+            if family_updates is not None:
+                update_results[name] = family_updates
     def _stats(values: list[float], prefix: str) -> dict:
         if not values:
             return {}
@@ -669,6 +840,9 @@ def run_bench(
     if enumerate_results:
         enum_speedups = [e["enumerate_speedup"] for e in enumerate_results.values()]
         summary.update(_stats(enum_speedups, "enumerate_speedup"))
+    if update_results:
+        update_speedups = [u["update_speedup"] for u in update_results.values()]
+        summary.update(_stats(update_speedups, "update_speedup"))
     record = {
         "schema": SCHEMA,
         "revision": current_revision(),
@@ -685,6 +859,8 @@ def run_bench(
         record["throughput"] = throughput_results
     if enumerate_results is not None:
         record["enumerate"] = enumerate_results
+    if update_results is not None:
+        record["updates"] = update_results
     return record
 
 
@@ -779,5 +955,26 @@ def format_table(record: Mapping) -> str:
                 f"enumerate speedup: min {summary['min_enumerate_speedup']:.2f}x / "
                 f"geomean {summary['geomean_enumerate_speedup']:.2f}x / "
                 f"max {summary['max_enumerate_speedup']:.2f}x"
+            )
+    update_results = record.get("updates")
+    if update_results:
+        lines.append("")
+        lines.append(
+            f"updates (streaming vs full rebuild): "
+            f"{'family':<18} {'steps':>6} {'upd/s':>10} {'rebuild/s':>10} {'speedup':>9}"
+        )
+        for name, fam in update_results.items():
+            lines.append(
+                f"{'':<37}{name:<18} "
+                f"{fam['steps']:>6} "
+                f"{fam['updates_per_s']:>10.1f} "
+                f"{fam['rebuilds_per_s']:>10.1f} "
+                f"{fam['update_speedup']:>8.1f}x"
+            )
+        if "geomean_update_speedup" in summary:
+            lines.append(
+                f"update speedup: min {summary['min_update_speedup']:.2f}x / "
+                f"geomean {summary['geomean_update_speedup']:.2f}x / "
+                f"max {summary['max_update_speedup']:.2f}x"
             )
     return "\n".join(lines)

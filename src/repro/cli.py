@@ -12,9 +12,11 @@ Subcommands:
 * ``dot FILE``                — Graphviz export of the program/ground graph;
 * ``serve``                   — warm-start batch service: answer a JSONL
   request file from one compiled ground artifact, optionally across a
-  process pool (``--workers``);
+  process pool (``--workers``); requests may stream ``insert`` /
+  ``retract`` updates into the serving engine;
 * ``bench``                   — per-phase kernel timings plus the
-  cold-vs-warm throughput mode, written to ``BENCH_<rev>.json``.
+  cold-vs-warm throughput and streaming-update modes, written to
+  ``BENCH_<rev>.json``.
 
 Program files use the Datalog syntax of :mod:`repro.datalog.parser`;
 databases are fact files (``--db``).  Every subcommand evaluates through
@@ -386,6 +388,7 @@ def _cmd_bench(args) -> int:
         baseline=not args.no_baseline,
         throughput=not args.no_throughput,
         enumerate_mode=not args.no_enumerate,
+        updates=not args.no_updates,
     )
     path = write_bench(record, Path(args.output) if args.output else None)
     print(format_table(record))
@@ -516,6 +519,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-enumerate",
         action="store_true",
         help="skip the trail-vs-clone enumeration (models/sec) mode",
+    )
+    p.add_argument(
+        "--no-updates",
+        action="store_true",
+        help="skip the streaming-update vs full-rebuild (updates/sec) mode",
     )
     p.set_defaults(func=_cmd_bench)
     return parser

@@ -80,6 +80,21 @@ class Database:
             raise ValidationError(f"cannot add non-ground atom {atom} to database")
         self.add(atom.predicate, *[t for t in atom.args])
 
+    def discard(self, predicate: str, *values: _Value) -> bool:
+        """Remove the fact ``predicate(values...)``; True iff it was present."""
+        row = tuple(_to_constant(v) for v in values)
+        rows = self._relations.get(predicate)
+        if rows is None or row not in rows:
+            return False
+        rows.discard(row)
+        return True
+
+    def discard_atom(self, atom: Atom) -> bool:
+        """Remove a ground atom; True iff it was present."""
+        if not atom.is_ground:
+            raise ValidationError(f"cannot discard non-ground atom {atom}")
+        return self.discard(atom.predicate, *atom.args)
+
     def contains(self, predicate: str, *values: _Value) -> bool:
         """True iff the fact ``predicate(values...)`` is present."""
         row = tuple(_to_constant(v) for v in values)

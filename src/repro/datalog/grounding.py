@@ -32,7 +32,7 @@ ids), and the originating substitutions.
 from __future__ import annotations
 
 from array import array
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right, insort
 from collections.abc import Sequence as AbcSequence
 from dataclasses import dataclass, field
 from itertools import product
@@ -51,7 +51,7 @@ from repro.engine.plan import (
     JoinPlan,
     compile_row_spec,
 )
-from repro.engine.seminaive import least_model_interned
+from repro.engine.seminaive import SemiNaiveSession, least_model_interned
 from repro.errors import GroundingError
 
 __all__ = [
@@ -59,7 +59,9 @@ __all__ = [
     "GroundRule",
     "GroundIndex",
     "GroundProgram",
+    "GroundDeltaSession",
     "ground",
+    "apply_facts_delta",
     "universe_of",
     "GroundingMode",
 ]
@@ -131,13 +133,31 @@ class _InternedAtomTable(AtomTable):
             self._atoms = [self.atom(i) for i in range(len(self._pred_of))]
             self._ids = {a: i for i, a in enumerate(self._atoms)}
             self._eager = True
+        elif len(self._atoms) < len(self._pred_of):
+            self._grow()
+
+    def _grow(self) -> None:
+        """Sync the eager mirror after the delta overlay appended atoms.
+
+        The streaming-update session appends to ``pred_of``/``row_of``
+        directly; an already-materialized eager view must pick the new
+        atoms up, or ``atom(i)``/``get`` would miss ids it is supposed
+        to know.  (A table grown *by hand* through ``id_of`` fallback is
+        the reverse desync — ``_atoms`` longer than ``_pred_of`` — and
+        disqualifies the program from incremental updates entirely.)
+        """
+        constant = self._pool.constant
+        for i in range(len(self._atoms), len(self._pred_of)):
+            a = Atom(self._pred_of[i], tuple([constant(v) for v in self._row_of[i]]))
+            self._ids[a] = i
+            self._atoms.append(a)
 
     def id_of(self, atom: Atom) -> int:
         if not self._eager:
             idx = self.get(atom)
             if idx is not None:
                 return idx
-            self._materialize()
+        self._materialize()
         return super().id_of(atom)
 
     def get(self, atom: Atom) -> int | None:
@@ -332,7 +352,12 @@ class _CompiledRules(AbcSequence):
         self._cache: list[GroundRule | None] = [None] * len(heads)
 
     def _rule(self, i: int) -> GroundRule:
-        cached = self._cache[i]
+        cache = self._cache
+        if i >= len(cache):
+            # The CSR arrays grew (streaming updates append instances in
+            # place); stretch the lazy cache to match.
+            cache.extend([None] * (len(self._heads) - len(cache)))
+        cached = cache[i]
         if cached is None:
             constant = self._pool.constant
             cached = GroundRule(
@@ -430,7 +455,29 @@ class GroundIndex:
         "edb_mask",
         "iota_atoms",
         "iota_rules",
+        "atom_order",
+        "initial_rule_alive",
+        "live_rules_init",
+        "rule_slot_init",
     )
+
+    def __getattr__(self, name: str):
+        # Extended (delta-overlay) indexes defer the flat occurrence CSR:
+        # the tuple views carry the hot paths, and the flat arrays are
+        # only needed by serialization — rebuild them from the views on
+        # first touch.
+        if name in ("pos_occ_off", "pos_occ", "neg_occ_off", "neg_occ"):
+            for prefix in ("pos", "neg"):
+                views = object.__getattribute__(self, f"{prefix}_occ_t")
+                off = array("i", [0])
+                flat = array("i")
+                for rs in views:
+                    flat.extend(rs)
+                    off.append(len(flat))
+                setattr(self, f"{prefix}_occ_off", off)
+                setattr(self, f"{prefix}_occ", flat)
+            return object.__getattribute__(self, name)
+        raise AttributeError(name)
 
     def __init__(self, gp: "GroundProgram") -> None:
         # Local imports of the truth values would be circular through
@@ -572,6 +619,10 @@ class GroundIndex:
         self.zero_support_atoms = zero_support_atoms
         self.iota_atoms = array("i", range(n_atoms))
         self.iota_rules = array("i", range(self.n_rules))
+        self.atom_order = None
+        self.initial_rule_alive = None
+        self.live_rules_init = None
+        self.rule_slot_init = None
         return self
 
     def _build(
@@ -645,6 +696,13 @@ class GroundIndex:
         # bookkeeping instead of being rebuilt element by element.
         self.iota_atoms = array("i", range(n_atoms))
         self.iota_rules = array("i", range(n_rules))
+
+        # Delta-overlay fields: a freshly built index has every instance
+        # alive and uses raw atom ids as the canonical order.
+        self.atom_order = None
+        self.initial_rule_alive = None
+        self.live_rules_init = None
+        self.rule_slot_init = None
 
 
 @dataclass
@@ -963,13 +1021,17 @@ def _ground_joined(
 
     # Materialize the join store (U* respectively Δ) so negative IDB
     # literals and unfounded atoms have nodes to be falsified on; sorted
-    # predicate-major for deterministic ids.
+    # predicate-major, rows by *universe rank* — pool ids only agree with
+    # universe order on a fresh pool, and a reused session pool (engine
+    # re-ground after updates) may have interned a returning constant
+    # late.  Canonical order must be a function of the database alone.
+    rank = {pid: i for i, pid in enumerate(uni_ids)}
     ids_by_pred: dict[str, dict[IntRow, int]] = {}
     pred_of: list[str] = []
     row_of: list[IntRow] = []
     for pred in sorted(join_store.predicates()):
         ids = ids_by_pred.setdefault(pred, {})
-        for row in sorted(join_store.rows(pred)):
+        for row in sorted(join_store.rows(pred), key=lambda r: [rank[v] for v in r]):
             ids[row] = len(pred_of)
             pred_of.append(pred)
             row_of.append(row)
@@ -1119,7 +1181,29 @@ def _ground_joined(
     gp = GroundProgram(program, database, universe, mode, table)
     edb_mask, initial_status = _initial_model(n_atoms, pred_of, ids_by_pred, delta, edb)
     out.finish(gp, n_atoms, edb_mask, initial_status, pool)
+    if mode == "relevant":
+        # Retain the join-time raw materials: a streaming-update session
+        # adopts U* and Δ as they stand instead of recomputing them.
+        gp._delta_ctx = _DeltaContext(pool, delta, join_store, uni_ids)
     return gp
+
+
+class _DeltaContext:
+    """Raw materials the relevant grounder retains for streaming updates."""
+
+    __slots__ = ("pool", "delta", "join_store", "uni_ids")
+
+    def __init__(
+        self,
+        pool: ConstantPool,
+        delta: IntFactStore,
+        join_store: IntFactStore,
+        uni_ids: list[int],
+    ) -> None:
+        self.pool = pool
+        self.delta = delta
+        self.join_store = join_store
+        self.uni_ids = uni_ids
 
 
 def ground(
@@ -1160,3 +1244,492 @@ def ground(
             program, database, universe, max_instances, prune_false_negative_edb, mode, pool
         )
     raise ValueError(f"unknown grounding mode {mode!r}")
+
+
+class _DeltaRulePlan:
+    """One source rule compiled for delta re-grounding.
+
+    The same slot layout as the initial grounder (``rule.variables()``
+    order), so discovered substitutions are directly comparable with the
+    CSR's stored ones; one delta-promoted :class:`JoinPlan` per positive
+    body literal, exactly like the semi-naive engine.
+    """
+
+    __slots__ = (
+        "rule_index",
+        "head_pred",
+        "head_spec",
+        "body_probes",
+        "delta_plans",
+        "unbound",
+        "n_slots",
+    )
+
+    def __init__(self, rule_index: int, r: Rule, pool: ConstantPool) -> None:
+        variables = r.variables()
+        self.rule_index = rule_index
+        self.n_slots = len(variables)
+        self.head_pred = r.head.predicate
+        slot_of = {v: i for i, v in enumerate(variables)}
+        self.head_spec = compile_row_spec(r.head, slot_of, pool)
+        self.body_probes = [
+            (lit.positive, compile_row_spec(lit.atom, slot_of, pool), lit.predicate)
+            for lit in r.body
+        ]
+        joinable = list(r.positive_body())
+        self.delta_plans: list[tuple[str, JoinPlan]] = []
+        bound: frozenset[int] = frozenset()
+        for i, lit in enumerate(joinable):
+            ordered = [lit] + order_body_for_join(joinable[:i] + joinable[i + 1 :])
+            jp = JoinPlan.compile(ordered, slot_of, pool)
+            bound = jp.bound_slots
+            self.delta_plans.append((lit.predicate, jp))
+        self.unbound = (
+            tuple(s for s in range(self.n_slots) if s not in bound)
+            if self.delta_plans
+            else ()
+        )
+
+
+class GroundDeltaSession:
+    """Streaming EDB updates on a relevant-mode ground program.
+
+    Owns the mutable overlay that keeps a :class:`GroundProgram` live
+    across ``insert``/``retract`` fact deltas:
+
+    * U\\* is maintained by a :class:`~repro.engine.seminaive.SemiNaiveSession`
+      (semi-naive advance on insert, DRed on retract) adopting the
+      grounder's join store and Δ;
+    * new rule instances are discovered by re-firing per-literal
+      delta-promoted join plans from the newly-true rows, appended **in
+      place** to the shared CSR emitter arrays (old indexes stay valid:
+      their reads are bounded by their stored counts), and deduplicated
+      against a ``(rule, substitution) → instance`` ledger that also
+      re-enables instances a past retraction disabled;
+    * atoms leaving U\\* become *ghosts*: their ids persist, dependent
+      instances are disabled via ``initial_rule_alive``, and zero live
+      support falsifies them in the kernel's first ``close()`` — the
+      closed-world reading of :class:`~repro.ground.model.Interpretation`
+      makes a materialized-false ghost indistinguishable from a fresh
+      grounding that never materialized it;
+    * ``atom_order`` ranks live atom ids exactly as a fresh relevant
+      grounding would assign them (predicate-major, rows ascending), so
+      deterministic tie-breaking trajectories match a full rebuild.
+
+    Each update ends by publishing a fresh :class:`GroundIndex` built
+    over the shared arrays; solves construct pristine states from it, so
+    an update costs the delta joins plus O(atoms + instances) array
+    copies — no ground-from-scratch, no recompile of join plans.
+    """
+
+    def __init__(self, gp: "GroundProgram") -> None:
+        ctx: _DeltaContext = gp._delta_ctx
+        self.gp = gp
+        self.pool = ctx.pool
+        self.uni_ids = ctx.uni_ids
+        self.edb = gp.program.edb_predicates
+        table = gp.atoms
+        self.table = table
+        self.pred_of: list[str] = table._pred_of
+        self.row_of: list[IntRow] = table._row_of
+        self.ids_by_pred: dict[str, dict[IntRow, int]] = table._ids_by_pred
+        self.csr: _CsrEmitter = gp._csr
+        positivized = [Rule(r.head, r.positive_body()) for r in gp.program.rules]
+        self.sem = SemiNaiveSession(
+            positivized,
+            gp.database,
+            universe=gp.universe,
+            pool=self.pool,
+            database_rows=ctx.delta,
+            store=ctx.join_store,
+        )
+
+        idx = gp.index
+        n_atoms = idx.n_atoms
+        n_rules = idx.n_rules
+        self.pos_occ_lists: list[tuple[int, ...]] = list(idx.pos_occ_t)
+        self.neg_occ_lists: list[tuple[int, ...]] = list(idx.neg_occ_t)
+        self.head_lists: list[tuple[int, ...]] = list(idx.rules_by_head_t)
+        self.support_live = array("i", idx.support)
+        alive = idx.initial_rule_alive
+        self.alive = bytearray(alive) if alive is not None else bytearray(b"\x01" * n_rules)
+        self.body_len = array("i", idx.body_len)
+        self.pos_len = array("i", idx.pos_len)
+        self.empty_body_rules = idx.empty_body_rules
+
+        store = self.sem.store
+        pred_of, row_of = self.pred_of, self.row_of
+        self.in_ustar = bytearray(n_atoms)
+        for a in range(n_atoms):
+            if store.contains(pred_of[a], row_of[a]):
+                self.in_ustar[a] = 1
+        # Canonical order: a fresh relevant grounding assigns ids
+        # predicate-major with rows ascending under a pool that interned
+        # the (string-sorted) universe first — so ranking live atoms by
+        # (predicate, universe-rank row) reproduces fresh ids exactly.
+        self._rank_of = {self.pool.intern(c): i for i, c in enumerate(gp.universe)}
+        self.sorted_keys: list[tuple] = sorted(
+            (self._key(a), a) for a in range(n_atoms) if self.in_ustar[a]
+        )
+        ri, so, sub = self.csr.rule_index, self.csr.sub_off, self.csr.sub
+        self.ledger: dict[tuple[int, IntRow], int] = {
+            (ri[r], tuple(sub[so[r] : so[r + 1]])): r for r in range(n_rules)
+        }
+        self._plans_by_pred: dict[str, list[tuple[_DeltaRulePlan, JoinPlan]]] = {}
+        self._ground_rules: list[tuple] = []
+        intern = self.pool.intern
+        for rule_index, r in enumerate(gp.program.rules):
+            if r.variables():
+                plan = _DeltaRulePlan(rule_index, r, self.pool)
+                for pred, jp in plan.delta_plans:
+                    self._plans_by_pred.setdefault(pred, []).append((plan, jp))
+            else:
+                pos_rows = [
+                    (lit.predicate, tuple([intern(t) for t in lit.atom.args]))
+                    for lit in r.positive_body()
+                ]
+                body_probes = [
+                    (lit.positive, compile_row_spec(lit.atom, {}, self.pool), lit.predicate)
+                    for lit in r.body
+                ]
+                head_spec = compile_row_spec(r.head, {}, self.pool)
+                self._ground_rules.append(
+                    (rule_index, r.head.predicate, head_spec, body_probes, pos_rows)
+                )
+        self.log: list[dict] = []
+        self.stats = {
+            "inserts": 0,
+            "retracts": 0,
+            "instances_added": 0,
+            "instances_disabled": 0,
+            "instances_enabled": 0,
+            "atoms_added": 0,
+            "atoms_ghosted": 0,
+        }
+
+    def _key(self, a: int) -> tuple:
+        rank = self._rank_of
+        return (self.pred_of[a], tuple([rank[v] for v in self.row_of[a]]))
+
+    def _atom_id(self, pred: str, row: IntRow) -> int:
+        ids = self.ids_by_pred.setdefault(pred, {})
+        a = ids.get(row)
+        if a is None:
+            a = len(self.pred_of)
+            ids[row] = a
+            self.pred_of.append(pred)
+            self.row_of.append(row)
+            self.in_ustar.append(0)
+            self.support_live.append(0)
+            self.pos_occ_lists.append(())
+            self.neg_occ_lists.append(())
+            self.head_lists.append(())
+            self.stats["atoms_added"] += 1
+        return a
+
+    def _emit_instance(
+        self,
+        rule_index: int,
+        head_pred: str,
+        head_spec,
+        body_probes,
+        sub: IntRow,
+        slots: Sequence[int],
+    ) -> None:
+        csr = self.csr
+        rid = len(csr.heads)
+        row = tuple([slots[v] if v >= 0 else ~v for v in head_spec])
+        head_id = self._atom_id(head_pred, row)
+        pos_seen: list[int] = []
+        neg_seen: list[int] = []
+        for positive, spec, pred in body_probes:
+            row = tuple([slots[v] if v >= 0 else ~v for v in spec])
+            atom_id = self._atom_id(pred, row)
+            seen = pos_seen if positive else neg_seen
+            if atom_id not in seen:
+                seen.append(atom_id)
+        csr.heads.append(head_id)
+        csr.pos.extend(pos_seen)
+        csr.pos_off.append(len(csr.pos))
+        csr.neg.extend(neg_seen)
+        csr.neg_off.append(len(csr.neg))
+        csr.rule_index.append(rule_index)
+        csr.sub.extend(sub)
+        csr.sub_off.append(len(csr.sub))
+        self.body_len.append(len(pos_seen) + len(neg_seen))
+        self.pos_len.append(len(pos_seen))
+        for a in pos_seen:
+            self.pos_occ_lists[a] = self.pos_occ_lists[a] + (rid,)
+        for a in neg_seen:
+            self.neg_occ_lists[a] = self.neg_occ_lists[a] + (rid,)
+        self.head_lists[head_id] = self.head_lists[head_id] + (rid,)
+        self.support_live[head_id] += 1
+        self.alive.append(1)
+        self.ledger[(rule_index, sub)] = rid
+        self.stats["instances_added"] += 1
+
+    def _instantiate(self, plan: _DeltaRulePlan, slots: list[int]) -> None:
+        sub = tuple(slots)
+        rid = self.ledger.get((plan.rule_index, sub))
+        if rid is not None:
+            if not self.alive[rid]:
+                # The delta join only emits substitutions whose whole
+                # positive body lies in the updated U*, so rediscovery is
+                # exactly the re-enable condition.
+                self.alive[rid] = 1
+                self.support_live[self.csr.heads[rid]] += 1
+                self.stats["instances_enabled"] += 1
+            return
+        self._emit_instance(
+            plan.rule_index, plan.head_pred, plan.head_spec, plan.body_probes, sub, slots
+        )
+
+    def _ground_delta(self, added: IntFactStore) -> None:
+        store = self.sem.store
+        uni_ids = self.uni_ids
+        for pred, _rows in added.items():
+            for plan, jp in self._plans_by_pred.get(pred, ()):
+                slots = [0] * plan.n_slots
+                unbound = plan.unbound
+                if unbound:
+
+                    def emit(slots: list[int], plan=plan, unbound=unbound) -> None:
+                        for values in product(uni_ids, repeat=len(unbound)):
+                            for s, v in zip(unbound, values):
+                                slots[s] = v
+                            self._instantiate(plan, slots)
+
+                else:
+
+                    def emit(slots: list[int], plan=plan) -> None:
+                        self._instantiate(plan, slots)
+
+                jp.execute(store, slots, emit, added)
+
+    def _recheck_ground_rules(self) -> None:
+        store = self.sem.store
+        for rule_index, head_pred, head_spec, body_probes, pos_rows in self._ground_rules:
+            rid = self.ledger.get((rule_index, ()))
+            if rid is not None and self.alive[rid]:
+                continue
+            if all(store.contains(pred, row) for pred, row in pos_rows):
+                if rid is not None:
+                    self.alive[rid] = 1
+                    self.support_live[self.csr.heads[rid]] += 1
+                    self.stats["instances_enabled"] += 1
+                else:
+                    self._emit_instance(rule_index, head_pred, head_spec, body_probes, (), ())
+
+    def apply(self, inserted: Sequence[Atom], retracted: Sequence[Atom]) -> None:
+        """Apply one update (retractions first, then insertions)."""
+        intern = self.pool.intern
+        if retracted:
+            facts = [(a.predicate, tuple([intern(t) for t in a.args])) for a in retracted]
+            removed = self.sem.retract(facts)
+            dead: list[int] = []
+            for pred, rows in removed.items():
+                ids = self.ids_by_pred.get(pred)
+                if not ids:
+                    continue
+                for row in rows:
+                    a = ids.get(row)
+                    if a is not None and self.in_ustar[a]:
+                        self.in_ustar[a] = 0
+                        k = (self._key(a), a)
+                        i = bisect_left(self.sorted_keys, k)
+                        if i < len(self.sorted_keys) and self.sorted_keys[i] == k:
+                            self.sorted_keys.pop(i)
+                        dead.append(a)
+                        self.stats["atoms_ghosted"] += 1
+            heads = self.csr.heads
+            for a in dead:
+                for rid in self.pos_occ_lists[a]:
+                    if self.alive[rid]:
+                        self.alive[rid] = 0
+                        self.support_live[heads[rid]] -= 1
+                        self.stats["instances_disabled"] += 1
+            self.stats["retracts"] += len(retracted)
+            self.log.append({"op": "retract", "facts": [str(a) for a in retracted]})
+        if inserted:
+            facts = [(a.predicate, tuple([intern(t) for t in a.args])) for a in inserted]
+            added = self.sem.insert(facts)
+            for pred in sorted(added.predicates()):
+                ids = self.ids_by_pred.setdefault(pred, {})
+                for row in sorted(added.rows(pred)):
+                    a = ids.get(row)
+                    if a is None:
+                        a = self._atom_id(pred, row)
+                    if not self.in_ustar[a]:
+                        self.in_ustar[a] = 1
+                        insort(self.sorted_keys, (self._key(a), a))
+            if len(added):
+                self._ground_delta(added)
+                self._recheck_ground_rules()
+            self.stats["inserts"] += len(inserted)
+            self.log.append({"op": "insert", "facts": [str(a) for a in inserted]})
+        if self.table._eager:
+            self.table._materialize()  # resync the eager mirror with the appends
+        self._rebuild_index()
+
+    def _rebuild_index(self) -> None:
+        """Publish a fresh :class:`GroundIndex` over the shared arrays."""
+        csr = self.csr
+        n_atoms = len(self.pred_of)
+        n_rules = len(csr.heads)
+        edb_mask, initial_status = _initial_model(
+            n_atoms, self.pred_of, self.ids_by_pred, self.sem.base, self.edb
+        )
+        idx = GroundIndex.__new__(GroundIndex)
+        idx.n_atoms = n_atoms
+        idx.n_rules = n_rules
+        idx.head_of = csr.heads
+        idx.head_of_t = tuple(csr.heads)
+        idx.body_len = array("i", self.body_len)
+        idx.pos_len = array("i", self.pos_len)
+        idx.pos_off, idx.pos_atoms = csr.pos_off, csr.pos
+        idx.neg_off, idx.neg_atoms = csr.neg_off, csr.neg
+        idx.pos_occ_t = tuple(self.pos_occ_lists)
+        idx.neg_occ_t = tuple(self.neg_occ_lists)
+        idx.rules_by_head_t = tuple(self.head_lists)
+        # The flat occurrence CSR stays unset: GroundIndex.__getattr__
+        # rebuilds it from the views on first (serialization) touch.
+        idx.support = array("i", self.support_live)
+        idx.initial_status = initial_status
+        idx.initial_valued = array("i", (a for a in range(n_atoms) if initial_status[a]))
+        idx.edb_mask = edb_mask
+        idx.empty_body_rules = self.empty_body_rules
+        idx.zero_support_atoms = array(
+            "i", (a for a in range(n_atoms) if self.support_live[a] == 0)
+        )
+        idx.iota_atoms = array("i", range(n_atoms))
+        idx.iota_rules = array("i", range(n_rules))
+        alive = self.alive
+        idx.initial_rule_alive = bytes(alive)
+        live = array("i")
+        slot = array("i", [-1]) * n_rules
+        for r in range(n_rules):
+            if alive[r]:
+                slot[r] = len(live)
+                live.append(r)
+        idx.live_rules_init = live
+        idx.rule_slot_init = slot
+        order = array("i", bytes(4 * n_atoms))
+        for rank, (_key, a) in enumerate(self.sorted_keys):
+            order[a] = rank
+        in_ustar = self.in_ustar
+        for a in range(n_atoms):
+            if not in_ustar[a]:
+                # Ghosts and never-in-U* extras: inert (zero live support
+                # falsifies them before any tie forms), ranked after every
+                # canonical atom.
+                order[a] = n_atoms + a
+        idx.atom_order = order
+        csr.n_atoms = n_atoms
+        csr.edb_mask = edb_mask
+        csr.initial_status = initial_status
+        self.gp._index_cache = idx
+
+
+def _with_initial_status(idx: GroundIndex, initial_status: array) -> GroundIndex:
+    """A light index copy sharing everything except M₀."""
+    new = GroundIndex.__new__(GroundIndex)
+    for name in GroundIndex.__slots__:
+        if name in ("initial_status", "initial_valued"):
+            continue
+        try:
+            setattr(new, name, object.__getattribute__(idx, name))
+        except AttributeError:
+            pass  # lazily rebuilt flat occurrence arrays stay lazy
+    new.initial_status = initial_status
+    new.initial_valued = array("i", (a for a in range(idx.n_atoms) if initial_status[a]))
+    return new
+
+
+def _apply_full_delta(
+    gp: "GroundProgram", inserted: Sequence[Atom], retracted: Sequence[Atom]
+) -> bool:
+    """Full-mode fast path: the dense atom/instance space is already
+    total over the universe, so a fact delta is a pure M₀ flip."""
+    from repro.ground.model import FALSE, TRUE, UNDEF
+
+    if universe_of(gp.program, gp.database) != gp.universe:
+        return False
+    idx = gp.index
+    table = gp.atoms
+    status = array("b", idx.initial_status)
+    # Retractions first, then insertions — the same convention as the
+    # relevant-mode session, so a retract+insert of one fact nets present.
+    for atom_ in retracted:
+        i = table.get(atom_)
+        if i is None:
+            return False
+        status[i] = FALSE if idx.edb_mask[i] else UNDEF
+    for atom_ in inserted:
+        i = table.get(atom_)
+        if i is None:
+            return False
+        status[i] = TRUE
+    gp._index_cache = _with_initial_status(idx, status)
+    csr = getattr(gp, "_csr", None)
+    if csr is not None:
+        csr.initial_status = status
+    return True
+
+
+def apply_facts_delta(
+    gp: "GroundProgram",
+    inserted: Sequence[Atom] = (),
+    retracted: Sequence[Atom] = (),
+) -> bool:
+    """Apply EDB fact deltas to a live ground program, in place.
+
+    The caller must already have applied the same change to
+    ``gp.database`` (the ground program aliases the live database
+    object).  Returns True when the ground program was updated
+    incrementally; False when the change falls outside the incremental
+    envelope — mode ``edb``, a universe that gained or lost a constant,
+    negative extensional literals (whose Δ-prune would need instance
+    resurrection), or a hand-grown atom table — in which case the caller
+    should re-ground from scratch.
+    """
+    inserted = list(inserted)
+    retracted = list(retracted)
+    if not inserted and not retracted:
+        return True
+    if gp.mode == "full":
+        if not _apply_full_delta(gp, inserted, retracted):
+            return False
+        log = getattr(gp, "_delta_log", None)
+        if log is None:
+            log = []
+            gp._delta_log = log
+        if retracted:
+            log.append({"op": "retract", "facts": [str(a) for a in retracted]})
+        if inserted:
+            log.append({"op": "insert", "facts": [str(a) for a in inserted]})
+        return True
+    if gp.mode != "relevant":
+        return False
+    if universe_of(gp.program, gp.database) != gp.universe:
+        return False
+    session: GroundDeltaSession | None = getattr(gp, "_delta_session", None)
+    if session is None:
+        if getattr(gp, "_delta_ctx", None) is None:
+            return False
+        edb = gp.program.edb_predicates
+        if any(
+            not lit.positive and lit.predicate in edb
+            for r in gp.program.rules
+            for lit in r.body
+        ):
+            return False
+        table = gp.atoms
+        if not isinstance(table, _InternedAtomTable):
+            return False
+        if table._eager and len(table._atoms) != len(table._pred_of):
+            return False
+        session = GroundDeltaSession(gp)
+        gp._delta_session = session
+        gp._delta_log = session.log
+    session.apply(inserted, retracted)
+    return True

@@ -130,6 +130,29 @@ class IntFactStore:
                     bucket.append(row)
         return True
 
+    def discard(self, predicate: str, row: IntRow) -> bool:
+        """Remove a row; returns True iff it was present.
+
+        Every already-built index of the predicate is maintained, so a
+        store that has served probes stays usable for further probes —
+        the streaming-update path retracts rows from the same stores the
+        semi-naive plans keep joining against.
+        """
+        rows = self._rows.get(predicate)
+        if rows is None or row not in rows:
+            return False
+        rows.discard(row)
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            for positions, index in indexes.items():
+                key = tuple([row[i] for i in positions])
+                bucket = index.get(key)
+                if bucket is not None:
+                    bucket.remove(row)
+                    if not bucket:
+                        del index[key]
+        return True
+
     def contains(self, predicate: str, row: IntRow) -> bool:
         """True iff the row is present."""
         return row in self._rows.get(predicate, _EMPTY)

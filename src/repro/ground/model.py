@@ -45,7 +45,10 @@ class Interpretation:
     def value(self, atom: Atom) -> Optional[bool]:
         """Truth value of a ground atom: True / False / None (undefined)."""
         index = self.ground_program.atoms.get(atom)
-        if index is not None:
+        # Streaming updates can append atoms to the shared table after
+        # this snapshot was taken; ids beyond the snapshot degrade to the
+        # same closed-world default as unmaterialized atoms.
+        if index is not None and index < len(self.status):
             return _BOOL_OF[self.status[index]]
         if atom.predicate in self.ground_program.program.edb_predicates:
             return self.ground_program.database.contains_atom(atom)

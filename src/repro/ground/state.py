@@ -154,6 +154,17 @@ class _QueryScratch:
         self.rule_pend = [0] * n_rules
         self.atom_mark = [0] * n_atoms
 
+    def grow(self, n_atoms: int, n_rules: int) -> None:
+        """Extend the mark arrays (the streaming-update overlay appends
+        atoms and instances to a live ground program; a scratch shared
+        with pre-update states must cover the grown id space)."""
+        if len(self.rule_mark) < n_rules:
+            pad = n_rules - len(self.rule_mark)
+            self.rule_mark.extend([0] * pad)
+            self.rule_pend.extend([0] * pad)
+        if len(self.atom_mark) < n_atoms:
+            self.atom_mark.extend([0] * (n_atoms - len(self.atom_mark)))
+
 
 class GroundGraphState:
     """Mutable evaluation state over a :class:`GroundProgram`.
@@ -186,7 +197,14 @@ class GroundGraphState:
         # M0(Δ): values for EDB atoms and for atoms of Δ, precompiled.
         self.status: list[int] = list(idx.initial_status)
         self.atom_alive = bytearray(b"\x01" * n_atoms)
-        self.rule_alive = bytearray(b"\x01" * n_rules)
+        alive_init = idx.initial_rule_alive
+        if alive_init is None:
+            self.rule_alive = bytearray(b"\x01" * n_rules)
+        else:
+            # Streaming updates disable instances a retraction killed;
+            # they start dead (never fired, never killed, invisible to
+            # every live-set sweep) rather than being compacted away.
+            self.rule_alive = bytearray(alive_init)
         # Provenance, as flat parallel buffers (kind byte + int argument;
         # assignment labels interned once per batch in _labels) instead of
         # one tuple per atom; reason_of() rebuilds the legacy tuples:
@@ -208,9 +226,19 @@ class GroundGraphState:
         # to its slot in the corresponding unordered live list (-1 = dead).
         self._live_atoms: list[int] = list(idx.iota_atoms)
         self._atom_slot: list[int] = list(idx.iota_atoms)
-        self._live_rules: list[int] = list(idx.iota_rules)
-        self._rule_slot: list[int] = list(idx.iota_rules)
+        if alive_init is None:
+            self._live_rules: list[int] = list(idx.iota_rules)
+            self._rule_slot: list[int] = list(idx.iota_rules)
+        else:
+            self._live_rules = list(idx.live_rules_init)
+            self._rule_slot = list(idx.rule_slot_init)
         self._live_atom_count = n_atoms
+
+        # Canonical atom order installed by the streaming-update overlay:
+        # ranks live atom ids exactly as a fresh grounding would assign
+        # them, so order-sensitive choices (tie scheduling, side
+        # comparisons) match a full rebuild.  None = ids are the order.
+        self._order = idx.atom_order
 
         self._dirty: deque[int] = deque(idx.initial_valued)
         status = self.status
@@ -384,6 +412,7 @@ class GroundGraphState:
         sourceless = self._unf_sourceless
         trail = self._trail
         n_atoms = self.n_atoms
+        heap_key = self._heap_key
 
         while dirty:
             index = dirty.popleft()
@@ -433,7 +462,7 @@ class GroundGraphState:
                                     trail.append((_T_INCROSS, cr))
                                 if count == 0:
                                     bottom.add(cr)
-                                    heappush(heap, (comps[cr][0], cr))
+                                    heappush(heap, (heap_key(comps[cr]), cr))
                         pending = rule_pending[r] - 1
                         rule_pending[r] = pending
                         if pending == 0:
@@ -449,7 +478,7 @@ class GroundGraphState:
                                     trail.append((_T_INCROSS, cr))
                                 if count == 0:
                                     bottom.add(cr)
-                                    heappush(heap, (comps[cr][0], cr))
+                                    heappush(heap, (heap_key(comps[cr]), cr))
                         self._kill_rule(r)
             else:
                 # Negative occurrences first (satisfaction decrements),
@@ -467,7 +496,7 @@ class GroundGraphState:
                                     trail.append((_T_INCROSS, cr))
                                 if count == 0:
                                     bottom.add(cr)
-                                    heappush(heap, (comps[cr][0], cr))
+                                    heappush(heap, (heap_key(comps[cr]), cr))
                         pending = rule_pending[r] - 1
                         rule_pending[r] = pending
                         if pending == 0:
@@ -484,7 +513,7 @@ class GroundGraphState:
                                     trail.append((_T_INCROSS, cr))
                                 if count == 0:
                                     bottom.add(cr)
-                                    heappush(heap, (comps[cr][0], cr))
+                                    heappush(heap, (heap_key(comps[cr]), cr))
                         self._kill_rule(r)
         self.phase_s["close_s"] += perf_counter() - t_close
 
@@ -552,7 +581,29 @@ class GroundGraphState:
                         trail.append((_T_INCROSS, ch))
                     if count == 0:
                         self._scc_bottom.add(ch)
-                        heappush(self._tie_heap, (self._scc_comps[ch][0], ch))
+                        heappush(self._tie_heap, (self._heap_key(self._scc_comps[ch]), ch))
+
+    # -- canonical atom order ------------------------------------------------
+
+    def order_key(self, a: int) -> int:
+        """Canonical rank of atom ``a`` (its fresh-grounding id).
+
+        Identity unless the index carries a streaming-update
+        ``atom_order`` overlay; interpreters compare ranks instead of raw
+        ids wherever an order-sensitive choice must match a rebuild.
+        """
+        order = self._order
+        return a if order is None else order[a]
+
+    def _heap_key(self, nodes: list[int]) -> int:
+        """Tie-schedule key of a component: its first atom in canonical
+        order (node lists are sorted, so without an overlay that is just
+        the first node — atoms sort before shifted rule nodes)."""
+        order = self._order
+        if order is None:
+            return nodes[0]
+        n_atoms = self.n_atoms
+        return min((order[n] for n in nodes if n < n_atoms), default=1 << 60)
 
     # -- global queries on the live graph -----------------------------------
 
@@ -631,6 +682,7 @@ class GroundGraphState:
         """
         idx = self._idx
         scratch = self._scratch
+        scratch.grow(self.n_atoms, self.n_rules)
         scratch.epoch += 1
         epoch = scratch.epoch
         rule_mark = scratch.rule_mark
@@ -673,6 +725,7 @@ class GroundGraphState:
         """Full positive cascade installing fresh source pointers."""
         idx = self._idx
         scratch = self._scratch
+        scratch.grow(self.n_atoms, self.n_rules)
         scratch.epoch += 1
         epoch = scratch.epoch
         rule_mark = scratch.rule_mark
@@ -742,6 +795,7 @@ class GroundGraphState:
         src = self._src
         trail = self._trail
         scratch = self._scratch
+        scratch.grow(self.n_atoms, self.n_rules)
         scratch.epoch += 1
         epoch = scratch.epoch
         atom_mark = scratch.atom_mark
@@ -895,7 +949,7 @@ class GroundGraphState:
         self._scc_bottom = {cid for cid, count in incross.items() if count == 0}
         heap = self._tie_heap
         for cid in self._scc_bottom:
-            heappush(heap, (comps[cid][0], cid))
+            heappush(heap, (self._heap_key(comps[cid]), cid))
 
     def _refine_scc(self) -> None:
         """Re-run Tarjan only inside components that lost a node.
@@ -994,7 +1048,7 @@ class GroundGraphState:
             incross[cid] = count
             if count == 0:
                 bottom.add(cid)
-                heappush(heap, (piece[0], cid))
+                heappush(heap, (self._heap_key(piece), cid))
 
     def _bottom_component(self, cid: int) -> BottomComponent:
         """Memoized :class:`BottomComponent` (with analysis) for one cid."""
@@ -1213,7 +1267,7 @@ class GroundGraphState:
                             # Its schedule entry may have been dropped as
                             # stale meanwhile; restore the invariant that
                             # every bottom component has a live entry.
-                            heappush(self._tie_heap, (nodes[0], cid))
+                            heappush(self._tie_heap, (self._heap_key(nodes), cid))
                         if obj is not None:
                             self._scc_bottom_obj[cid] = obj
                         for node in nodes:
@@ -1283,6 +1337,7 @@ class GroundGraphState:
         other._live_rules = list(self._live_rules)
         other._rule_slot = list(self._rule_slot)
         other._live_atom_count = self._live_atom_count
+        other._order = self._order
         other._reason_kind = bytearray(self._reason_kind)
         other._reason_arg = list(self._reason_arg)
         other._labels = list(self._labels)

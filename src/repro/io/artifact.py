@@ -59,6 +59,7 @@ from repro.datalog.grounding import (
     _CsrEmitter,
     _DenseAtomTable,
     _InternedAtomTable,
+    ground,
 )
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
@@ -74,6 +75,7 @@ __all__ = [
     "dump_ground_program",
     "save_ground_program",
     "load_artifact",
+    "read_artifact_deltas",
     "program_fingerprint",
     "pool_fingerprint",
     "cache_key",
@@ -397,12 +399,28 @@ def dump_ground_program(gp: GroundProgram) -> bytes:
     arrays.  The kernel index is compiled (if it was not already) and
     frozen alongside the rule arrays — serialization is the *build step*,
     so loading restores a ready-to-solve index with no recompilation.
+
+    Ground programs that received streaming updates
+    (:func:`~repro.datalog.grounding.apply_facts_delta`) are
+    *canonicalized* first: the artifact stores a fresh grounding of the
+    updated database — live overlay state (ghost atoms, disabled
+    instances, the session atom order) never leaks into the wire format —
+    and the applied update log rides along as an additive ``deltas``
+    section plus a header summary, which pre-delta readers ignore.
+
     Returns the complete artifact (header, payload, checksum).  Raises
     :class:`~repro.errors.ArtifactError` if the platform's C ``int`` is
     not 32-bit (the format is fixed at int32).
     """
     if array(_INT_KIND).itemsize != 4:  # pragma: no cover - exotic platforms
         raise ArtifactError("repro-ground/1 requires 32-bit array('i') elements")
+    delta_log = list(getattr(gp, "_delta_log", None) or ())
+    delta_stats = None
+    if delta_log:
+        session = getattr(gp, "_delta_session", None)
+        if session is not None:
+            delta_stats = dict(session.stats)
+        gp = ground(gp.program, gp.database, mode=gp.mode)
     layout, pool, table_sections = _atom_table_sections(gp)
     arrays = _collect_arrays(gp, pool)
     index = gp.index  # compile now — the artifact freezes the finished kernel view
@@ -418,6 +436,11 @@ def dump_ground_program(gp: GroundProgram) -> bytes:
         **_index_sections(index),
         **table_sections,
     }
+    if delta_log:
+        deltas_obj: dict[str, Any] = {"updates": delta_log}
+        if delta_stats is not None:
+            deltas_obj["stats"] = delta_stats
+        sections["deltas"] = ("json", deltas_obj)
 
     payload = bytearray()
     section_table: list[list[Any]] = []
@@ -445,6 +468,14 @@ def dump_ground_program(gp: GroundProgram) -> bytes:
         "pool_fingerprint": pool_fingerprint(pool),
         "sections": section_table,
     }
+    if delta_log:
+        inserted = sum(len(e["facts"]) for e in delta_log if e["op"] == "insert")
+        retracted = sum(len(e["facts"]) for e in delta_log if e["op"] == "retract")
+        header_obj["deltas"] = {
+            "updates": len(delta_log),
+            "facts_inserted": inserted,
+            "facts_retracted": retracted,
+        }
     header = json.dumps(header_obj, separators=(",", ":"), ensure_ascii=True).encode("utf-8")
     body = _MAGIC + len(header).to_bytes(4, "little") + header + payload
     crc = zlib.crc32(header + bytes(payload)) & 0xFFFFFFFF
@@ -715,6 +746,23 @@ def read_artifact_header(source: bytes | str | Path) -> dict[str, Any]:
     data = Path(source).read_bytes() if isinstance(source, (str, Path)) else bytes(source)
     header, _ = _verify_container(data)
     return header
+
+
+def read_artifact_deltas(source: bytes | str | Path) -> dict[str, Any] | None:
+    """The streaming-update provenance of one artifact, or ``None``.
+
+    Artifacts dumped from a ground program that received streaming
+    updates carry an additive ``deltas`` section (the applied update log
+    as ``{"op", "facts"}`` entries, plus session statistics when the
+    relevant-mode delta session produced them).  Returns that decoded
+    section, or ``None`` for artifacts serialized without updates.
+    Raises like :func:`load_artifact` on a corrupt container.
+    """
+    data = Path(source).read_bytes() if isinstance(source, (str, Path)) else bytes(source)
+    _, sections = _verify_container(data)
+    if "deltas" not in sections._views:
+        return None
+    return sections.json("deltas")
 
 
 def load_artifact(source: bytes | str | Path) -> GroundArtifact:

@@ -155,10 +155,11 @@ def _select_tie(state: GroundGraphState) -> BottomComponent | None:
     """
     best: BottomComponent | None = None
     best_key: int | None = None
+    order = state.order_key
     for component in state.bottom_components_live():
         if not component.is_tie:
             continue
-        key = min(component.atom_ids)
+        key = min(order(a) for a in component.atom_ids)
         if best_key is None or key < best_key:
             best, best_key = component, key
     return best
@@ -193,7 +194,12 @@ def _break_tie(
         side_atoms: tuple[list[int], list[int]] = ([], [])
         for atom_id, side in atom_sides.items():
             side_atoms[side].append(atom_id)
-        true_side = policy.choose_true_side(side_atoms[0], side_atoms[1])
+        # Policies see canonical ranks, not raw ids: a streamed-update
+        # state must make the same choice a fresh re-ground would.
+        order = state.order_key
+        true_side = policy.choose_true_side(
+            [order(a) for a in side_atoms[0]], [order(a) for a in side_atoms[1]]
+        )
     return _apply_tie(state, component, true_side, forced=forced)
 
 

@@ -13,8 +13,10 @@ afterwards is answered by an engine warm-started from that artifact.
   per-request cost is pure solve time, never grounding.
 
 Each request carries its own semantics, grounding mode, tie policy, and
-seed (``repro-batchreq/1``); each result line is ``repro-batch/1``.  A
-request that fails — unknown semantics, bad policy, grounding explosion —
+seed (``repro-batchreq/1``), and may stream EDB updates into the serving
+engine (``insert`` / ``retract`` — batches with updates are answered
+inline, in order); each result line is ``repro-batch/1``.  A request
+that fails — unknown semantics, bad policy, grounding explosion —
 produces an ``"ok": false`` result for *that* line; the batch never dies
 half-way.
 """
@@ -57,7 +59,9 @@ __all__ = [
 REQUEST_SCHEMA = "repro-batchreq/1"
 BATCH_SCHEMA = "repro-batch/1"
 
-_REQUEST_FIELDS = frozenset({"schema", "id", "semantics", "grounding", "policy", "seed", "atoms"})
+_REQUEST_FIELDS = frozenset(
+    {"schema", "id", "semantics", "grounding", "policy", "seed", "atoms", "insert", "retract"}
+)
 
 _POLICIES = {
     "first_side_true": FirstSideTrue,
@@ -82,7 +86,13 @@ class BatchRequest:
       ``most_true``, ``random``) and the seed for ``random``; a bare
       ``seed`` implies ``random``;
     * ``atoms`` — optional ground atoms to evaluate; when given, the
-      result carries their three truth values instead of the full model.
+      result carries their three truth values instead of the full model;
+    * ``insert`` / ``retract`` — optional ground EDB facts to stream into
+      the serving engine *before* this request's solve (retractions apply
+      first).  Updates are stateful: they mutate the engine's database,
+      so later requests in the same batch see them.  A batch containing
+      updates is always answered inline in request order, never sharded
+      across workers.
     """
 
     id: Any = None
@@ -91,6 +101,8 @@ class BatchRequest:
     policy: str | None = None
     seed: int | None = None
     atoms: tuple[str, ...] = ()
+    insert: tuple[str, ...] = ()
+    retract: tuple[str, ...] = ()
 
     @classmethod
     def from_obj(cls, obj: Any, default_id: Any = None) -> "BatchRequest":
@@ -111,9 +123,13 @@ class BatchRequest:
         schema = obj.get("schema")
         if schema is not None and schema != REQUEST_SCHEMA:
             raise ValidationError(f"request schema {schema!r} is not {REQUEST_SCHEMA!r}")
-        atoms = obj.get("atoms", ())
-        if isinstance(atoms, str) or not isinstance(atoms, (list, tuple)):
-            raise ValidationError("'atoms' must be a list of ground atom strings")
+        def atom_list(field: str) -> tuple[str, ...]:
+            value = obj.get(field, ())
+            if isinstance(value, str) or not isinstance(value, (list, tuple)):
+                raise ValidationError(f"{field!r} must be a list of ground atom strings")
+            return tuple(str(a) for a in value)
+
+        atoms = atom_list("atoms")
         seed = obj.get("seed")
         if seed is not None and not isinstance(seed, int):
             raise ValidationError("'seed' must be an integer")
@@ -123,7 +139,9 @@ class BatchRequest:
             grounding=obj.get("grounding"),
             policy=obj.get("policy"),
             seed=seed,
-            atoms=tuple(str(a) for a in atoms),
+            atoms=atoms,
+            insert=atom_list("insert"),
+            retract=atom_list("retract"),
         )
 
     def to_obj(self) -> dict[str, Any]:
@@ -137,7 +155,16 @@ class BatchRequest:
             obj["seed"] = self.seed
         if self.atoms:
             obj["atoms"] = list(self.atoms)
+        if self.insert:
+            obj["insert"] = list(self.insert)
+        if self.retract:
+            obj["retract"] = list(self.retract)
         return obj
+
+    @property
+    def has_updates(self) -> bool:
+        """True iff this request streams facts into the engine."""
+        return bool(self.insert or self.retract)
 
     def resolve_policy(self) -> Any | None:
         """The tie policy object this request asks for, or ``None``.
@@ -214,6 +241,18 @@ def solve_one(engine: Engine, request: BatchRequest) -> dict[str, Any]:
         # Parse query atoms first: a malformed atom must fail the request
         # before the (potentially expensive) solve, not after it.
         parsed = [parse_atom(a) for a in request.atoms]
+        updates: dict[str, Any] | None = None
+        if request.has_updates:
+            # Parse both fact lists before applying either: a malformed
+            # insert must not leave the retractions half-applied.
+            to_retract = [parse_atom(a) for a in request.retract]
+            to_insert = [parse_atom(a) for a in request.insert]
+            retracted = engine.retract_facts(*to_retract)
+            inserted = engine.insert_facts(*to_insert)
+            updates = {
+                "inserted": [str(a) for a in inserted],
+                "retracted": [str(a) for a in retracted],
+            }
         solution = engine.solve(request.semantics, **options)
         result: dict[str, Any] = {
             "schema": BATCH_SCHEMA,
@@ -234,6 +273,8 @@ def solve_one(engine: Engine, request: BatchRequest) -> dict[str, Any]:
         }
         if timings:
             result["timings"] = timings
+        if updates is not None:
+            result["updates"] = updates
         if parsed:
             result["values"] = {str(a): solution.value(a) for a in parsed}
         else:
@@ -381,7 +422,10 @@ class BatchSolver:
         produced by :func:`read_requests` (which become ``"ok": false``
         results, echoing the request ``id`` whenever one was readable).
         With workers configured, valid requests are sharded across the
-        process pool; errors are answered locally.
+        process pool; errors are answered locally.  A batch carrying
+        ``insert``/``retract`` updates is answered inline in request
+        order instead — worker engines live in separate processes and
+        would neither share nor order the streamed state.
         """
         results: list[dict[str, Any] | None] = []
         solvable: list[tuple[int, BatchRequest]] = []
@@ -403,7 +447,8 @@ class BatchSolver:
                     error = exc
             results.append({"schema": BATCH_SCHEMA, "id": rid, "ok": False, "error": str(error)})
 
-        if self.workers and solvable:
+        stateful = any(r.has_updates for _, r in solvable)
+        if self.workers and solvable and not stateful:
             pool = self._ensure_pool()
             chunksize = max(1, len(solvable) // (self.workers * 4))
             answers = pool.map(_worker_solve, [r.to_obj() for _, r in solvable], chunksize)

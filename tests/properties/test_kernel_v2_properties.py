@@ -30,7 +30,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datalog.database import Database
-from repro.datalog.grounding import ground
+from repro.datalog.grounding import apply_facts_delta, ground
 from repro.ground.model import FALSE, TRUE
 from repro.ground.state import GroundGraphState
 from repro.semantics.tie_breaking import (
@@ -216,7 +216,100 @@ def test_trail_enumeration_respects_limit(limit):
     assert len(runs) == min(limit, 16)
 
 
+# Field audit of GroundGraphState: every instance attribute must appear
+# in exactly one of these sets, and test_state_fields_are_classified
+# fails on any attribute in none of them — so a new mutable field (the
+# way the streaming-update overlay added rule_alive seeding and the
+# canonical atom order) cannot be added without deciding how the
+# trail-undo ≡ clone fingerprint covers it.
+#
+# CORE state is captured by _state_fingerprint (raw, normalized, or —
+# for the provenance buffers — decoded through reason_of, since undo
+# clears reason kinds but leaves the unreferenced argument slots stale).
+_CORE_STATE = frozenset(
+    {
+        "status",
+        "atom_alive",
+        "rule_alive",
+        "rule_pending",
+        "atom_support",
+        "pos_live",
+        "_live_atoms",
+        "_atom_slot",
+        "_live_rules",
+        "_rule_slot",
+        "_live_atom_count",
+        "_reason_kind",
+        "_reason_arg",
+        "_labels",
+        "_dirty",
+        "_initial",
+    }
+)
+# DERIVED caches rebuild on demand; undo restores them only to a
+# *consistent* view, so the audit pins their query answers (unfounded
+# set, selected tie) rather than their representation.
+_DERIVED_CACHES = frozenset(
+    {
+        "_src",
+        "_unf_valid",
+        "_unf_lost",
+        "_unf_sourceless",
+        "_scc_comps",
+        "_scc_comp_of",
+        "_scc_incross",
+        "_scc_bottom",
+        "_scc_bottom_obj",
+        "_scc_next_cid",
+        "_scc_dirty",
+        "_tie_heap",
+    }
+)
+# SHARED structure is immutable and owned by the ground program/index;
+# the fingerprint asserts identity for the overlay's atom order.
+_SHARED_IMMUTABLE = frozenset({"gp", "_idx", "n_atoms", "n_rules", "_order"})
+# MACHINERY is the trail itself, the epoch-disciplined query scratch,
+# and wall-clock accounting — definitionally outside state equality.
+_MACHINERY = frozenset({"_trail", "_scratch", "phase_s"})
+
+
+def test_state_fields_are_classified():
+    """Every GroundGraphState field is classified for the trail audit."""
+    program, db = families.win_move_line(4)
+    state = GroundGraphState(ground(program, db, mode="relevant"))
+    fields = set(vars(state))
+    classified = _CORE_STATE | _DERIVED_CACHES | _SHARED_IMMUTABLE | _MACHINERY
+    unclassified = fields - classified
+    assert not unclassified, (
+        f"unclassified GroundGraphState field(s) {sorted(unclassified)}: add "
+        "trail coverage and extend _state_fingerprint (core), or classify "
+        "them as derived/shared/machinery here"
+    )
+    stale = classified - fields
+    assert not stale, f"classified field(s) no longer exist: {sorted(stale)}"
+    overlap = (
+        (_CORE_STATE & _DERIVED_CACHES)
+        | (_CORE_STATE & _SHARED_IMMUTABLE)
+        | (_CORE_STATE & _MACHINERY)
+        | (_DERIVED_CACHES & _SHARED_IMMUTABLE)
+        | (_DERIVED_CACHES & _MACHINERY)
+        | (_SHARED_IMMUTABLE & _MACHINERY)
+    )
+    assert not overlap, f"ambiguously classified field(s): {sorted(overlap)}"
+
+
 def _state_fingerprint(state: GroundGraphState) -> tuple:
+    """Comparable view of every _CORE_STATE field of one state.
+
+    The swap-remove live lists and their slot maps are order-sensitive
+    representations of sets (undo may repack them differently than the
+    timeline it rewinds), so they are normalized: sorted contents plus an
+    internal-consistency check.  Provenance is compared decoded.
+    """
+    for node in state._live_atoms:
+        assert state._live_atoms[state._atom_slot[node]] == node
+    for node in state._live_rules:
+        assert state._live_rules[state._rule_slot[node]] == node
     return (
         list(state.status),
         bytes(state.atom_alive),
@@ -227,6 +320,10 @@ def _state_fingerprint(state: GroundGraphState) -> tuple:
         sorted(state._live_atoms),
         sorted(state._live_rules),
         state.live_atom_count,
+        bytes(state._reason_kind),
+        tuple(state.reason_of(i) for i in range(state.n_atoms)),
+        sorted(state._dirty),
+        state._initial,
     )
 
 
@@ -271,6 +368,54 @@ def test_trail_undo_restores_clone_equivalent_state(program, steps):
     clone_status, clone_iters = _drive_from(reference)
     assert undone_status == clone_status
     assert undone_iters == clone_iters
+
+
+def test_trail_undo_on_streamed_ground_program():
+    """The trail audit holds on a delta-updated index (overlay fields).
+
+    After streaming updates the index carries the overlay's extra state —
+    disabled instances seeding ``rule_alive``, ghost atoms, and the
+    canonical ``atom_order`` — and the trail-undo ≡ clone equivalence
+    must survive all of it.
+    """
+    program, db = families.win_move_cycle(8)
+    db = db.copy()
+    gp = ground(program, db, mode="relevant")
+    facts = sorted(db.atoms(), key=str)
+    first, second = facts[2], facts[4]
+    for inserted, retracted in ([[], [first]], [[first], []], [[], [second]]):
+        for atom in retracted:
+            db.discard_atom(atom)
+        for atom in inserted:
+            db.add_atom(atom)
+        assert apply_facts_delta(gp, inserted, retracted)
+
+    state = GroundGraphState(gp)
+    assert state._order is gp.index.atom_order  # shared, never copied
+    assert bytes(state.rule_alive) == bytes(gp.index.initial_rule_alive)
+    state.trail_begin()
+    state.close()
+    state.falsify_unfounded(numbered=False)
+    reference = state.clone()
+    assert reference._order is state._order
+    mark = state.trail_mark()
+
+    for _ in range(3):
+        tie = state.select_tie()
+        if tie is None:
+            break
+        sides = tie.side_of_atom()
+        state.assign_many([a for a, s in sides.items() if s == 0], TRUE, ("tie", 0))
+        state.assign_many([a for a, s in sides.items() if s == 1], FALSE, ("tie", 1))
+        state.close()
+        state.falsify_unfounded(numbered=False)
+    state.trail_undo(mark)
+
+    assert _state_fingerprint(state) == _state_fingerprint(reference)
+    assert state.unfounded_atoms() == state.unfounded_atoms(full_recompute=True)
+    undone_status, _ = _drive_from(state)
+    clone_status, _ = _drive_from(reference)
+    assert undone_status == clone_status
 
 
 def test_close_after_undo_past_rebuild():
