@@ -51,6 +51,18 @@ database per step.  Every rebuild step's model is cross-checked against
 the streamed engine before any number is recorded; ``update_speedup``
 (rebuild step time over update step time) is the streaming dividend.
 
+The **load** mode measures the concurrent tier end to end: per family it
+boots a real :class:`repro.service.ReproServer` on an artifact, drives
+hundreds of in-flight requests over TCP connections from an asyncio
+client fleet (a global semaphore pins the in-flight count at the
+configured concurrency), and records req/s plus p50/p99 latency for the
+``workers=0`` (serialized inline engine) and ``workers=N`` (process
+pool) configurations.  Every response's values are cross-checked against
+an inline oracle engine before any number is recorded.  Note the
+single-core caveat: process sharding can only beat the inline path when
+the host actually has spare cores — the record carries ``cpus`` so a
+reader can interpret ``load_speedup`` honestly.
+
 The **enumerate** mode records models/sec of the exhaustive tie-breaking
 explorer per tie-breaking family, both for the production trail-undo DFS
 and the clone-based reference explorer (identical (model, choice-trail)
@@ -62,7 +74,10 @@ breakdown of the engine solve.
 
 from __future__ import annotations
 
+import asyncio
 import json
+import math
+import os
 import platform
 import subprocess
 import sys
@@ -481,7 +496,19 @@ _WARM_REQUESTS = 5
 _BATCH_REQUESTS = 16
 
 
-def _throughput_family(name: str, spec: FamilySpec, base_n: int) -> dict:
+#: Chunk sizes the sharding segment sweeps; the recorded numbers back
+#: the BatchSolver default (chunksize=1 — see docs/serving.md).
+_POOL_CHUNKSIZES = (1, 2, 4)
+
+
+def _default_workers() -> int:
+    """Worker-pool width for the sharding/load segments: 2–4, CPU-capped."""
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def _throughput_family(
+    name: str, spec: FamilySpec, base_n: int, *, pool_workers: int = 0
+) -> dict:
     """Cold-vs-warm serving latency and batch throughput for one family.
 
     *Cold* requests replay what a process without artifacts pays per
@@ -494,6 +521,14 @@ def _throughput_family(name: str, spec: FamilySpec, base_n: int) -> dict:
     engine; policy-accepting semantics vary the seed per request so each
     request is a genuine solve, deterministic semantics are served from
     the engine's solution cache (exactly as a real service would).
+
+    With ``pool_workers >= 1`` the sharding segment re-serves the same
+    batch through a ``workers=N`` process pool at each chunk size in
+    ``_POOL_CHUNKSIZES`` — a fresh pool per chunk size so every run pays
+    real solves (a shared pool would answer later sweeps from worker
+    solution caches and flatter coarse chunks).  Pool fork + per-worker
+    artifact load happen before the clock (``warm_pool``); results are
+    cross-checked against the inline batch.
     """
     from repro.service.batch import BatchSolver
 
@@ -558,6 +593,39 @@ def _throughput_family(name: str, spec: FamilySpec, base_n: int) -> dict:
         if failed:
             raise ReproError(f"bench family {name!r}: batch request failed: {failed[0]}")
 
+        pool = None
+        if pool_workers:
+            inline_stripped = [dict(r) for r in results]
+            for stripped in inline_stripped:
+                stripped.pop("timings", None)
+            chunk_req_s: dict[str, float] = {}
+            for chunk in _POOL_CHUNKSIZES:
+                with BatchSolver(
+                    artifact=artifact_path, workers=pool_workers, chunksize=chunk
+                ) as pool_solver:
+                    pool_solver.warm_pool()
+                    t0 = perf_counter()
+                    pool_results = pool_solver.solve_many(requests)
+                    pool_s = perf_counter() - t0
+                sharded = [dict(r) for r in pool_results]
+                for stripped in sharded:
+                    stripped.pop("timings", None)
+                if sharded != inline_stripped:
+                    raise ReproError(
+                        f"bench family {name!r}: workers={pool_workers} "
+                        f"chunksize={chunk} results differ from the inline batch"
+                    )
+                chunk_req_s[str(chunk)] = len(requests) / max(pool_s, 1e-12)
+            best_chunk = max(chunk_req_s, key=lambda c: chunk_req_s[c])
+            pool = {
+                "workers": pool_workers,
+                "requests": len(requests),
+                "chunk_req_s": chunk_req_s,
+                "best_chunksize": int(best_chunk),
+                "requests_per_s": chunk_req_s["1"],
+                "shard_speedup": chunk_req_s["1"] / (_BATCH_REQUESTS / max(batch_s, 1e-12)),
+            }
+
     return {
         "n": n,
         "semantics": spec.semantics,
@@ -572,6 +640,7 @@ def _throughput_family(name: str, spec: FamilySpec, base_n: int) -> dict:
         "warm_speedup": min(cold_start) / max(min(warm_start), 1e-12),
         "batch_s": batch_s,
         "requests_per_s": _BATCH_REQUESTS / max(batch_s, 1e-12),
+        "pool": pool,
     }
 
 
@@ -726,6 +795,192 @@ def _update_family(name: str, spec: FamilySpec, base_n: int) -> dict | None:
     }
 
 
+# Load-mode shape per scale: the in-flight cap (a global client-side
+# semaphore), with 2x that many total requests so the server spends most
+# of the run at full depth.  The committed large-scale record must hold
+# >= 256 requests in flight (the acceptance bar for the concurrent tier);
+# smoke stays small so CI finishes quickly.
+_LOAD_CONCURRENCY: dict[str, int] = {"smoke": 64, "small": 128, "medium": 256, "large": 256}
+_LOAD_CONNECTIONS = 16
+_LOAD_SEEDS = 8
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+async def _drive_load(
+    artifact_path: Path, request_objs: Sequence[dict], concurrency: int, workers: int
+) -> dict:
+    """Fire one request fleet at a live server; returns the measured stats.
+
+    Boots a :class:`~repro.service.ReproServer` on an ephemeral port,
+    opens ``_LOAD_CONNECTIONS`` client connections, and pipelines the
+    requests with a *global* semaphore capping unanswered requests at
+    ``concurrency`` — so the server really holds that many in flight
+    (its own ``queue_depth`` decorations are folded back into
+    ``max_depth`` as evidence).  Latency is measured per request from
+    write to response; ``max_pending`` leaves headroom above the client
+    cap so the integrity runs never shed (``shed`` is recorded and must
+    stay 0).
+    """
+    from repro.service.server import ReproServer
+
+    server = ReproServer(
+        artifact_path,
+        workers=workers,
+        max_pending=concurrency + 8,
+        host="127.0.0.1",
+        port=0,
+    )
+    async with server:
+        assert server.address is not None
+        host, port = server.address
+        connections = min(_LOAD_CONNECTIONS, len(request_objs)) or 1
+        chunks = [list(request_objs[i::connections]) for i in range(connections)]
+        semaphore = asyncio.Semaphore(concurrency)
+        latencies: dict[int, float] = {}
+        values: dict[int, object] = {}
+        depths: list[int] = [0]
+
+        async def client(chunk: list[dict]) -> None:
+            reader, writer = await asyncio.open_connection(host, port)
+            sent: dict[int, float] = {}
+
+            async def read_responses() -> None:
+                for _ in range(len(chunk)):
+                    line = await reader.readline()
+                    result = json.loads(line)
+                    rid = result.get("id")
+                    latencies[rid] = perf_counter() - sent.pop(rid)
+                    if not result.get("ok"):
+                        raise ReproError(
+                            f"load request {rid} failed: {result.get('error')}"
+                        )
+                    depth = result.get("timings", {}).get("queue_depth", 0)
+                    if depth > depths[0]:
+                        depths[0] = depth
+                    values[rid] = result.get("values")
+                    semaphore.release()
+
+            reading = asyncio.create_task(read_responses())
+            try:
+                for obj in chunk:
+                    await semaphore.acquire()
+                    sent[obj["id"]] = perf_counter()
+                    writer.write((json.dumps(obj) + "\n").encode("utf-8"))
+                await writer.drain()
+                await reading
+            finally:
+                if not reading.done():
+                    reading.cancel()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, OSError):
+                    pass
+
+        t0 = perf_counter()
+        await asyncio.gather(*(client(chunk) for chunk in chunks))
+        elapsed = perf_counter() - t0
+        shed = server.shed
+    ordered = sorted(latencies.values())
+    return {
+        "workers": workers,
+        "elapsed_s": elapsed,
+        "req_s": len(request_objs) / max(elapsed, 1e-12),
+        "p50_ms": _percentile(ordered, 0.50) * 1e3,
+        "p99_ms": _percentile(ordered, 0.99) * 1e3,
+        "max_depth": depths[0],
+        "shed": shed,
+        "_values": values,
+    }
+
+
+def _load_family(
+    name: str, spec: FamilySpec, base_n: int, *, concurrency: int, workers: int
+) -> dict:
+    """Concurrent-server load benchmark for one family.
+
+    Serves ``2 * concurrency`` atom-probe requests (policy-accepting
+    semantics cycle ``_LOAD_SEEDS`` seeds, so the engine solution caches
+    see the steady-state hit pattern a real service would) through two
+    server configurations — ``workers=0`` (solves serialized on the warm
+    inline engine) and ``workers=N`` (fanned out to the process pool) —
+    and records req/s and p50/p99 latency for each.  Every response's
+    values are compared against an inline oracle engine answering the
+    same request shapes; any mismatch fails the bench.
+    """
+    from repro.service.batch import BatchRequest, solve_one
+
+    n = spec.size(base_n)
+    program, database = spec.generator(n)
+    engine = Engine(program, database, grounding=spec.grounding)
+    semantics = _ENGINE_SEMANTICS[spec.semantics]
+    solution = engine.solve(semantics)
+    probe_atoms = sorted(str(a) for a in solution.true_atoms)[:3]
+    takes_seed = "policy" in get_spec(semantics).options
+
+    total = 2 * concurrency
+    request_objs: list[dict] = []
+    for i in range(total):
+        obj: dict = {"id": i, "semantics": semantics}
+        if takes_seed:
+            obj["seed"] = i % _LOAD_SEEDS
+        if probe_atoms:
+            obj["atoms"] = probe_atoms
+        request_objs.append(obj)
+
+    with tempfile.TemporaryDirectory(prefix="repro-load-") as tmp:
+        artifact_path = Path(tmp) / f"{name}.repro-ground"
+        engine.save_artifact(artifact_path, spec.grounding)
+
+        # The inline-path oracle: a fresh warm engine answers one request
+        # per distinct shape exactly as the serving path would.
+        oracle = Engine.from_artifact(artifact_path)
+        expected: dict = {}
+        for obj in request_objs:
+            key = obj.get("seed")
+            if key not in expected:
+                oracle_result = solve_one(oracle, BatchRequest.from_obj(dict(obj)))
+                if not oracle_result.get("ok"):
+                    raise ReproError(
+                        f"bench family {name!r}: load oracle failed: {oracle_result}"
+                    )
+                expected[key] = oracle_result.get("values")
+
+        configs: dict[str, dict] = {}
+        for label, config_workers in (("inline", 0), ("workers", workers)):
+            stats = asyncio.run(
+                _drive_load(artifact_path, request_objs, concurrency, config_workers)
+            )
+            answered = stats.pop("_values")
+            for obj in request_objs:
+                if answered[obj["id"]] != expected[obj.get("seed")]:
+                    raise ReproError(
+                        f"bench family {name!r}: load config {label!r} answered "
+                        f"request {obj['id']} differently from the inline path"
+                    )
+            configs[label] = stats
+
+    return {
+        "n": n,
+        "semantics": spec.semantics,
+        "grounding": spec.grounding,
+        "requests": total,
+        "concurrency": concurrency,
+        "connections": min(_LOAD_CONNECTIONS, total),
+        "seeds": _LOAD_SEEDS if takes_seed else 0,
+        "inline": configs["inline"],
+        "workers": configs["workers"],
+        "load_speedup": configs["workers"]["req_s"] / max(configs["inline"]["req_s"], 1e-12),
+    }
+
+
 def current_revision() -> str:
     """Short git revision of the working tree, or ``"unknown"``.
 
@@ -773,6 +1028,9 @@ def run_bench(
     throughput: bool = True,
     enumerate_mode: bool = True,
     updates: bool = True,
+    load: bool = True,
+    load_concurrency: int | None = None,
+    workers: int | None = None,
 ) -> dict:
     """Run the benchmark suite and return the JSON-ready record.
 
@@ -782,7 +1040,13 @@ def run_bench(
     ``enumerate_mode`` runs the trail-vs-clone enumeration throughput
     mode (:func:`_enumerate_family`) for the tie-breaking families;
     ``updates`` runs the streaming-update mode (:func:`_update_family`)
-    for every family with streamable EDB facts.  Raises
+    for every family with streamable EDB facts; ``load`` runs the
+    concurrent-server mode (:func:`_load_family`) per family at
+    ``load_concurrency`` in-flight requests (default per scale).
+    ``workers`` sets the process-pool width for the sharding and load
+    segments (default :func:`_default_workers`; ``0`` skips the
+    throughput sharding segment, and the load mode then falls back to
+    the default width for its ``workers`` configuration).  Raises
     :class:`~repro.errors.ReproError` for unknown scales or families,
     and whenever any cross-check fails.
     """
@@ -797,8 +1061,14 @@ def run_bench(
         name: _bench_family(name, FAMILIES[name], base_n, repeat, baseline)
         for name in names
     }
+    pool_workers = _default_workers() if workers is None else workers
     throughput_results = (
-        {name: _throughput_family(name, FAMILIES[name], base_n) for name in names}
+        {
+            name: _throughput_family(
+                name, FAMILIES[name], base_n, pool_workers=pool_workers
+            )
+            for name in names
+        }
         if throughput
         else None
     )
@@ -818,6 +1088,16 @@ def run_bench(
             family_updates = _update_family(name, FAMILIES[name], base_n)
             if family_updates is not None:
                 update_results[name] = family_updates
+    load_results = None
+    if load:
+        concurrency = load_concurrency or _LOAD_CONCURRENCY[scale]
+        load_workers = pool_workers or _default_workers()
+        load_results = {
+            name: _load_family(
+                name, FAMILIES[name], base_n, concurrency=concurrency, workers=load_workers
+            )
+            for name in names
+        }
     def _stats(values: list[float], prefix: str) -> dict:
         if not values:
             return {}
@@ -837,18 +1117,26 @@ def run_bench(
     if throughput_results:
         warm_speedups = [t["warm_speedup"] for t in throughput_results.values()]
         summary.update(_stats(warm_speedups, "warm_speedup"))
+        shard_speedups = [
+            t["pool"]["shard_speedup"] for t in throughput_results.values() if t.get("pool")
+        ]
+        summary.update(_stats(shard_speedups, "shard_speedup"))
     if enumerate_results:
         enum_speedups = [e["enumerate_speedup"] for e in enumerate_results.values()]
         summary.update(_stats(enum_speedups, "enumerate_speedup"))
     if update_results:
         update_speedups = [u["update_speedup"] for u in update_results.values()]
         summary.update(_stats(update_speedups, "update_speedup"))
+    if load_results:
+        load_speedups = [f["load_speedup"] for f in load_results.values()]
+        summary.update(_stats(load_speedups, "load_speedup"))
     record = {
         "schema": SCHEMA,
         "revision": current_revision(),
         "generated_unix": time.time(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "cpus": os.cpu_count(),
         "scale": scale,
         "base_n": base_n,
         "repeat": max(1, repeat),
@@ -861,6 +1149,8 @@ def run_bench(
         record["enumerate"] = enumerate_results
     if update_results is not None:
         record["updates"] = update_results
+    if load_results is not None:
+        record["load"] = load_results
     return record
 
 
@@ -935,6 +1225,21 @@ def format_table(record: Mapping) -> str:
                 f"geomean {summary['geomean_warm_speedup']:.2f}x / "
                 f"max {summary['max_warm_speedup']:.2f}x"
             )
+        sharded = {n: f["pool"] for n, f in throughput.items() if f.get("pool")}
+        if sharded:
+            chunk_labels = sorted(next(iter(sharded.values()))["chunk_req_s"], key=int)
+            lines.append(
+                f"sharded batches (workers=N): "
+                f"{'family':<18} {'workers':>8} "
+                + " ".join(f"{'chunk=' + c:>11}" for c in chunk_labels)
+            )
+            for name, pool in sharded.items():
+                lines.append(
+                    f"{'':<29}{name:<18} {pool['workers']:>8} "
+                    + " ".join(
+                        f"{pool['chunk_req_s'][c]:>9.1f}/s" for c in chunk_labels
+                    )
+                )
     enumerate_results = record.get("enumerate")
     if enumerate_results:
         lines.append("")
@@ -955,6 +1260,29 @@ def format_table(record: Mapping) -> str:
                 f"enumerate speedup: min {summary['min_enumerate_speedup']:.2f}x / "
                 f"geomean {summary['geomean_enumerate_speedup']:.2f}x / "
                 f"max {summary['max_enumerate_speedup']:.2f}x"
+            )
+    load_results = record.get("load")
+    if load_results:
+        lines.append("")
+        lines.append(
+            f"load (concurrent server, {record.get('cpus', '?')} cpu): "
+            f"{'family':<18} {'conc':>5} {'inline rps':>11} {'pool rps':>9} "
+            f"{'inline p50/p99':>15} {'pool p50/p99':>14}"
+        )
+        for name, fam in load_results.items():
+            inline_cfg = fam["inline"]
+            pool_cfg = fam["workers"]
+            lines.append(
+                f"{'':<37}{name:<18} {fam['concurrency']:>5} "
+                f"{inline_cfg['req_s']:>11.1f} {pool_cfg['req_s']:>9.1f} "
+                f"{inline_cfg['p50_ms']:>6.1f}/{inline_cfg['p99_ms']:>6.1f}ms "
+                f"{pool_cfg['p50_ms']:>6.1f}/{pool_cfg['p99_ms']:>5.1f}ms"
+            )
+        if "geomean_load_speedup" in summary:
+            lines.append(
+                f"load speedup (workers/inline): min {summary['min_load_speedup']:.2f}x / "
+                f"geomean {summary['geomean_load_speedup']:.2f}x / "
+                f"max {summary['max_load_speedup']:.2f}x"
             )
     update_results = record.get("updates")
     if update_results:

@@ -14,6 +14,10 @@ Subcommands:
   request file from one compiled ground artifact, optionally across a
   process pool (``--workers``); requests may stream ``insert`` /
   ``retract`` updates into the serving engine;
+* ``server``                  — long-lived concurrent TCP/JSONL server:
+  asyncio front-end over the same artifact with per-session serialized
+  updates, bounded admission (shed responses under overload), and
+  graceful drain on SIGTERM;
 * ``bench``                   — per-phase kernel timings plus the
   cold-vs-warm throughput and streaming-update modes, written to
   ``BENCH_<rev>.json``.
@@ -373,6 +377,44 @@ def _cmd_serve(args) -> int:
     return 0 if failed == 0 else 3
 
 
+def _cmd_server(args) -> int:
+    import asyncio
+
+    from repro.service.server import ReproServer, run_server
+
+    if not args.artifact and not args.program:
+        print("error: server needs a program file or an existing --artifact", file=sys.stderr)
+        return 2
+    program = Path(args.program).read_text() if args.program else None
+    database = Path(args.db).read_text() if args.db else None
+    server = ReproServer(
+        args.artifact,
+        program=program,
+        database=database,
+        grounding=args.grounding,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        timeout_s=args.timeout,
+        session_ttl_s=args.session_ttl,
+        max_sessions=args.max_sessions,
+        session_cache=args.session_cache,
+    )
+    try:
+        asyncio.run(run_server(server, ready_stream=sys.stderr))
+    except KeyboardInterrupt:  # platforms without add_signal_handler
+        pass
+    stats = server.stats()
+    print(
+        f"repro server stopped: {stats['served']} served / {stats['failed']} failed / "
+        f"{stats['shed']} shed; sessions: {stats['sessions']['created']} created, "
+        f"{stats['sessions']['snapshots']} snapshotted",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.runner import format_table, run_bench, write_bench
 
@@ -389,6 +431,9 @@ def _cmd_bench(args) -> int:
         throughput=not args.no_throughput,
         enumerate_mode=not args.no_enumerate,
         updates=not args.no_updates,
+        load=not args.no_load,
+        load_concurrency=args.load_concurrency,
+        workers=args.bench_workers,
     )
     path = write_bench(record, Path(args.output) if args.output else None)
     print(format_table(record))
@@ -495,6 +540,53 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write result lines here instead of stdout")
     p.set_defaults(func=_cmd_serve)
 
+    p = sub.add_parser(
+        "server",
+        help="long-lived concurrent TCP/JSONL server (sessions, admission control)",
+    )
+    p.add_argument(
+        "program",
+        nargs="?",
+        help="Datalog¬ program file (optional when --artifact already exists)",
+    )
+    p.add_argument("--db", help="database (facts) file")
+    p.add_argument(
+        "--artifact",
+        help="repro-ground artifact path: loaded if present, else compiled and saved there",
+    )
+    p.add_argument(
+        "--grounding",
+        choices=["full", "relevant", "edb"],
+        help="grounding mode used when compiling the artifact",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0, help="bind port (0 = ephemeral, printed)")
+    p.add_argument("--workers", type=int, default=0, help="worker processes (0 = inline)")
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="admission bound: in-flight requests before shedding (default 256)",
+    )
+    p.add_argument("--timeout", type=float, help="per-request solve deadline in seconds")
+    p.add_argument(
+        "--session-ttl",
+        type=float,
+        default=600.0,
+        help="idle seconds before a session expires (default 600)",
+    )
+    p.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="bound on live stateful sessions (default 64)",
+    )
+    p.add_argument(
+        "--session-cache",
+        help="artifact cache directory expired sessions snapshot into",
+    )
+    p.set_defaults(func=_cmd_server)
+
     from repro.bench.runner import FAMILIES, SCALES
 
     p = sub.add_parser("bench", help="kernel benchmark suite (per-phase timings)")
@@ -524,6 +616,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-updates",
         action="store_true",
         help="skip the streaming-update vs full-rebuild (updates/sec) mode",
+    )
+    p.add_argument(
+        "--no-load",
+        action="store_true",
+        help="skip the concurrent-server load mode (req/s, p50/p99 latency)",
+    )
+    p.add_argument(
+        "--load-concurrency",
+        type=int,
+        help="in-flight request cap for the load mode (default per scale)",
+    )
+    p.add_argument(
+        "--workers",
+        dest="bench_workers",
+        type=int,
+        help="pool width for the sharding/load segments (default 2-4, CPU-capped)",
     )
     p.set_defaults(func=_cmd_bench)
     return parser

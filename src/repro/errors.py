@@ -14,6 +14,8 @@ __all__ = [
     "ArityError",
     "GroundingError",
     "ArtifactError",
+    "SolveTimeoutError",
+    "SessionLimitError",
     "CloseConflictError",
     "NotStronglyConnectedError",
     "NotATieError",
@@ -61,6 +63,30 @@ class ArtifactError(ReproError):
     (:mod:`repro.io.artifact`): bad magic, unsupported format version,
     truncated files (short reads), checksum mismatches, and payloads
     whose section table disagrees with the bytes on disk.
+    """
+
+
+class SolveTimeoutError(ReproError):
+    """Raised when a solve exceeds its per-request deadline.
+
+    The serving layer (:mod:`repro.service`) arms a wall-clock deadline
+    around each request's solve so one pathological program cannot wedge
+    a worker; the request is answered with a structured timeout error
+    instead of propagating this exception.
+    """
+
+    def __init__(self, timeout_s: float, message: str | None = None):
+        super().__init__(message or f"solve exceeded the {timeout_s:g}s per-request deadline")
+        self.timeout_s = timeout_s
+
+
+class SessionLimitError(ReproError):
+    """Raised when the serving tier's session table is full.
+
+    The concurrent server bounds live stateful sessions
+    (:class:`repro.service.sessions.SessionManager`); a request naming a
+    new session past the bound is answered with a structured
+    ``session_limit`` error instead of growing memory without limit.
     """
 
 

@@ -25,18 +25,22 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import tempfile
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from multiprocessing.pool import Pool
+from multiprocessing.pool import AsyncResult, Pool
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from time import perf_counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.api.engine import Engine
 from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode
 from repro.datalog.parser import parse_atom, parse_database, parse_program
 from repro.datalog.program import Program
-from repro.errors import ReproError, ValidationError
+from repro.errors import ReproError, SessionLimitError, SolveTimeoutError, ValidationError
 from repro.io.artifact import program_fingerprint, read_artifact_header
 from repro.io.json_io import solution_to_obj
 from repro.semantics.choices import (
@@ -52,6 +56,8 @@ __all__ = [
     "BATCH_SCHEMA",
     "BatchRequest",
     "BatchSolver",
+    "error_kind_of",
+    "failure_result",
     "read_requests",
     "solve_one",
 ]
@@ -60,7 +66,18 @@ REQUEST_SCHEMA = "repro-batchreq/1"
 BATCH_SCHEMA = "repro-batch/1"
 
 _REQUEST_FIELDS = frozenset(
-    {"schema", "id", "semantics", "grounding", "policy", "seed", "atoms", "insert", "retract"}
+    {
+        "schema",
+        "id",
+        "semantics",
+        "grounding",
+        "policy",
+        "seed",
+        "atoms",
+        "insert",
+        "retract",
+        "session",
+    }
 )
 
 _POLICIES = {
@@ -92,7 +109,12 @@ class BatchRequest:
       first).  Updates are stateful: they mutate the engine's database,
       so later requests in the same batch see them.  A batch containing
       updates is always answered inline in request order, never sharded
-      across workers.
+      across workers;
+    * ``session`` — optional session name scoping the request's state.
+      On the concurrent server (:mod:`repro.service.server`) every
+      sessioned request runs serialized on that session's private engine;
+      in the offline batch path a sessioned request is simply answered
+      inline (the batch's one engine *is* the session).
     """
 
     id: Any = None
@@ -103,6 +125,7 @@ class BatchRequest:
     atoms: tuple[str, ...] = ()
     insert: tuple[str, ...] = ()
     retract: tuple[str, ...] = ()
+    session: str | None = None
 
     @classmethod
     def from_obj(cls, obj: Any, default_id: Any = None) -> "BatchRequest":
@@ -133,6 +156,9 @@ class BatchRequest:
         seed = obj.get("seed")
         if seed is not None and not isinstance(seed, int):
             raise ValidationError("'seed' must be an integer")
+        session = obj.get("session")
+        if session is not None and (not isinstance(session, str) or not session):
+            raise ValidationError("'session' must be a non-empty string")
         return cls(
             id=obj.get("id", default_id),
             semantics=obj.get("semantics", "tie_breaking"),
@@ -142,6 +168,7 @@ class BatchRequest:
             atoms=atoms,
             insert=atom_list("insert"),
             retract=atom_list("retract"),
+            session=session,
         )
 
     def to_obj(self) -> dict[str, Any]:
@@ -159,6 +186,8 @@ class BatchRequest:
             obj["insert"] = list(self.insert)
         if self.retract:
             obj["retract"] = list(self.retract)
+        if self.session is not None:
+            obj["session"] = self.session
         return obj
 
     @property
@@ -222,14 +251,87 @@ def read_requests(source: str | Path | Iterable[str]) -> list[BatchRequest | Val
     return out
 
 
-def solve_one(engine: Engine, request: BatchRequest) -> dict[str, Any]:
+def error_kind_of(error: ReproError) -> str:
+    """The ``error_kind`` wire tag of one request failure.
+
+    ``validation`` (malformed request), ``timeout`` (deadline exceeded),
+    ``session_limit`` (the server's session table is full), or ``error``
+    (every other library failure — unknown semantics, grounding
+    explosion, ...).  The server adds ``overloaded`` and ``draining``
+    (admission control sheds) on top.
+    """
+    if isinstance(error, SolveTimeoutError):
+        return "timeout"
+    if isinstance(error, SessionLimitError):
+        return "session_limit"
+    if isinstance(error, ValidationError):
+        return "validation"
+    return "error"
+
+
+def failure_result(request_id: Any, error: ReproError) -> dict[str, Any]:
+    """The ``"ok": false`` result line of one failed request."""
+    result = {
+        "schema": BATCH_SCHEMA,
+        "id": request_id,
+        "ok": False,
+        "error": str(error),
+        "error_kind": error_kind_of(error),
+    }
+    if isinstance(error, SolveTimeoutError):
+        result["timeout_s"] = error.timeout_s
+    return result
+
+
+@contextmanager
+def _solve_deadline(timeout_s: float | None) -> Iterator[bool]:
+    """Arm a wall-clock deadline around a solve, where the platform allows.
+
+    Enforcement uses ``SIGALRM`` (via ``signal.setitimer``), so it is only
+    *hard* on the main thread of a POSIX process — exactly where batch
+    solves run: inline in the CLI process, or in the main thread of a
+    worker process.  Anywhere else (executor threads, platforms without
+    ``setitimer``) the deadline degrades to unenforced and the caller's
+    own supervision (e.g. the server's soft ``asyncio`` timeout) applies.
+    Yields whether enforcement is armed.
+    """
+    if (
+        not timeout_s
+        or timeout_s <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield False
+        return
+
+    def _expired(signum: int, frame: Any) -> None:
+        raise SolveTimeoutError(timeout_s)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def solve_one(
+    engine: Engine, request: BatchRequest, *, timeout_s: float | None = None
+) -> dict[str, Any]:
     """Answer one request on a warm engine (wire schema ``repro-batch/1``).
 
     Returns the JSON-ready result object: ``{"ok": true, ...}`` with
     either per-atom ``values`` (when the request listed atoms) or the
-    full ``repro-solution/1`` object; or ``{"ok": false, "error": ...}``
-    when the request fails.  Library errors never propagate — a batch is
-    fault-isolated per request.
+    full ``repro-solution/1`` object; or ``{"ok": false, "error": ...,
+    "error_kind": ...}`` when the request fails.  Library errors never
+    propagate — a batch is fault-isolated per request.
+
+    ``timeout_s`` arms a per-request deadline around the *solve* (never
+    around the stateful ``insert``/``retract`` section, which must not be
+    torn): a solve that exceeds it yields a structured
+    ``"error_kind": "timeout"`` result instead of wedging the worker.
+    See :func:`_solve_deadline` for where enforcement is hard.
     """
     try:
         options: dict[str, Any] = {}
@@ -253,7 +355,8 @@ def solve_one(engine: Engine, request: BatchRequest) -> dict[str, Any]:
                 "inserted": [str(a) for a in inserted],
                 "retracted": [str(a) for a in retracted],
             }
-        solution = engine.solve(request.semantics, **options)
+        with _solve_deadline(timeout_s):
+            solution = engine.solve(request.semantics, **options)
         result: dict[str, Any] = {
             "schema": BATCH_SCHEMA,
             "id": request.id,
@@ -281,7 +384,7 @@ def solve_one(engine: Engine, request: BatchRequest) -> dict[str, Any]:
             result["solution"] = solution_to_obj(solution)
         return result
     except ReproError as error:
-        return {"schema": BATCH_SCHEMA, "id": request.id, "ok": False, "error": str(error)}
+        return failure_result(request.id, error)
 
 
 # ---------------------------------------------------------------------------
@@ -290,20 +393,28 @@ def solve_one(engine: Engine, request: BatchRequest) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 _WORKER_ENGINE: Engine | None = None
+_WORKER_TIMEOUT_S: float | None = None
 
 
-def _worker_init(artifact_path: str) -> None:
-    global _WORKER_ENGINE
+def _worker_init(artifact_path: str, timeout_s: float | None = None) -> None:
+    global _WORKER_ENGINE, _WORKER_TIMEOUT_S
     _WORKER_ENGINE = Engine.from_artifact(artifact_path)
+    _WORKER_TIMEOUT_S = timeout_s
 
 
 def _worker_solve(obj: dict[str, Any]) -> dict[str, Any]:
     assert _WORKER_ENGINE is not None, "worker used before its initializer ran"
+    t0 = perf_counter()
     try:
         request = BatchRequest.from_obj(obj)
     except ValidationError as error:
-        return {"schema": BATCH_SCHEMA, "id": obj.get("id"), "ok": False, "error": str(error)}
-    return solve_one(_WORKER_ENGINE, request)
+        return failure_result(obj.get("id"), error)
+    result = solve_one(_WORKER_ENGINE, request, timeout_s=_WORKER_TIMEOUT_S)
+    # The worker's own wall clock: the dispatcher (another process, whose
+    # perf_counter is not comparable) subtracts it from the request's
+    # server-side wall time to expose queue + IPC overhead.
+    result.setdefault("timings", {})["worker_s"] = perf_counter() - t0
+    return result
 
 
 class BatchSolver:
@@ -323,7 +434,16 @@ class BatchSolver:
     * ``workers=0`` — answer inline on one warm engine in this process;
     * ``workers=N`` — fork ``N`` workers, each warm-starting from the
       artifact once; requests are sharded across them (no engine is
-      loaded in the parent).
+      loaded in the parent);
+    * ``timeout_s`` — per-request solve deadline (see :func:`solve_one`):
+      a request whose solve exceeds it is answered with a structured
+      ``"error_kind": "timeout"`` result, enforced by ``SIGALRM`` inline
+      and inside every worker process;
+    * ``chunksize`` — requests handed to a worker per dispatch.  The
+      default 1 maximizes load balancing: per-task IPC is microseconds
+      while solves are typically milliseconds, so at every measured batch
+      shape chunk 1 beats coarser shards (see ``docs/serving.md``); raise
+      it only for huge batches of sub-millisecond requests.
 
     Use as a context manager (or call :meth:`close`) to reclaim the
     worker pool and any temporary artifact.
@@ -337,10 +457,18 @@ class BatchSolver:
         database: Database | str | None = None,
         grounding: GroundingMode | None = None,
         workers: int = 0,
+        timeout_s: float | None = None,
+        chunksize: int = 1,
     ) -> None:
         if workers < 0:
             raise ValidationError(f"workers must be >= 0, got {workers}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValidationError(f"timeout_s must be positive, got {timeout_s}")
+        if chunksize < 1:
+            raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
         self.workers = workers
+        self.timeout_s = timeout_s
+        self.chunksize = chunksize
         self._pool: Pool | None = None
         self._engine: Engine | None = None
         self._owns_artifact = False
@@ -408,9 +536,45 @@ class BatchSolver:
             self._pool = get_context().Pool(
                 processes=self.workers,
                 initializer=_worker_init,
-                initargs=(str(self._artifact_path),),
+                initargs=(str(self._artifact_path), self.timeout_s),
             )
         return self._pool
+
+    def warm_pool(self) -> None:
+        """Fork the worker pool now instead of on first use.
+
+        Long-lived dispatchers (the asyncio server) call this at startup:
+        forking early keeps worker processes free of whatever threads the
+        dispatcher spins up later, and moves the artifact-load cost out of
+        the first request's latency.  A no-op for ``workers=0``.
+        """
+        if self.workers:
+            self._ensure_pool()
+
+    def apply_async(
+        self,
+        request: BatchRequest | dict[str, Any],
+        *,
+        callback: Callable[[dict[str, Any]], None] | None = None,
+        error_callback: Callable[[BaseException], None] | None = None,
+    ) -> AsyncResult:
+        """Dispatch one request to the worker pool without blocking.
+
+        The concurrent server's fan-out path: each stateless request is
+        handed to the pool as it arrives (no batch barrier), and the
+        result comes back through ``callback`` on the pool's result
+        thread.  Requires ``workers >= 1``; stateful requests (updates or
+        a session) must not be sharded and are rejected here.
+        """
+        if not self.workers:
+            raise ValidationError("apply_async needs workers >= 1; solve inline instead")
+        if isinstance(request, BatchRequest):
+            if request.has_updates or request.session is not None:
+                raise ValidationError("stateful requests cannot be sharded across workers")
+            request = request.to_obj()
+        return self._ensure_pool().apply_async(
+            _worker_solve, (request,), callback=callback, error_callback=error_callback
+        )
 
     def solve_many(
         self, requests: Iterable[BatchRequest | dict[str, Any] | ValidationError]
@@ -423,9 +587,10 @@ class BatchSolver:
         results, echoing the request ``id`` whenever one was readable).
         With workers configured, valid requests are sharded across the
         process pool; errors are answered locally.  A batch carrying
-        ``insert``/``retract`` updates is answered inline in request
-        order instead — worker engines live in separate processes and
-        would neither share nor order the streamed state.
+        ``insert``/``retract`` updates (or naming a ``session``) is
+        answered inline in request order instead — worker engines live in
+        separate processes and would neither share nor order the streamed
+        state.
         """
         results: list[dict[str, Any] | None] = []
         solvable: list[tuple[int, BatchRequest]] = []
@@ -447,16 +612,17 @@ class BatchSolver:
                     error = exc
             results.append({"schema": BATCH_SCHEMA, "id": rid, "ok": False, "error": str(error)})
 
-        stateful = any(r.has_updates for _, r in solvable)
+        stateful = any(r.has_updates or r.session is not None for _, r in solvable)
         if self.workers and solvable and not stateful:
             pool = self._ensure_pool()
-            chunksize = max(1, len(solvable) // (self.workers * 4))
-            answers = pool.map(_worker_solve, [r.to_obj() for _, r in solvable], chunksize)
+            answers = pool.map(
+                _worker_solve, [r.to_obj() for _, r in solvable], self.chunksize
+            )
             for (i, _), answer in zip(solvable, answers):
                 results[i] = answer
         else:
             for i, req in solvable:
-                results[i] = solve_one(self.engine, req)
+                results[i] = solve_one(self.engine, req, timeout_s=self.timeout_s)
         return [r for r in results if r is not None]
 
     def solve_file(self, source: str | Path | Iterable[str]) -> list[dict[str, Any]]:

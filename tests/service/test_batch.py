@@ -1,17 +1,34 @@
 """The warm-start batch service: requests, sharding, CLI surface."""
 
 import json
+import threading
 
 import pytest
 
 from repro.cli import main
-from repro.errors import ValidationError
-from repro.service import BATCH_SCHEMA, BatchRequest, BatchSolver, read_requests, solve_one
+from repro.errors import (
+    ReproError,
+    SessionLimitError,
+    SolveTimeoutError,
+    ValidationError,
+)
+from repro.service import (
+    BATCH_SCHEMA,
+    BatchRequest,
+    BatchSolver,
+    error_kind_of,
+    failure_result,
+    read_requests,
+    solve_one,
+)
 
 GAME = "win(X) :- move(X, Y), not win(Y)."
 BOARD = "move(1, 2). move(2, 1). move(2, 3)."
 COMMITTEE = "in(X) :- member(X), not out(X).\nout(X) :- member(X), not in(X)."
 MEMBERS = "member(a). member(b). member(c)."
+# Large enough that a solve takes real milliseconds; the hard-deadline
+# tests arm a microsecond timer against it.
+BIG_MEMBERS = " ".join(f"member(m{i})." for i in range(500))
 
 
 class TestBatchRequest:
@@ -193,6 +210,129 @@ class TestBatchSolverWorkers:
                 [{"id": "bad-atom", "semantics": "well_founded", "atoms": ["win("]}]
             )[0]
         assert result["id"] == "bad-atom" and not result["ok"]
+
+
+class TestErrorKinds:
+    def test_taxonomy_covers_the_error_tree(self):
+        assert error_kind_of(ValidationError("bad field")) == "validation"
+        assert error_kind_of(SolveTimeoutError(1.5)) == "timeout"
+        assert error_kind_of(SessionLimitError("full")) == "session_limit"
+        assert error_kind_of(ReproError("anything else")) == "error"
+
+    def test_timeout_results_echo_the_deadline(self):
+        result = failure_result("r1", SolveTimeoutError(0.25))
+        assert result == {
+            "schema": BATCH_SCHEMA,
+            "id": "r1",
+            "ok": False,
+            "error": "solve exceeded the 0.25s per-request deadline",
+            "error_kind": "timeout",
+            "timeout_s": 0.25,
+        }
+
+
+class TestSessionField:
+    def test_session_round_trips_and_validates(self):
+        req = BatchRequest.from_obj({"session": "alice", "insert": ["member(d)"]})
+        assert req.session == "alice"
+        assert BatchRequest.from_obj(req.to_obj()) == req
+        with pytest.raises(ValidationError, match="'session'"):
+            BatchRequest.from_obj({"session": ""})
+        with pytest.raises(ValidationError, match="'session'"):
+            BatchRequest.from_obj({"session": 7})
+
+    def test_sessioned_batches_are_answered_inline(self, tmp_path):
+        # Offline, the batch's one engine *is* the session: a sessioned
+        # request must not shard (worker engines would not share state).
+        artifact = tmp_path / "g.rg"
+        with BatchSolver(artifact, program=GAME, database=BOARD):
+            pass
+        with BatchSolver(artifact, workers=2) as solver:
+            results = solver.solve_many(
+                [
+                    {"id": 1, "session": "s", "insert": ["move(4, 3)"]},
+                    {"id": 2, "session": "s", "semantics": "well_founded",
+                     "atoms": ["win(4)"]},
+                ]
+            )
+        assert all(r["ok"] for r in results)
+        assert results[0]["updates"]["inserted"] == ["move(4, 3)"]
+        # 3 has no exits, so the new move makes 4 a won position — and
+        # request 2 sees request 1's insert: the batch engine is the session.
+        assert results[1]["values"] == {"win(4)": True}
+
+
+class TestTimeouts:
+    def test_hard_deadline_fails_the_request_inline(self, tmp_path):
+        with BatchSolver(
+            tmp_path / "big.rg", program=COMMITTEE, database=BIG_MEMBERS, timeout_s=1e-6
+        ) as solver:
+            result = solver.solve_many([{"id": "slow"}])[0]
+        assert not result["ok"]
+        assert result["error_kind"] == "timeout"
+        assert result["timeout_s"] == 1e-6
+
+    def test_hard_deadline_fires_inside_workers(self, tmp_path):
+        artifact = tmp_path / "big.rg"
+        with BatchSolver(artifact, program=COMMITTEE, database=BIG_MEMBERS):
+            pass
+        with BatchSolver(artifact, workers=1, timeout_s=1e-6) as solver:
+            results = solver.solve_many([{"id": i} for i in range(2)])
+        assert [r["error_kind"] for r in results] == ["timeout", "timeout"]
+        # The worker survived its timeouts: the pool is not respawning.
+        assert all(r["timings"]["worker_s"] > 0 for r in results)
+
+    def test_deadline_degrades_to_unenforced_off_main_thread(self, tmp_path):
+        # SIGALRM cannot be delivered to executor threads; solve_one must
+        # run to completion there, leaving supervision to the caller.
+        with BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD) as solver:
+            outcome = []
+            worker = threading.Thread(
+                target=lambda: outcome.append(
+                    solve_one(solver.engine, BatchRequest(id="t"), timeout_s=1e-6)
+                )
+            )
+            worker.start()
+            worker.join()
+        assert outcome[0]["ok"] is True
+
+    def test_rejects_non_positive_timeout_and_chunksize(self, tmp_path):
+        with pytest.raises(ValidationError, match="timeout_s"):
+            BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD, timeout_s=0)
+        with pytest.raises(ValidationError, match="chunksize"):
+            BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD, chunksize=0)
+
+
+class TestApplyAsync:
+    def test_requires_workers(self, tmp_path):
+        with BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD) as solver:
+            with pytest.raises(ValidationError, match="workers >= 1"):
+                solver.apply_async(BatchRequest(id="x"))
+
+    def test_rejects_stateful_requests_before_the_pool_exists(self, tmp_path):
+        artifact = tmp_path / "g.rg"
+        with BatchSolver(artifact, program=GAME, database=BOARD):
+            pass
+        with BatchSolver(artifact, workers=2) as solver:
+            with pytest.raises(ValidationError, match="stateful"):
+                solver.apply_async(BatchRequest(insert=("move(9, 1)",)))
+            with pytest.raises(ValidationError, match="stateful"):
+                solver.apply_async(BatchRequest(session="s"))
+            assert solver._pool is None  # rejected without forking anything
+
+    def test_dispatches_through_callbacks(self, tmp_path):
+        artifact = tmp_path / "g.rg"
+        with BatchSolver(artifact, program=GAME, database=BOARD):
+            pass
+        done = threading.Event()
+        results = []
+        with BatchSolver(artifact, workers=1) as solver:
+            solver.apply_async(
+                BatchRequest(id="a", semantics="well_founded", atoms=("win(2)",)),
+                callback=lambda r: (results.append(r), done.set()),
+            )
+            assert done.wait(timeout=30)
+        assert results[0]["ok"] and results[0]["values"] == {"win(2)": True}
 
 
 class TestServeCli:

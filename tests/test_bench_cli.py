@@ -10,7 +10,12 @@ from repro.cli import main
 
 class TestRunBench:
     def test_record_shape_and_phases(self):
-        record = run_bench(scale="smoke", family_names=["win_move_line", "tie_chain"])
+        record = run_bench(
+            scale="smoke",
+            family_names=["win_move_line", "tie_chain"],
+            load=False,
+            workers=0,
+        )
         assert record["schema"] == "repro-bench/1"
         assert record["scale"] == "smoke"
         assert set(record["families"]) == {"win_move_line", "tie_chain"}
@@ -52,7 +57,7 @@ class TestRunBench:
         # _bench_family raises if the seed and compiled kernels disagree on
         # the final true set; covering every family at smoke scale makes the
         # bench a correctness gate as well as a timing harness.
-        record = run_bench(scale="smoke")
+        record = run_bench(scale="smoke", load=False, workers=0)
         assert set(record["families"]) == set(FAMILIES)
         for family in record["families"].values():
             assert (
@@ -61,7 +66,9 @@ class TestRunBench:
             )
 
     def test_no_baseline_mode(self):
-        record = run_bench(scale="smoke", family_names=["committee"], baseline=False)
+        record = run_bench(
+            scale="smoke", family_names=["committee"], baseline=False, load=False, workers=0
+        )
         family = record["families"]["committee"]
         assert "seed" not in family["kernels"]
         assert family["speedup"] is None
@@ -82,6 +89,7 @@ class TestRunBench:
             baseline=False,
             throughput=False,
             enumerate_mode=False,
+            load=False,
         )
         assert "throughput" not in record
         assert "enumerate" not in record
@@ -93,6 +101,7 @@ class TestRunBench:
             family_names=["win_move_line", "committee"],
             baseline=False,
             throughput=False,
+            load=False,
         )
         # Only tie-breaking families enumerate; wf-only families skip it.
         assert set(record["enumerate"]) == {"committee"}
@@ -105,7 +114,12 @@ class TestRunBench:
         assert "geomean_enumerate_speedup" in record["summary"]
 
     def test_throughput_mode_records_serving_metrics(self):
-        record = run_bench(scale="smoke", family_names=["win_move_line", "committee"])
+        record = run_bench(
+            scale="smoke",
+            family_names=["win_move_line", "committee"],
+            load=False,
+            workers=0,
+        )
         assert set(record["throughput"]) == {"win_move_line", "committee"}
         for fam in record["throughput"].values():
             assert fam["cold_start_s"] > 0
@@ -121,6 +135,67 @@ class TestRunBench:
             <= summary["max_warm_speedup"]
         )
 
+    def test_throughput_pool_segment_records_sharding(self):
+        record = run_bench(
+            scale="smoke",
+            family_names=["win_move_line"],
+            baseline=False,
+            enumerate_mode=False,
+            updates=False,
+            load=False,
+            workers=2,
+        )
+        pool = record["throughput"]["win_move_line"]["pool"]
+        assert pool["workers"] == 2
+        # One fresh pool per chunk size, every run cross-checked against
+        # the inline batch before its rate is recorded.
+        assert set(pool["chunk_req_s"]) == {"1", "2", "4"}
+        assert all(rate > 0 for rate in pool["chunk_req_s"].values())
+        assert str(pool["best_chunksize"]) in pool["chunk_req_s"]
+        assert pool["shard_speedup"] > 0
+        assert "geomean_shard_speedup" in record["summary"]
+
+    def test_workers_zero_skips_pool_segment(self):
+        record = run_bench(
+            scale="smoke",
+            family_names=["win_move_line"],
+            baseline=False,
+            enumerate_mode=False,
+            updates=False,
+            load=False,
+            workers=0,
+        )
+        assert record["throughput"]["win_move_line"]["pool"] is None
+        assert "geomean_shard_speedup" not in record["summary"]
+
+    def test_load_mode_records_concurrent_metrics(self):
+        record = run_bench(
+            scale="smoke",
+            family_names=["committee"],
+            baseline=False,
+            throughput=False,
+            enumerate_mode=False,
+            updates=False,
+            load_concurrency=8,
+            workers=2,
+        )
+        fam = record["load"]["committee"]
+        assert fam["requests"] == 16
+        assert fam["concurrency"] == 8
+        assert fam["seeds"] > 0  # tie-breaking cycles distinct seeds
+        for config in (fam["inline"], fam["workers"]):
+            assert config["req_s"] > 0
+            assert 0 <= config["p50_ms"] <= config["p99_ms"]
+            # The integrity fleet must never shed: max_pending leaves
+            # headroom above the client-side in-flight cap.
+            assert config["shed"] == 0
+            assert 1 <= config["max_depth"] <= fam["concurrency"]
+        assert fam["inline"]["workers"] == 0
+        assert fam["workers"]["workers"] == 2
+        assert fam["load_speedup"] > 0
+        assert "geomean_load_speedup" in record["summary"]
+        assert record["cpus"] >= 1
+
     def test_unknown_scale_and_family_rejected(self):
         from repro.errors import ReproError
 
@@ -130,12 +205,14 @@ class TestRunBench:
             run_bench(scale="smoke", family_names=["nope"])
 
     def test_tie_families_exercise_tie_phase(self):
-        record = run_bench(scale="smoke", family_names=["committee"])
+        record = run_bench(scale="smoke", family_names=["committee"], load=False, workers=0)
         phases = record["families"]["committee"]["kernels"]["kernel"]
         assert phases["tie_choices"] > 0
 
     def test_unfounded_family_exercises_unfounded_phase(self):
-        record = run_bench(scale="smoke", family_names=["unfounded_tower"])
+        record = run_bench(
+            scale="smoke", family_names=["unfounded_tower"], load=False, workers=0
+        )
         phases = record["families"]["unfounded_tower"]["kernels"]["kernel"]
         assert phases["unfounded_iterations"] > 0
 
@@ -152,6 +229,9 @@ class TestBenchCli:
                 "win_move_line",
                 "--output",
                 str(out),
+                "--no-load",
+                "--workers",
+                "0",
             ]
         )
         assert code == 0
@@ -163,7 +243,19 @@ class TestBenchCli:
 
     def test_default_output_name_embeds_revision(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)
-        code = main(["bench", "--scale", "smoke", "--families", "win_move_line", "--no-baseline"])
+        code = main(
+            [
+                "bench",
+                "--scale",
+                "smoke",
+                "--families",
+                "win_move_line",
+                "--no-baseline",
+                "--no-load",
+                "--workers",
+                "0",
+            ]
+        )
         assert code == 0
         written = list(tmp_path.glob("BENCH_*.json"))
         assert len(written) == 1
@@ -178,7 +270,7 @@ class TestBenchCli:
 class TestWriteBench:
     def test_write_bench_round_trips(self, tmp_path):
         record = run_bench(
-            scale="smoke", family_names=["win_move_line"], baseline=False
+            scale="smoke", family_names=["win_move_line"], baseline=False, load=False, workers=0
         )
         path = write_bench(record, tmp_path / "out.json")
         assert json.loads(path.read_text()) == json.loads(
