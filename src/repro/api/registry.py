@@ -147,7 +147,12 @@ def _check_options(spec: SemanticsSpec, options: Mapping[str, Any]) -> None:
 def _solve_well_founded(req: SolveRequest) -> Solution:
     from repro.semantics.well_founded import _well_founded_model
 
-    run = _well_founded_model(req.program, req.database, ground_program=req.gp())
+    run = _well_founded_model(
+        req.program,
+        req.database,
+        ground_program=req.gp(),
+        backend=req.options.get("backend"),
+    )
     return Solution.from_interpretation(
         "well_founded",
         run.model,
@@ -178,6 +183,7 @@ def _solve_tie_breaking(req: SolveRequest) -> Solution:
         req.database,
         policy=req.options.get("policy"),
         ground_program=req.gp(),
+        backend=req.options.get("backend"),
     )
     return _tie_solution("tie_breaking", run)
 
@@ -190,6 +196,7 @@ def _solve_pure_tie_breaking(req: SolveRequest) -> Solution:
         req.database,
         policy=req.options.get("policy"),
         ground_program=req.gp(),
+        backend=req.options.get("backend"),
     )
     return _tie_solution("pure_tie_breaking", run)
 
@@ -304,6 +311,7 @@ register(
         solver=_solve_well_founded,
         aliases=("wf", "well-founded"),
         default_grounding="relevant",
+        options=("backend",),
     )
 )
 
@@ -315,7 +323,7 @@ register(
         enumerator=_enumerate_tie_breaking,
         aliases=("wf-tb", "tie-breaking", "well-founded-tie-breaking"),
         default_grounding="relevant",
-        options=("policy",),
+        options=("policy", "backend"),
     )
 )
 
@@ -328,7 +336,7 @@ register(
         aliases=("pure-tb", "pure"),
         default_grounding="full",
         grounding_locked=True,
-        options=("policy",),
+        options=("policy", "backend"),
     )
 )
 

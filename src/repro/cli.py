@@ -68,7 +68,9 @@ _RUN_SEMANTICS = {
 
 
 def _engine(args) -> Engine:
-    return Engine.from_files(args.program, getattr(args, "db", None))
+    return Engine.from_files(
+        args.program, getattr(args, "db", None), backend=getattr(args, "backend", None)
+    )
 
 
 def _emit(command: str, payload: dict[str, Any]) -> None:
@@ -335,6 +337,7 @@ def _cmd_serve(args) -> int:
         database=database,
         grounding=args.grounding,
         workers=args.workers,
+        backend=args.backend,
     ) as solver:
         t0 = perf_counter()
         results = solver.solve_file(args.batch)
@@ -400,6 +403,7 @@ def _cmd_server(args) -> int:
         session_ttl_s=args.session_ttl,
         max_sessions=args.max_sessions,
         session_cache=args.session_cache,
+        backend=args.backend,
     )
     try:
         asyncio.run(run_server(server, ready_stream=sys.stderr))
@@ -434,6 +438,7 @@ def _cmd_bench(args) -> int:
         load=not args.no_load,
         load_concurrency=args.load_concurrency,
         workers=args.bench_workers,
+        backends=not args.no_backends,
     )
     path = write_bench(record, Path(args.output) if args.output else None)
     print(format_table(record))
@@ -473,6 +478,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "modular, ...), or 'help' to list them",
     )
     p.add_argument("--grounding", choices=["full", "relevant", "edb"], default="full")
+    p.add_argument(
+        "--backend",
+        choices=["python", "array", "auto"],
+        help="evaluation kernel: python (default), array (NumPy, needs the "
+        "[array] extra), or auto (array on large graphs when numpy imports)",
+    )
     p.add_argument("--seed", type=int, help="random tie orientation seed")
     p.add_argument("--show-false", action="store_true")
     p.set_defaults(func=_cmd_run)
@@ -537,6 +548,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="grounding mode used when compiling the artifact",
     )
     p.add_argument("--workers", type=int, default=0, help="worker processes (0 = inline)")
+    p.add_argument(
+        "--backend",
+        choices=["python", "array", "auto"],
+        help="default kernel backend for every serving engine",
+    )
     p.add_argument("--output", help="write result lines here instead of stdout")
     p.set_defaults(func=_cmd_serve)
 
@@ -585,6 +601,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--session-cache",
         help="artifact cache directory expired sessions snapshot into",
     )
+    p.add_argument(
+        "--backend",
+        choices=["python", "array", "auto"],
+        help="default kernel backend for every serving engine",
+    )
     p.set_defaults(func=_cmd_server)
 
     from repro.bench.runner import FAMILIES, SCALES
@@ -621,6 +642,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-load",
         action="store_true",
         help="skip the concurrent-server load mode (req/s, p50/p99 latency)",
+    )
+    p.add_argument(
+        "--no-backends",
+        action="store_true",
+        help="skip the python-vs-array kernel backend comparison",
     )
     p.add_argument(
         "--load-concurrency",

@@ -459,6 +459,10 @@ class GroundIndex:
         "initial_rule_alive",
         "live_rules_init",
         "rule_slot_init",
+        # NumPy mirror of the CSR arrays plus the static node-graph
+        # adjacency, built lazily by repro.ground.array_state and shared
+        # by every array-backend state over this index.
+        "_array_cache",
     )
 
     def __getattr__(self, name: str):

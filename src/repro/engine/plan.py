@@ -122,7 +122,9 @@ class IntFactStore:
         indexes = self._indexes.get(predicate)
         if indexes:
             for positions, index in indexes.items():
-                key = tuple([row[i] for i in positions])
+                key = row[positions[0]] if len(positions) == 1 else tuple(
+                    [row[i] for i in positions]
+                )
                 bucket = index.get(key)
                 if bucket is None:
                     index[key] = [row]
@@ -145,7 +147,9 @@ class IntFactStore:
         indexes = self._indexes.get(predicate)
         if indexes:
             for positions, index in indexes.items():
-                key = tuple([row[i] for i in positions])
+                key = row[positions[0]] if len(positions) == 1 else tuple(
+                    [row[i] for i in positions]
+                )
                 bucket = index.get(key)
                 if bucket is not None:
                     bucket.remove(row)
@@ -176,21 +180,41 @@ class IntFactStore:
         """Iterate ``(predicate, row set)`` pairs with at least one row."""
         return ((p, rows) for p, rows in self._rows.items() if rows)
 
-    def matching(self, predicate: str, positions: tuple[int, ...], key: IntRow) -> Iterable[IntRow]:
-        """Rows whose values at ``positions`` equal ``key`` (indexed probe)."""
+    def matching(
+        self, predicate: str, positions: tuple[int, ...], key: int | IntRow
+    ) -> Iterable[IntRow]:
+        """Rows whose values at ``positions`` equal ``key`` (indexed probe).
+
+        Single-position signatures — the overwhelmingly common join shape
+        — are keyed by the bare value instead of a 1-tuple, so neither
+        the index build nor the per-probe key pays a tuple allocation;
+        ``key`` must follow the same convention (callers compiled by
+        :class:`JoinPlan` do).
+        """
         indexes = self._indexes.get(predicate)
         if indexes is None:
             indexes = self._indexes[predicate] = {}
         index = indexes.get(positions)
         if index is None:
             index = {}
-            for row in self._rows.get(predicate, _EMPTY):
-                row_key = tuple([row[i] for i in positions])
-                bucket = index.get(row_key)
-                if bucket is None:
-                    index[row_key] = [row]
-                else:
-                    bucket.append(row)
+            rows = self._rows.get(predicate, _EMPTY)
+            if len(positions) == 1:
+                p = positions[0]
+                for row in rows:
+                    row_key = row[p]
+                    bucket = index.get(row_key)
+                    if bucket is None:
+                        index[row_key] = [row]
+                    else:
+                        bucket.append(row)
+            else:
+                for row in rows:
+                    row_key = tuple([row[i] for i in positions])
+                    bucket = index.get(row_key)
+                    if bucket is None:
+                        index[row_key] = [row]
+                    else:
+                        bucket.append(row)
             indexes[positions] = index
         return index.get(key, _EMPTY)
 
@@ -210,22 +234,41 @@ def build_row(spec: RowSpec, slots: Sequence[int]) -> IntRow:
 
 
 class LiteralStep:
-    """One compiled probe of a positive body literal (see module docstring)."""
+    """One compiled probe of a positive body literal (see module docstring).
 
-    __slots__ = ("predicate", "key_positions", "key_sources", "static_key", "post_ops")
+    ``single_source`` is the one slot feeding a single-position dynamic
+    key, or ``None``: the probe shape is decided at compile time so the
+    per-row execute loop never re-inspects ``key_sources`` (and a
+    single-position key skips the tuple allocation entirely — see
+    :meth:`IntFactStore.matching`).
+    """
+
+    __slots__ = (
+        "predicate",
+        "key_positions",
+        "key_sources",
+        "static_key",
+        "single_source",
+        "post_ops",
+    )
 
     def __init__(
         self,
         predicate: str,
         key_positions: tuple[int, ...],
         key_sources: tuple[int, ...],
-        static_key: IntRow | None,
+        static_key: int | IntRow | None,
         post_ops: tuple[tuple[int, int, bool], ...],
     ) -> None:
         self.predicate = predicate
         self.key_positions = key_positions
         self.key_sources = key_sources
         self.static_key = static_key
+        # All-constant keys become static_key, so a lone dynamic source
+        # is always a slot id (>= 0).
+        self.single_source = (
+            key_sources[0] if static_key is None and len(key_sources) == 1 else None
+        )
         self.post_ops = post_ops
 
     def __repr__(self) -> str:
@@ -283,9 +326,13 @@ class JoinPlan:
                         newly.add(slot)
                         post_ops.append((pos, slot, True))
             bound |= newly
-            static_key: IntRow | None = None
+            static_key: int | IntRow | None = None
             if key_sources and all(v < 0 for v in key_sources):
-                static_key = tuple([~v for v in key_sources])
+                static_key = (
+                    ~key_sources[0]
+                    if len(key_sources) == 1
+                    else tuple([~v for v in key_sources])
+                )
             steps.append(
                 LiteralStep(
                     lit.predicate,
@@ -322,6 +369,10 @@ class JoinPlan:
             source = store if depth or delta_store is None else delta_store
             if step.static_key is not None:
                 rows = source.matching(step.predicate, step.key_positions, step.static_key)
+            elif step.single_source is not None:
+                rows = source.matching(
+                    step.predicate, step.key_positions, slots[step.single_source]
+                )
             elif step.key_sources:
                 key = tuple([slots[v] if v >= 0 else ~v for v in step.key_sources])
                 rows = source.matching(step.predicate, step.key_positions, key)

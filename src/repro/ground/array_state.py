@@ -1,0 +1,1109 @@
+"""NumPy-vectorized kernel backend: :class:`ArrayGroundGraphState`.
+
+The pure-Python kernel (:class:`~repro.ground.state.GroundGraphState`)
+spends its time in per-atom/per-edge interpreter loops.  This backend
+keeps the *same* state contract — it subclasses the Python kernel and
+shares every storage layout — but swaps the per-state counter lists for
+buffer-protocol storages (``bytearray`` / ``array('i')``) and installs
+writable ``np.frombuffer`` views over them, so the hot phases can run as
+whole-frontier array operations while every inherited scalar method
+(assignment, trail undo, incremental repair, cloning) keeps working on
+the very same memory:
+
+* ``close()`` drains the worklist in frontier batches: per-atom liveness
+  bookkeeping (compaction slots, trail records, dirty-component marks)
+  stays scalar in worklist order, but the per-edge counter updates run as
+  CSR multi-gathers with ``np.subtract.at`` and boolean dead-head masks;
+* ``falsify_unfounded()``'s source-pointer rebuild runs the positive
+  firing cascade as layered frontier sweeps over the flat adjacency;
+* the SCC condensation rebuild compacts the live graph into a fresh CSR
+  with one boolean mask, runs a flat-list Tarjan over it, and counts
+  incoming cross edges with a single ``bincount``; the Lemma-1 (K, L)
+  partition of large components is assigned once per node and verified
+  with one vectorized pass over the in-component edges;
+* :meth:`ArrayGroundGraphState.select_ties` returns **all** current
+  bottom ties in one batched round.  This is sound because bottom
+  components are pairwise disjoint and have no incoming cross edges:
+  breaking one cannot add or remove edges inside another (deletion-only
+  dynamics), so breaking them all and closing once reaches the same
+  closure as breaking them one at a time.
+
+Trail compatibility: the batched close appends exactly the record shapes
+the scalar kernel appends (``_T_ATOM`` per atom in worklist order, then
+``_T_INCROSS`` per vanished cross edge, then ``_T_RULE``/``_T_SET`` for
+the kills and fires), and kills are processed strictly after all counter
+decrements of the batch, so ``trail_undo`` replays the exact inverse: at
+the time an ``_T_ATOM`` record is undone, every rule killed later in the
+batch has already been restored, which is precisely the liveness the
+batched decrement observed.  Divergences from the sequential kernel are
+confined to unobservable state: rules killed mid-batch may receive
+counter decrements the sequential order would have skipped (their
+counters are dead), and the extra incoming-cross-edge decrements only
+ever hit components the same batch marked dirty (their counts are
+discarded at the next refinement).
+
+NumPy is an optional extra; importing this module without it succeeds
+(``np`` is ``None``) and constructing the state raises
+:class:`~repro.errors.BackendUnavailableError`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from collections import deque
+from heapq import heappush
+from time import perf_counter
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+
+try:
+    # Opportunistic accelerant, not part of the [array] extra: scipy's
+    # C-compiled strong connected_components and dijkstra replace the
+    # remaining scalar graph passes when present.  Every scipy code path
+    # has a numpy-only fallback in this module.
+    from scipy.sparse import csr_matrix as _sp_csr
+    from scipy.sparse.csgraph import connected_components as _sp_scc
+    from scipy.sparse.csgraph import dijkstra as _sp_dijkstra
+except ImportError:  # pragma: no cover - numpy-without-scipy environments
+    _sp_csr = _sp_scc = _sp_dijkstra = None
+
+from repro.datalog.grounding import GroundProgram
+from repro.errors import BackendUnavailableError, CloseConflictError
+from repro.graphs.ties import TieAnalysis, analyze_component
+from repro.ground.model import FALSE, TRUE, UNDEF
+from repro.ground.state import (
+    _R_FIRED,
+    _R_NO_SUPPORT,
+    _T_ATOM,
+    _T_DIRTY,
+    _T_INCROSS,
+    _T_REBUILD,
+    _T_SL_DISCARD,
+    _T_UNF_VALID,
+    BottomComponent,
+    GroundGraphState,
+)
+
+__all__ = ["ArrayGroundGraphState", "numpy_available"]
+
+# Below this many dirty atoms, close() stays in the scalar drain (numpy
+# call overhead beats the loop on tiny frontiers); the unfounded cascade
+# drops to a scalar stack once its frontier shrinks below _SCALAR_TAIL,
+# and tie analysis uses the exact scalar pass for small components.
+_BATCH_MIN = 32
+_SCALAR_TAIL = 64
+_ANALYZE_MIN = 128
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy dependency imported."""
+    return np is not None
+
+
+def _gather(off, nodes):
+    """CSR multi-gather: flat data indices of all rows in ``nodes``.
+
+    Returns ``(owners, flat)``: ``flat`` indexes the CSR data array with
+    every entry of every requested row (rows in order, entries in row
+    order), and ``owners`` repeats each row id once per entry.
+    """
+    counts = off[nodes + 1] - off[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return nodes[:0], np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    flat = np.arange(total, dtype=np.int64) + np.repeat(off[nodes] - (ends - counts), counts)
+    return np.repeat(nodes, counts), flat
+
+
+class _ArrayIndex:
+    """NumPy copies of one :class:`GroundIndex` plus the static node CSR.
+
+    The node graph is the bipartite signed ground graph over
+    ``n_atoms + n_rules`` nodes: atom ``u`` points at ``n_atoms + r`` for
+    every rule ``r`` with a positive (sign ``True``) or negative (sign
+    ``False``) occurrence of ``u``, and rule node ``n_atoms + r`` points
+    at its head atom (sign ``True``).  Built once per ground index and
+    cached on it; liveness filtering happens per query with boolean
+    masks.
+    """
+
+    __slots__ = (
+        "key",
+        "pos_occ_off",
+        "pos_occ",
+        "neg_occ_off",
+        "neg_occ",
+        "head_of",
+        "out_off",
+        "out_src",
+        "out_dst",
+        "out_sign",
+    )
+
+    def __init__(self, idx) -> None:
+        n_atoms, n_rules = idx.n_atoms, idx.n_rules
+        self.key = (n_atoms, n_rules, len(idx.pos_occ), len(idx.neg_occ))
+        poff = np.frombuffer(idx.pos_occ_off, dtype=np.intc).astype(np.int64)
+        noff = np.frombuffer(idx.neg_occ_off, dtype=np.intc).astype(np.int64)
+        pocc = np.frombuffer(idx.pos_occ, dtype=np.intc).astype(np.int32)
+        nocc = np.frombuffer(idx.neg_occ, dtype=np.intc).astype(np.int32)
+        head = np.frombuffer(idx.head_of, dtype=np.intc).astype(np.int32)
+        self.pos_occ_off, self.pos_occ = poff, pocc
+        self.neg_occ_off, self.neg_occ = noff, nocc
+        self.head_of = head
+
+        node_count = n_atoms + n_rules
+        pos_deg = poff[1:] - poff[:-1]
+        neg_deg = noff[1:] - noff[:-1]
+        deg = np.empty(node_count, dtype=np.int64)
+        deg[:n_atoms] = pos_deg + neg_deg
+        deg[n_atoms:] = 1
+        out_off = np.zeros(node_count + 1, dtype=np.int64)
+        np.cumsum(deg, out=out_off[1:])
+        total = int(out_off[-1])
+        out_dst = np.empty(total, dtype=np.int32)
+        out_sign = np.zeros(total, dtype=np.bool_)
+        if pocc.size:
+            owners = np.repeat(np.arange(n_atoms), pos_deg)
+            dest = out_off[owners] + (np.arange(pocc.size, dtype=np.int64) - poff[owners])
+            out_dst[dest] = pocc + n_atoms
+            out_sign[dest] = True
+        if nocc.size:
+            owners = np.repeat(np.arange(n_atoms), neg_deg)
+            dest = (
+                out_off[owners]
+                + pos_deg[owners]
+                + (np.arange(nocc.size, dtype=np.int64) - noff[owners])
+            )
+            out_dst[dest] = nocc + n_atoms
+        rule_pos = out_off[n_atoms:node_count]
+        out_dst[rule_pos] = head
+        out_sign[rule_pos] = True
+        self.out_off = out_off
+        self.out_src = np.repeat(np.arange(node_count, dtype=np.int32), deg)
+        self.out_dst = out_dst
+        self.out_sign = out_sign
+
+
+def _array_index(idx) -> _ArrayIndex:
+    cached = getattr(idx, "_array_cache", None)
+    key = (idx.n_atoms, idx.n_rules, len(idx.pos_occ), len(idx.neg_occ))
+    if cached is None or cached.key != key:
+        cached = _ArrayIndex(idx)
+        idx._array_cache = cached
+    return cached
+
+
+def _tarjan_csr(node_count, off, dst, roots):
+    """Iterative Tarjan over a flat CSR adjacency (python-int lists).
+
+    Same traversal order as :func:`repro.graphs.scc
+    .strongly_connected_components` driven by the live successor lists
+    (ascending roots, CSR edge order), so components come out in the
+    same reverse topological order; the flat edge-pointer stacks avoid
+    the per-node generator objects of the generic version.
+    """
+    index = [-1] * node_count
+    lowlink = [0] * node_count
+    on_stack = bytearray(node_count)
+    stack: list[int] = []
+    components: list[list[int]] = []
+    counter = 0
+    work: list[int] = []
+    ptr: list[int] = []
+    for root in roots:
+        if index[root] != -1:
+            continue
+        work.append(root)
+        ptr.append(off[root])
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = 1
+        while work:
+            u = work[-1]
+            p = ptr[-1]
+            end = off[u + 1]
+            advanced = False
+            while p < end:
+                v = dst[p]
+                p += 1
+                if index[v] == -1:
+                    ptr[-1] = p
+                    index[v] = lowlink[v] = counter
+                    counter += 1
+                    stack.append(v)
+                    on_stack[v] = 1
+                    work.append(v)
+                    ptr.append(off[v])
+                    advanced = True
+                    break
+                if on_stack[v] and index[v] < lowlink[u]:
+                    lowlink[u] = index[v]
+            if advanced:
+                continue
+            work.pop()
+            ptr.pop()
+            lu = lowlink[u]
+            if work:
+                parent = work[-1]
+                if lu < lowlink[parent]:
+                    lowlink[parent] = lu
+            if lu == index[u]:
+                component: list[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = 0
+                    component.append(w)
+                    if w == u:
+                        break
+                components.append(component)
+    return components
+
+
+def _scipy_components(node_count, alive_node, srcs, dsts):
+    """Strongly connected components of the live subgraph via scipy.
+
+    Labels come from the C-compiled pass; grouping is a stable argsort,
+    so each component's node list comes out ascending.  Dead nodes are
+    isolated in the filtered edge set (they get singleton labels) and
+    are dropped.  Component order differs from Tarjan's reverse
+    topological order — nothing downstream depends on it: bottom
+    detection counts incoming cross edges and the tie heap orders by
+    canonical atom rank, not by cid.
+    """
+    mat = _sp_csr(
+        (np.ones(srcs.size, dtype=np.int8), (srcs, dsts)),
+        shape=(node_count, node_count),
+    )
+    _, labels = _sp_scc(mat, directed=True, connection="strong")
+    alive_ids = np.nonzero(alive_node)[0]
+    alive_labels = labels[alive_ids]
+    order = np.argsort(alive_labels, kind="stable")
+    _, cnt = np.unique(alive_labels, return_counts=True)
+    flat = alive_ids[order].tolist()
+    components: list[list[int]] = []
+    lo = 0
+    for hi in np.cumsum(cnt).tolist():
+        components.append(flat[lo:hi])
+        lo = hi
+    return components
+
+
+class ArrayGroundGraphState(GroundGraphState):
+    """Array-native evaluation state (requires the numpy extra).
+
+    Drop-in replacement for :class:`GroundGraphState`: same constructor,
+    same queries, same trail format, same provenance.  The observable
+    differences are performance and :meth:`select_ties` returning every
+    independent bottom tie per round instead of one.
+    """
+
+    def __init__(self, ground_program: GroundProgram):
+        if np is None:
+            raise BackendUnavailableError(
+                "the array kernel backend requires numpy; install the optional "
+                "extra (pip install repro-datalog[array]) or use backend='python'"
+            )
+        super().__init__(ground_program)
+        # Rebind the per-state counters onto buffer-protocol storages so
+        # numpy views share their memory; values are unchanged, and every
+        # inherited scalar method indexes them exactly as before.
+        self.status = bytearray(self.status)
+        self.rule_pending = array("i", self.rule_pending)
+        self.atom_support = array("i", self.atom_support)
+        self.pos_live = array("i", self.pos_live)
+        self._src = array("i", self._src)
+        self._reason_arg = array("i", self._reason_arg)
+        self._rule_slot = array("i", self._rule_slot)
+        self._aidx = _array_index(self._idx)
+        self._node_local = np.zeros(self.n_atoms + self.n_rules, dtype=np.int32)
+        # _scc_comp_of stays the base class's plain list (scalar paths —
+        # the close drain, _refine_scc, trail undo — index it constantly
+        # and native list access beats numpy scalar indexing); the numpy
+        # mirror for vectorized passes is cached here and dropped
+        # whenever a scalar path may have rewritten entries.
+        self._comp_of_cache = None
+        self._install_views()
+
+    def _install_views(self) -> None:
+        self._status_np = np.frombuffer(self.status, dtype=np.uint8)
+        self._atom_alive_np = np.frombuffer(self.atom_alive, dtype=np.uint8)
+        self._rule_alive_np = np.frombuffer(self.rule_alive, dtype=np.uint8)
+        self._pending_np = np.frombuffer(self.rule_pending, dtype=np.intc)
+        self._pos_live_np = np.frombuffer(self.pos_live, dtype=np.intc)
+        self._support_np = np.frombuffer(self.atom_support, dtype=np.intc)
+        self._src_np = np.frombuffer(self._src, dtype=np.intc)
+        self._reason_kind_np = np.frombuffer(self._reason_kind, dtype=np.uint8)
+        self._reason_arg_np = np.frombuffer(self._reason_arg, dtype=np.intc)
+        self._rule_slot_np = np.frombuffer(self._rule_slot, dtype=np.intc)
+
+    def _comp_np(self):
+        """The numpy mirror of the node → cid map (rebuilt when stale)."""
+        cache = self._comp_of_cache
+        if cache is None:
+            comp_of = self._scc_comp_of
+            cache = np.fromiter(comp_of, dtype=np.int32, count=len(comp_of))
+            self._comp_of_cache = cache
+        return cache
+
+    def _refine_scc(self) -> None:
+        super()._refine_scc()
+        self._comp_of_cache = None
+
+    def trail_undo(self, mark: int) -> None:
+        super().trail_undo(mark)
+        self._comp_of_cache = None
+
+    # -- closure -------------------------------------------------------------
+
+    def close(self) -> None:
+        t_close = perf_counter()
+        idx = self._idx
+        if self._initial:
+            self._initial = False
+            for r_index in idx.empty_body_rules:
+                if self.rule_alive[r_index]:
+                    self._fire(r_index)
+            status = self.status
+            for index in idx.zero_support_atoms:
+                if status[index] == UNDEF and self.atom_support[index] == 0:
+                    self._set(index, FALSE, _R_NO_SUPPORT)
+        dirty = self._dirty
+        while dirty:
+            if len(dirty) >= _BATCH_MIN:
+                self._close_batch()
+            else:
+                self._close_scalar_drain()
+        self.phase_s["close_s"] += perf_counter() - t_close
+
+    def _close_scalar_drain(self) -> None:
+        """The base kernel's per-atom loop, bounded by the batch threshold.
+
+        Verbatim port of :meth:`GroundGraphState.close`'s hot loop (with
+        scalar casts on the numpy component map); hands back to the
+        batched path as soon as fires/kills grow the worklist past
+        ``_BATCH_MIN``.
+        """
+        idx = self._idx
+        dirty = self._dirty
+        status = self.status
+        atom_alive = self.atom_alive
+        rule_alive = self.rule_alive
+        rule_pending = self.rule_pending
+        pos_live = self.pos_live
+        pos_occ_t = idx.pos_occ_t
+        neg_occ_t = idx.neg_occ_t
+        live_atoms, atom_slot = self._live_atoms, self._atom_slot
+        comp_of = self._scc_comp_of
+        track = comp_of is not None
+        comps = self._scc_comps
+        scc_dirty = self._scc_dirty
+        incross = self._scc_incross
+        bottom = self._scc_bottom
+        heap = self._tie_heap
+        sourceless = self._unf_sourceless
+        trail = self._trail
+        n_atoms = self.n_atoms
+        heap_key = self._heap_key
+
+        while dirty and len(dirty) < _BATCH_MIN:
+            index = dirty.popleft()
+            if not atom_alive[index]:
+                continue
+            atom_alive[index] = 0
+            self._live_atom_count -= 1
+            slot = atom_slot[index]
+            last = live_atoms.pop()
+            if last != index:
+                live_atoms[slot] = last
+                atom_slot[last] = slot
+            atom_slot[index] = -1
+            if trail is not None:
+                trail.append((_T_ATOM, index, slot))
+            if sourceless and index in sourceless:
+                sourceless.discard(index)
+                if trail is not None:
+                    trail.append((_T_SL_DISCARD, index))
+            cu = -1
+            if track:
+                cu = comp_of[index]
+                if cu not in scc_dirty:
+                    scc_dirty.add(cu)
+                    if trail is not None:
+                        trail.append((_T_DIRTY, cu))
+            value = status[index]
+            if value == TRUE:
+                if self._unf_valid and sourceless:
+                    self._unf_valid = False
+                    if trail is not None:
+                        trail.append((_T_UNF_VALID, True))
+                for r in pos_occ_t[index]:
+                    pos_live[r] -= 1
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if trail is not None:
+                                    trail.append((_T_INCROSS, cr))
+                                if count == 0:
+                                    bottom.add(cr)
+                                    heappush(heap, (heap_key(comps[cr]), cr))
+                        pending = rule_pending[r] - 1
+                        rule_pending[r] = pending
+                        if pending == 0:
+                            self._fire(r)
+                for r in neg_occ_t[index]:
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if trail is not None:
+                                    trail.append((_T_INCROSS, cr))
+                                if count == 0:
+                                    bottom.add(cr)
+                                    heappush(heap, (heap_key(comps[cr]), cr))
+                        self._kill_rule(r)
+            else:
+                for r in neg_occ_t[index]:
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if trail is not None:
+                                    trail.append((_T_INCROSS, cr))
+                                if count == 0:
+                                    bottom.add(cr)
+                                    heappush(heap, (heap_key(comps[cr]), cr))
+                        pending = rule_pending[r] - 1
+                        rule_pending[r] = pending
+                        if pending == 0:
+                            self._fire(r)
+                for r in pos_occ_t[index]:
+                    pos_live[r] -= 1
+                    if rule_alive[r]:
+                        if track:
+                            cr = comp_of[n_atoms + r]
+                            if cr != cu:
+                                count = incross[cr] - 1
+                                incross[cr] = count
+                                if trail is not None:
+                                    trail.append((_T_INCROSS, cr))
+                                if count == 0:
+                                    bottom.add(cr)
+                                    heappush(heap, (heap_key(comps[cr]), cr))
+                        self._kill_rule(r)
+
+    def _close_batch(self) -> None:
+        """Drain the current worklist as one vectorized frontier batch.
+
+        Phase 1 (scalar, in worklist order) performs the per-atom
+        bookkeeping the trail format requires; phases 2–5 run the
+        per-edge counter updates, cross-edge accounting, and the kill/
+        fire sweeps as array operations against rule liveness sampled at
+        batch start (kills happen strictly after all decrements, which
+        keeps the trail's inverse exact — see the module docstring).
+        """
+        dirty = self._dirty
+        status = self.status
+        atom_alive = self.atom_alive
+        live_atoms, atom_slot = self._live_atoms, self._atom_slot
+        sourceless = self._unf_sourceless
+        trail = self._trail
+        comp_of = self._scc_comp_of
+        track = comp_of is not None
+        scc_dirty = self._scc_dirty
+        batch_true: list[int] = []
+        batch_false: list[int] = []
+
+        while dirty:
+            index = dirty.popleft()
+            if not atom_alive[index]:
+                continue
+            atom_alive[index] = 0
+            self._live_atom_count -= 1
+            slot = atom_slot[index]
+            last = live_atoms.pop()
+            if last != index:
+                live_atoms[slot] = last
+                atom_slot[last] = slot
+            atom_slot[index] = -1
+            if trail is not None:
+                trail.append((_T_ATOM, index, slot))
+            if sourceless and index in sourceless:
+                sourceless.discard(index)
+                if trail is not None:
+                    trail.append((_T_SL_DISCARD, index))
+            if track:
+                cu = comp_of[index]
+                if cu not in scc_dirty:
+                    scc_dirty.add(cu)
+                    if trail is not None:
+                        trail.append((_T_DIRTY, cu))
+            if status[index] == TRUE:
+                if self._unf_valid and sourceless:
+                    self._unf_valid = False
+                    if trail is not None:
+                        trail.append((_T_UNF_VALID, True))
+                batch_true.append(index)
+            else:
+                batch_false.append(index)
+
+        aidx = self._aidx
+        n_rules = self.n_rules
+        rule_alive_np = self._rule_alive_np
+        pending_np = self._pending_np
+        pos_live_np = self._pos_live_np
+        kill_parts: list = []
+        touched = False
+        cross_src: list = []
+        cross_dst: list = []
+
+        if batch_true:
+            A = np.fromiter(batch_true, dtype=np.int64, count=len(batch_true))
+            owners, flat = _gather(aidx.pos_occ_off, A)
+            P = aidx.pos_occ[flat]
+            if P.size:
+                pos_live_np -= np.bincount(P, minlength=n_rules).astype(np.intc)
+                alive = rule_alive_np[P] != 0
+                Pa = P[alive]
+                if Pa.size:
+                    pending_np -= np.bincount(Pa, minlength=n_rules).astype(np.intc)
+                    touched = True
+                    if track:
+                        cross_src.append(owners[alive])
+                        cross_dst.append(Pa)
+            owners_n, flat_n = _gather(aidx.neg_occ_off, A)
+            N = aidx.neg_occ[flat_n]
+            if N.size:
+                alive_n = rule_alive_np[N] != 0
+                Na = N[alive_n]
+                if Na.size:
+                    kill_parts.append(Na)
+                    if track:
+                        cross_src.append(owners_n[alive_n])
+                        cross_dst.append(Na)
+        if batch_false:
+            A = np.fromiter(batch_false, dtype=np.int64, count=len(batch_false))
+            owners_n, flat_n = _gather(aidx.neg_occ_off, A)
+            N = aidx.neg_occ[flat_n]
+            if N.size:
+                alive_n = rule_alive_np[N] != 0
+                Na = N[alive_n]
+                if Na.size:
+                    pending_np -= np.bincount(Na, minlength=n_rules).astype(np.intc)
+                    touched = True
+                    if track:
+                        cross_src.append(owners_n[alive_n])
+                        cross_dst.append(Na)
+            owners, flat = _gather(aidx.pos_occ_off, A)
+            P = aidx.pos_occ[flat]
+            if P.size:
+                pos_live_np -= np.bincount(P, minlength=n_rules).astype(np.intc)
+                alive = rule_alive_np[P] != 0
+                Pa = P[alive]
+                if Pa.size:
+                    kill_parts.append(Pa)
+                    if track:
+                        cross_src.append(owners[alive])
+                        cross_dst.append(Pa)
+
+        if track and cross_src:
+            src_all = np.concatenate(cross_src)
+            dst_all = np.concatenate(cross_dst)
+            comp_np = self._comp_np()
+            cu_arr = comp_np[src_all]
+            cr_arr = comp_np[dst_all.astype(np.int64) + self.n_atoms]
+            cross = cr_arr != cu_arr
+            if cross.any():
+                hit = cr_arr[cross]
+                lo = int(hit.min())
+                ks_arr = np.bincount(hit.astype(np.int64) - lo)
+                cids = np.nonzero(ks_arr)[0]
+                incross = self._scc_incross
+                bottom = self._scc_bottom
+                heap = self._tie_heap
+                comps = self._scc_comps
+                heap_key = self._heap_key
+                ks = ks_arr[cids].tolist()
+                for cid, k in zip((cids + lo).tolist(), ks):
+                    old = incross[cid]
+                    new = old - k
+                    incross[cid] = new
+                    if trail is not None:
+                        entry = (_T_INCROSS, cid)
+                        for _ in range(k):
+                            trail.append(entry)
+                    # Crossed (or landed on) zero in this batch: exactly
+                    # when the undo replay will see the count read 0 once.
+                    if new <= 0 < old:
+                        bottom.add(cid)
+                        heappush(heap, (heap_key(comps[cid]), cid))
+
+        kills_np = None
+        if kill_parts:
+            kb = np.bincount(np.concatenate(kill_parts), minlength=n_rules)
+            kills_np = np.nonzero((kb != 0) & (rule_alive_np != 0))[0]
+        fires_est = (
+            int(np.count_nonzero((pending_np == 0) & (rule_alive_np != 0))) if touched else 0
+        )
+        nkills = 0 if kills_np is None else int(kills_np.size)
+        if trail is None and nkills + fires_est >= _SCALAR_TAIL:
+            self._bulk_kill_fire(kills_np if nkills else None)
+        else:
+            if nkills:
+                rule_alive = self.rule_alive
+                for r in kills_np.tolist():
+                    if rule_alive[r]:
+                        self._kill_rule(r)
+            if touched:
+                F = np.nonzero((pending_np == 0) & (rule_alive_np != 0))[0]
+                rule_alive = self.rule_alive
+                for r in F.tolist():
+                    if rule_alive[r]:
+                        self._fire(r)
+
+    def _bulk_kill_fire(self, kills) -> None:
+        """Vectorized rule kills and fires for one trail-less batch.
+
+        Equivalent to calling :meth:`_kill_rule` on every rule in
+        ``kills`` (ascending) and then :meth:`_fire` on every live rule
+        whose pending count reached zero (ascending) — the same order
+        the scalar fallback uses.  Head support drops by bincount, heads
+        that lose their last support go false, fired heads go true with
+        the lowest firing rule as provenance (reversed scatter: last
+        write wins, so the reversed ascending order keeps the first),
+        and the live-rule compaction is rebuilt wholesale instead of
+        swap-removed per rule.  Only callable without an active trail —
+        undo needs the per-rule records of the scalar path.
+        """
+        n_atoms = self.n_atoms
+        aidx = self._aidx
+        rule_alive_np = self._rule_alive_np
+        status_np = self._status_np
+        support_np = self._support_np
+        reason_kind_np = self._reason_kind_np
+        reason_arg_np = self._reason_arg_np
+        dirty = self._dirty
+        dead_parts: list = []
+
+        if kills is not None:
+            rule_alive_np[kills] = 0
+            dead_parts.append(kills)
+            heads = aidx.head_of[kills].astype(np.int64)
+            support_np -= np.bincount(heads, minlength=n_atoms).astype(np.intc)
+            if self._unf_valid:
+                lost = self._src_np[heads] == kills
+                if lost.any():
+                    lh = heads[lost]
+                    self._src_np[lh] = -1
+                    self._unf_lost.extend(lh.tolist())
+            newly_false = np.unique(
+                heads[(support_np[heads] == 0) & (status_np[heads] == UNDEF)]
+            )
+            if newly_false.size:
+                status_np[newly_false] = FALSE
+                reason_kind_np[newly_false] = _R_NO_SUPPORT
+                dirty.extend(newly_false.tolist())
+
+        fires = np.nonzero((self._pending_np == 0) & (rule_alive_np != 0))[0]
+        if fires.size:
+            rule_alive_np[fires] = 0
+            dead_parts.append(fires)
+            heads = aidx.head_of[fires].astype(np.int64)
+            support_np -= np.bincount(heads, minlength=n_atoms).astype(np.intc)
+            conflict = status_np[heads] == FALSE
+            if conflict.any():
+                i = int(np.nonzero(conflict)[0][0])
+                r, h = int(fires[i]), int(heads[i])
+                raise CloseConflictError(
+                    h,
+                    f"rule instance #{r} fired but its head atom "
+                    f"{self.gp.atoms.atom(h)} is already false",
+                )
+            undef = status_np[heads] == UNDEF
+            nh = heads[undef]
+            nr = fires[undef]
+            status_np[nh] = TRUE
+            reason_kind_np[nh] = _R_FIRED
+            reason_arg_np[nh[::-1]] = nr[::-1].astype(np.intc)
+            newly_true = np.unique(nh)
+            if newly_true.size:
+                dirty.extend(newly_true.tolist())
+
+        if not dead_parts:
+            return
+        gone = dead_parts[0] if len(dead_parts) == 1 else np.concatenate(dead_parts)
+        live_rules = self._live_rules
+        live_arr = np.fromiter(live_rules, dtype=np.int64, count=len(live_rules))
+        still = live_arr[rule_alive_np[live_arr] != 0]
+        live_rules[:] = still.tolist()
+        rule_slot_np = self._rule_slot_np
+        rule_slot_np[still] = np.arange(still.size, dtype=np.intc)
+        rule_slot_np[gone] = -1
+        if self._scc_comp_of is None:
+            return
+        comp_np = self._comp_np()
+        cr_arr = comp_np[gone + n_atoms]
+        self._scc_dirty.update(np.unique(cr_arr).tolist())
+        heads = aidx.head_of[gone].astype(np.int64)
+        cross = (self._atom_alive_np[heads] != 0) & (comp_np[heads] != cr_arr)
+        if not cross.any():
+            return
+        hit = comp_np[heads[cross]]
+        lo = int(hit.min())
+        cnts = np.bincount(hit.astype(np.int64) - lo)
+        incross = self._scc_incross
+        bottom = self._scc_bottom
+        heap = self._tie_heap
+        comps = self._scc_comps
+        heap_key = self._heap_key
+        nz = np.nonzero(cnts)[0]
+        for cid, k in zip((nz + lo).tolist(), cnts[nz].tolist()):
+            old = incross[cid]
+            new = old - k
+            incross[cid] = new
+            if new <= 0 < old:
+                bottom.add(cid)
+                heappush(heap, (heap_key(comps[cid]), cid))
+
+    # -- unfounded-set cascade ----------------------------------------------
+
+    def _unf_rebuild(self) -> None:
+        """Layered vectorized positive cascade installing fresh sources.
+
+        Under an active trail (enumeration) or on small live graphs the
+        exact scalar rebuild runs instead — the trail records it appends
+        are part of the undo contract, and tiny cascades are faster in
+        the interpreter than through numpy call overhead.
+        """
+        if self._trail is not None or self._live_atom_count < 4 * _BATCH_MIN:
+            super()._unf_rebuild()
+            return
+        aidx = self._aidx
+        alive_atom = self._atom_alive_np != 0
+        live_rule = self._rule_alive_np != 0
+        pend = self._pos_live_np.astype(np.int32)
+        derived = np.zeros(self.n_atoms, dtype=bool)
+        big = np.iinfo(np.int32).max
+        src_new = np.full(self.n_atoms, big, dtype=np.int32)
+        head_of = aidx.head_of
+        frontier = np.nonzero(live_rule & (pend == 0))[0]
+        while frontier.size:
+            if frontier.size < _SCALAR_TAIL:
+                self._unf_scalar_tail(frontier, pend, derived, src_new)
+                break
+            heads = head_of[frontier]
+            m = alive_atom[heads] & ~derived[heads]
+            cand_r = frontier[m]
+            cand_h = heads[m]
+            if cand_h.size == 0:
+                break
+            newly = np.unique(cand_h)
+            derived[newly] = True
+            # Deterministic source choice: the smallest deriving rule.
+            np.minimum.at(src_new, cand_h, cand_r.astype(np.int32))
+            _, flat = _gather(aidx.pos_occ_off, newly)
+            R = aidx.pos_occ[flat]
+            if R.size == 0:
+                break
+            np.subtract.at(pend, R, 1)
+            Ru = np.unique(R)
+            frontier = Ru[live_rule[Ru] & (pend[Ru] == 0)].astype(np.int64)
+        src_final = np.where(derived, src_new, -1).astype(np.intc)
+        self._src_np[alive_atom] = src_final[alive_atom]
+        self._unf_sourceless = set(np.nonzero(alive_atom & ~derived)[0].tolist())
+        self._unf_lost = []
+        self._unf_valid = True
+
+    def _unf_scalar_tail(self, frontier, pend, derived, src_new) -> None:
+        """Drain a small cascade frontier with the scalar stack loop."""
+        head_of_t = self._idx.head_of_t
+        pos_occ_t = self._idx.pos_occ_t
+        atom_alive = self.atom_alive
+        rule_alive = self.rule_alive
+        stack = frontier.tolist()
+        while stack:
+            r = stack.pop()
+            h = head_of_t[r]
+            if derived[h] or not atom_alive[h]:
+                continue
+            derived[h] = True
+            src_new[h] = r
+            for r2 in pos_occ_t[h]:
+                p = pend[r2] - 1
+                pend[r2] = p
+                if p == 0 and rule_alive[r2]:
+                    stack.append(r2)
+
+    # -- SCC condensation and tie analysis -----------------------------------
+
+    def _rebuild_scc(self) -> None:
+        if self._trail is not None:
+            self._trail.append((_T_REBUILD,))
+        n_atoms = self.n_atoms
+        node_count = n_atoms + self.n_rules
+        aidx = self._aidx
+        alive_node = np.empty(node_count, dtype=bool)
+        alive_node[:n_atoms] = self._atom_alive_np != 0
+        alive_node[n_atoms:] = self._rule_alive_np != 0
+        keep = alive_node[aidx.out_src] & alive_node[aidx.out_dst]
+        srcs = aidx.out_src[keep]
+        dsts = aidx.out_dst[keep]
+        if _sp_scc is not None and node_count >= _ANALYZE_MIN:
+            components = _scipy_components(node_count, alive_node, srcs, dsts)
+        else:
+            counts = np.bincount(srcs, minlength=node_count)
+            off = np.zeros(node_count + 1, dtype=np.int64)
+            np.cumsum(counts, out=off[1:])
+            live_nodes = np.nonzero(alive_node)[0].tolist()
+            components = _tarjan_csr(node_count, off.tolist(), dsts.tolist(), live_nodes)
+
+        base = self._scc_next_cid
+        comps: dict[int, list[int]] = {}
+        flat_nodes: list[int] = []
+        lens: list[int] = []
+        for offset, component in enumerate(components):
+            component.sort()
+            comps[base + offset] = component
+            flat_nodes.extend(component)
+            lens.append(len(component))
+        comp_of = np.full(node_count, -1, dtype=np.int32)
+        if flat_nodes:
+            comp_of[np.fromiter(flat_nodes, dtype=np.int64, count=len(flat_nodes))] = np.repeat(
+                np.arange(base, base + len(components), dtype=np.int32),
+                np.fromiter(lens, dtype=np.int64, count=len(lens)),
+            )
+        self._scc_comps = comps
+        self._scc_comp_of = comp_of.tolist()
+        self._comp_of_cache = comp_of
+        self._scc_next_cid = base + len(components)
+        self._scc_bottom_obj = {}
+        self._scc_dirty.clear()
+
+        ncomps = len(components)
+        if srcs.size:
+            cs = comp_of[srcs]
+            cd = comp_of[dsts]
+            cross = cs != cd
+            cnt = np.bincount(cd[cross] - base, minlength=ncomps)
+        else:
+            cnt = np.zeros(ncomps, dtype=np.int64)
+        incross = {base + i: int(c) for i, c in enumerate(cnt.tolist())}
+        self._scc_incross = incross
+        bottom = {cid for cid, c in incross.items() if c == 0}
+        self._scc_bottom = bottom
+        heap = self._tie_heap
+        for cid in bottom:
+            heappush(heap, (self._heap_key(comps[cid]), cid))
+
+    def _bottom_component(self, cid: int) -> BottomComponent:
+        obj = self._scc_bottom_obj.get(cid)
+        if obj is None:
+            comps = self._scc_comps
+            assert comps is not None
+            if len(comps[cid]) < _ANALYZE_MIN:
+                return super()._bottom_component(cid)
+            self._analyze_bottom_batch([cid])
+            obj = self._scc_bottom_obj[cid]
+        return obj
+
+    def _analyze_bottom_batch(self, cids: list) -> None:
+        """Pooled Lemma-1 pass over many bottom components at once.
+
+        Bottom components are disjoint, so their nodes pool into one
+        array: edges of every component are gathered in a single CSR
+        multi-gather, membership is read off the component map (a current
+        cid's members are exactly the live nodes mapped to it), sides are
+        assigned by a scalar spanning-tree walk per component over the
+        pooled local CSR (each component's root is its first node, side
+        0 — the scalar :func:`~repro.graphs.ties.analyze_component`
+        convention, and path-independence inside a tie makes the
+        partition identical), and every in-component edge of every
+        component is verified in one vectorized comparison.  Components
+        with a violated edge re-run the exact scalar pass to extract the
+        odd-cycle witness.  Results land in the memo table.
+        """
+        comps = self._scc_comps
+        assert comps is not None and self._scc_comp_of is not None
+        comp_of = self._comp_np()
+        n_atoms = self.n_atoms
+        aidx = self._aidx
+        pooled: list[int] = []
+        spans: list[tuple[int, int, int]] = []
+        for cid in cids:
+            start = len(pooled)
+            pooled.extend(comps[cid])
+            spans.append((cid, start, len(pooled)))
+        k = len(pooled)
+        nodes = np.fromiter(pooled, dtype=np.int64, count=k)
+        owners, flat = _gather(aidx.out_off, nodes)
+        dst = aidx.out_dst[flat]
+        inside = comp_of[dst] == comp_of[owners]
+        src_in = owners[inside]
+        dst_in = dst[inside]
+        sign_in = aidx.out_sign[flat][inside]
+        local = self._node_local
+        local[nodes] = np.arange(k, dtype=np.int32)
+        ls = local[src_in]  # non-decreasing: owners follow pooled order
+        ld = local[dst_in]
+        if _sp_dijkstra is not None and k >= 4 * _SCALAR_TAIL:
+            # Parity-encoding shortest path: weight 2 on positive edges,
+            # 1 on negative, a weight-2 edge from a super-source to each
+            # component root.  dist = 2·#pos + #neg, so dist mod 2 is
+            # the negative-edge parity of SOME root path — and inside a
+            # tie every root path has the same parity, so this is the
+            # spanning-tree side.  In a non-tie the parities disagree,
+            # but then NO assignment satisfies every edge and the
+            # vectorized verify below flags the component regardless.
+            roots = np.fromiter((s for _, s, _ in spans), dtype=np.int64, count=len(spans))
+            w = np.where(sign_in, 2, 1).astype(np.int64)
+            src_all = np.concatenate([ls, np.full(roots.size, k, dtype=np.int64)])
+            dst_all = np.concatenate([ld, roots])
+            w_all = np.concatenate([w, np.full(roots.size, 2, dtype=np.int64)])
+            mat = _sp_csr((w_all, (src_all, dst_all)), shape=(k + 1, k + 1))
+            dist = _sp_dijkstra(mat, directed=True, indices=k)
+            side_arr = (dist[:k].astype(np.int64) & 1).astype(np.int8)
+        else:
+            cnt = np.bincount(ls, minlength=k)
+            loff = np.zeros(k + 1, dtype=np.int64)
+            np.cumsum(cnt, out=loff[1:])
+            loff_l = loff.tolist()
+            ld_l = ld.tolist()
+            parity_l = (~sign_in).astype(np.int8).tolist()
+            side = [-1] * k
+            stack: list[int] = []
+            for _, start, _ in spans:
+                side[start] = 0
+                stack.append(start)
+                while stack:
+                    u = stack.pop()
+                    su = side[u]
+                    for p in range(loff_l[u], loff_l[u + 1]):
+                        v = ld_l[p]
+                        if side[v] == -1:
+                            side[v] = su ^ parity_l[p]
+                            stack.append(v)
+            side_arr = np.fromiter(side, dtype=np.int8, count=k)
+        bad = np.where(sign_in, side_arr[ls] != side_arr[ld], side_arr[ls] == side_arr[ld])
+        bad_comps: set = set()
+        if bool(bad.any()):
+            bad_comps = set(comp_of[src_in[bad]].tolist())
+        bottom_obj = self._scc_bottom_obj
+        side_l = side_arr.tolist()
+        for cid, start, end in spans:
+            component = comps[cid]
+            if cid in bad_comps:
+                analysis = analyze_component(component, self._live_successors)
+            else:
+                analysis = TieAnalysis(
+                    is_tie=True, sides=dict(zip(component, side_l[start:end]))
+                )
+            # Node lists are sorted and atoms precede shifted rule nodes.
+            cut = bisect_left(component, n_atoms)
+            atom_ids = component[:cut]
+            rule_ids = [n - n_atoms for n in component[cut:]]
+            bottom_obj[cid] = BottomComponent(atom_ids, rule_ids, analysis, n_atoms)
+
+    def select_ties(self) -> list[BottomComponent]:
+        """All current bottom ties, in canonical (smallest-atom) order.
+
+        One batched round: the returned components are pairwise disjoint
+        bottom SCCs with no incoming cross edges, so applying every tie
+        choice and closing once reaches the same closure as the python
+        kernel's one-tie-per-round loop.  The lazy-discard heap is left
+        untouched — :meth:`select_tie` (used by the enumerators) keeps
+        its exact sequential contract on this backend too.
+        """
+        t0 = perf_counter()
+        self._require_closed()
+        if self._scc_comps is None:
+            self._rebuild_scc()
+        elif self._scc_dirty:
+            self._refine_scc()
+        comps = self._scc_comps
+        assert comps is not None
+        pending = []
+        for cid in self._scc_bottom:
+            if len(comps[cid]) == 1:
+                raise AssertionError(
+                    "singleton bottom component survived close(); graph state corrupt"
+                )
+            if cid not in self._scc_bottom_obj:
+                pending.append(cid)
+        if pending:
+            if sum(len(comps[cid]) for cid in pending) < _SCALAR_TAIL:
+                for cid in pending:
+                    super()._bottom_component(cid)
+            else:
+                self._analyze_bottom_batch(pending)
+        keyed: list[tuple[int, BottomComponent]] = []
+        for cid in self._scc_bottom:
+            obj = self._bottom_component(cid)
+            if obj.is_tie:
+                keyed.append((self._heap_key(comps[cid]), obj))
+        keyed.sort(key=lambda kv: kv[0])
+        ties = [obj for _, obj in keyed]
+        if ties:
+            self.tie_rounds += 1
+        self.phase_s["tie_select_s"] += perf_counter() - t0
+        return ties
+
+    # -- cloning -------------------------------------------------------------
+
+    def clone(self) -> "ArrayGroundGraphState":
+        other = object.__new__(ArrayGroundGraphState)
+        other.gp = self.gp
+        other._idx = self._idx
+        other._aidx = self._aidx
+        other.n_atoms = self.n_atoms
+        other.n_rules = self.n_rules
+        other.status = bytearray(self.status)
+        other.atom_alive = bytearray(self.atom_alive)
+        other.rule_alive = bytearray(self.rule_alive)
+        other.rule_pending = array("i", self.rule_pending)
+        other.atom_support = array("i", self.atom_support)
+        other.pos_live = array("i", self.pos_live)
+        other._live_atoms = list(self._live_atoms)
+        other._atom_slot = list(self._atom_slot)
+        other._live_rules = list(self._live_rules)
+        other._rule_slot = array("i", self._rule_slot)
+        other._live_atom_count = self._live_atom_count
+        other._order = self._order
+        other._reason_kind = bytearray(self._reason_kind)
+        other._reason_arg = array("i", self._reason_arg)
+        other._labels = list(self._labels)
+        other._dirty = deque(self._dirty)
+        other._initial = self._initial
+        other._scratch = self._scratch
+        other._src = array("i", self._src)
+        other._unf_valid = self._unf_valid
+        other._unf_lost = list(self._unf_lost)
+        other._unf_sourceless = set(self._unf_sourceless)
+        other._scc_comps = dict(self._scc_comps) if self._scc_comps is not None else None
+        comp_of = self._scc_comp_of
+        other._scc_comp_of = None if comp_of is None else list(comp_of)
+        other._comp_of_cache = None
+        other._scc_incross = dict(self._scc_incross)
+        other._scc_bottom = set(self._scc_bottom)
+        other._scc_bottom_obj = dict(self._scc_bottom_obj)
+        other._scc_next_cid = self._scc_next_cid
+        other._scc_dirty = set(self._scc_dirty)
+        other._tie_heap = list(self._tie_heap)
+        other._trail = None
+        other.phase_s = dict(self.phase_s)
+        other.tie_rounds = self.tie_rounds
+        other._node_local = np.zeros(self.n_atoms + self.n_rules, dtype=np.int32)
+        other._install_views()
+        return other

@@ -1,0 +1,78 @@
+"""Kernel backend selection: ``python`` | ``array`` | ``auto``.
+
+The evaluation kernel comes in two interchangeable implementations of
+the same state contract: the pure-Python
+:class:`~repro.ground.state.GroundGraphState` (always available, the
+differential oracle) and the NumPy-vectorized
+:class:`~repro.ground.array_state.ArrayGroundGraphState` (the optional
+``[array]`` extra).  :func:`make_state` is the single construction point
+the interpreters go through; callers name a backend (or pass ``None``
+for the python default) and :func:`resolve_backend` turns it into a
+concrete choice:
+
+* ``"python"`` — always the scalar kernel;
+* ``"array"`` — the vectorized kernel, or
+  :class:`~repro.errors.BackendUnavailableError` when numpy is missing;
+* ``"auto"`` — the vectorized kernel when numpy imports **and** the
+  ground graph has at least :data:`AUTO_ARRAY_THRESHOLD` nodes
+  (below that, per-call numpy overhead beats the interpreter loops);
+  silently the scalar kernel otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.grounding import GroundProgram
+from repro.errors import BackendUnavailableError, SemanticsError
+from repro.ground.state import GroundGraphState
+
+__all__ = ["AUTO_ARRAY_THRESHOLD", "BACKENDS", "make_state", "resolve_backend"]
+
+# Node count (atoms + rule instances) at which backend="auto" switches
+# from the scalar kernel to the array kernel.
+AUTO_ARRAY_THRESHOLD = 2048
+
+BACKENDS = ("python", "array", "auto")
+
+
+def _numpy_available() -> bool:
+    from repro.ground.array_state import numpy_available
+
+    return numpy_available()
+
+
+def resolve_backend(ground_program: GroundProgram, backend: str | None) -> str:
+    """The concrete backend (``"python"`` or ``"array"``) for a request."""
+    if backend is None:
+        return "python"
+    if backend not in BACKENDS:
+        raise SemanticsError(
+            f"unknown kernel backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    if backend == "auto":
+        if not _numpy_available():
+            return "python"
+        idx = ground_program.index
+        if idx.n_atoms + idx.n_rules >= AUTO_ARRAY_THRESHOLD:
+            return "array"
+        return "python"
+    if backend == "array" and not _numpy_available():
+        raise BackendUnavailableError(
+            "backend='array' requires numpy; install the optional extra "
+            "(pip install repro-datalog[array]) or use backend='auto' to "
+            "fall back to the python kernel"
+        )
+    return backend
+
+
+def make_state(ground_program: GroundProgram, backend: str | None = None) -> GroundGraphState:
+    """Construct the evaluation state for ``ground_program``.
+
+    ``backend`` is ``"python"``, ``"array"``, ``"auto"``, or ``None``
+    (python).  Returns a :class:`GroundGraphState` (possibly the array
+    subclass) ready for the interpreters.
+    """
+    if resolve_backend(ground_program, backend) == "array":
+        from repro.ground.array_state import ArrayGroundGraphState
+
+        return ArrayGroundGraphState(ground_program)
+    return GroundGraphState(ground_program)

@@ -290,6 +290,11 @@ class GroundGraphState:
             "tie_apply_s": 0.0,
         }
 
+        # Number of nonempty tie rounds served by select_ties() — the
+        # batched-round property tests assert the array backend collapses
+        # independent ties into O(DAG depth) rounds against this counter.
+        self.tie_rounds = 0
+
         # Rule nodes that start with no incoming edges (empty bodies) fire
         # during the first close; atoms with no support start falsifiable.
         self._initial = True
@@ -1146,6 +1151,23 @@ class GroundGraphState:
         self.phase_s["tie_select_s"] += perf_counter() - t0
         return result
 
+    def select_ties(self) -> list[BottomComponent]:
+        """The bottom ties to break in this round (one batched round).
+
+        The pure-Python kernel keeps the sequential semantics — one tie
+        per round, the one :meth:`select_tie` returns — so existing golden
+        trails are unchanged; the array backend overrides this to return
+        *all* current bottom ties at once (they are disjoint and have no
+        incoming cross edges, so breaking them in one round reaches the
+        same closure as breaking them one by one).  Every nonempty round
+        increments :attr:`tie_rounds`.
+        """
+        tie = self.select_tie()
+        if tie is None:
+            return []
+        self.tie_rounds += 1
+        return [tie]
+
     # -- trail-based undo ----------------------------------------------------
 
     def trail_begin(self) -> None:
@@ -1362,6 +1384,7 @@ class GroundGraphState:
         other._tie_heap = list(self._tie_heap)
         other._trail = None
         other.phase_s = dict(self.phase_s)
+        other.tie_rounds = self.tie_rounds
         return other
 
     # -- results -------------------------------------------------------------

@@ -40,6 +40,7 @@ from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode, GroundProgram, ground
 from repro.datalog.program import Program
+from repro.ground.backend import make_state
 from repro.ground.model import FALSE, TRUE, Interpretation
 from repro.ground.state import BottomComponent, GroundGraphState
 from repro.semantics.choices import ChoicePolicy, FirstSideTrue, forced_orientation
@@ -209,16 +210,27 @@ def _run(
     *,
     well_founded: bool,
 ) -> list[TieChoice]:
-    """Drive a (pure or well-founded) tie-breaking run to completion."""
+    """Drive a (pure or well-founded) tie-breaking run to completion.
+
+    Backend-agnostic: each round breaks *every* independent bottom tie the
+    kernel reports (:meth:`GroundGraphState.select_ties`).  Bottom ties
+    are disjoint and have no incoming edges, so orienting one cannot
+    change another's tie-ness or partition — batching a round is
+    observably identical to the one-tie-per-round schedule.  The python
+    kernel reports one tie per round (preserving its sequential
+    schedule); the array kernel reports all of them, collapsing a
+    committee-style cascade of n rounds into O(DAG depth).
+    """
     choices: list[TieChoice] = []
     state.close()
     while True:
         if well_founded:
             state.falsify_unfounded(numbered=False)
-        tie = state.select_tie()
-        if tie is None:
+        ties = state.select_ties()
+        if not ties:
             return choices
-        choices.append(_break_tie(state, tie, policy))
+        for tie in ties:
+            choices.append(_break_tie(state, tie, policy))
         state.close()
 
 
@@ -229,10 +241,11 @@ def _pure_tie_breaking(
     policy: ChoicePolicy | None = None,
     grounding: GroundingMode = "full",
     ground_program: GroundProgram | None = None,
+    backend: str | None = None,
 ) -> TieBreakingRun:
     """Implementation behind the ``pure_tie_breaking`` registry entry."""
     gp = ground_program or ground(program, database or Database(), mode=grounding)
-    state = GroundGraphState(gp)
+    state = make_state(gp, backend)
     chosen = policy or FirstSideTrue()
     choices = _run(state, chosen, well_founded=False)
     return TieBreakingRun(
@@ -252,10 +265,11 @@ def _well_founded_tie_breaking(
     policy: ChoicePolicy | None = None,
     grounding: GroundingMode = "relevant",
     ground_program: GroundProgram | None = None,
+    backend: str | None = None,
 ) -> TieBreakingRun:
     """Implementation behind the ``tie_breaking`` registry entry."""
     gp = ground_program or ground(program, database or Database(), mode=grounding)
-    state = GroundGraphState(gp)
+    state = make_state(gp, backend)
     chosen = policy or FirstSideTrue()
     choices = _run(state, chosen, well_founded=True)
     return TieBreakingRun(

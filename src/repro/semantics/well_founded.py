@@ -17,6 +17,7 @@ from typing import Mapping
 from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode, GroundProgram, ground
 from repro.datalog.program import Program
+from repro.ground.backend import make_state
 from repro.ground.model import Interpretation
 from repro.ground.state import GroundGraphState
 
@@ -46,7 +47,9 @@ class WellFoundedRun:
         return self.model.is_total
 
 
-def well_founded_state(ground_program: GroundProgram) -> tuple[GroundGraphState, int]:
+def well_founded_state(
+    ground_program: GroundProgram, backend: str | None = None
+) -> tuple[GroundGraphState, int]:
     """Run the well-founded interpreter, returning the live state.
 
     Exposed separately so callers that need the final evaluation state
@@ -54,9 +57,10 @@ def well_founded_state(ground_program: GroundProgram) -> tuple[GroundGraphState,
     The unfounded loop is the kernel's fused
     :meth:`~repro.ground.state.GroundGraphState.falsify_unfounded`
     cascade — each round reuses the source pointers maintained by
-    ``close`` instead of re-deriving the whole live graph.
+    ``close`` instead of re-deriving the whole live graph.  ``backend``
+    selects the kernel (:func:`repro.ground.backend.make_state`).
     """
-    state = GroundGraphState(ground_program)
+    state = make_state(ground_program, backend)
     state.close()
     iterations = state.falsify_unfounded(numbered=True)
     return state, iterations
@@ -68,10 +72,11 @@ def _well_founded_model(
     *,
     grounding: GroundingMode = "relevant",
     ground_program: GroundProgram | None = None,
+    backend: str | None = None,
 ) -> WellFoundedRun:
     """Implementation behind the ``well_founded`` registry entry."""
     gp = ground_program or ground(program, database or Database(), mode=grounding)
-    state, iterations = well_founded_state(gp)
+    state, iterations = well_founded_state(gp, backend)
     return WellFoundedRun(state.interpretation(), iterations, state, dict(state.phase_s))
 
 

@@ -41,6 +41,7 @@ from repro.datalog.grounding import GroundingMode
 from repro.datalog.parser import parse_atom, parse_database, parse_program
 from repro.datalog.program import Program
 from repro.errors import ReproError, SessionLimitError, SolveTimeoutError, ValidationError
+from repro.ground.backend import BACKENDS
 from repro.io.artifact import program_fingerprint, read_artifact_header
 from repro.io.json_io import solution_to_obj
 from repro.semantics.choices import (
@@ -71,6 +72,7 @@ _REQUEST_FIELDS = frozenset(
         "id",
         "semantics",
         "grounding",
+        "backend",
         "policy",
         "seed",
         "atoms",
@@ -98,6 +100,8 @@ class BatchRequest:
     * ``semantics`` — any registry name or alias (default
       ``tie_breaking``);
     * ``grounding`` — per-request grounding mode override, if any;
+    * ``backend`` — per-request kernel backend override (``python``,
+      ``array``, or ``auto``); the serving engine's default otherwise;
     * ``policy`` / ``seed`` — tie-orientation policy by name
       (``first_side_true``, ``second_side_true``, ``fewest_true``,
       ``most_true``, ``random``) and the seed for ``random``; a bare
@@ -120,6 +124,7 @@ class BatchRequest:
     id: Any = None
     semantics: str = "tie_breaking"
     grounding: GroundingMode | None = None
+    backend: str | None = None
     policy: str | None = None
     seed: int | None = None
     atoms: tuple[str, ...] = ()
@@ -159,10 +164,16 @@ class BatchRequest:
         session = obj.get("session")
         if session is not None and (not isinstance(session, str) or not session):
             raise ValidationError("'session' must be a non-empty string")
+        backend = obj.get("backend")
+        if backend is not None and backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {backend!r}; allowed: {', '.join(BACKENDS)}"
+            )
         return cls(
             id=obj.get("id", default_id),
             semantics=obj.get("semantics", "tie_breaking"),
             grounding=obj.get("grounding"),
+            backend=backend,
             policy=obj.get("policy"),
             seed=seed,
             atoms=atoms,
@@ -176,6 +187,8 @@ class BatchRequest:
         obj: dict[str, Any] = {"id": self.id, "semantics": self.semantics}
         if self.grounding is not None:
             obj["grounding"] = self.grounding
+        if self.backend is not None:
+            obj["backend"] = self.backend
         if self.policy is not None:
             obj["policy"] = self.policy
         if self.seed is not None:
@@ -337,6 +350,8 @@ def solve_one(
         options: dict[str, Any] = {}
         if request.grounding is not None:
             options["grounding"] = request.grounding
+        if request.backend is not None:
+            options["backend"] = request.backend
         policy = request.resolve_policy()
         if policy is not None:
             options["policy"] = policy
@@ -396,9 +411,11 @@ _WORKER_ENGINE: Engine | None = None
 _WORKER_TIMEOUT_S: float | None = None
 
 
-def _worker_init(artifact_path: str, timeout_s: float | None = None) -> None:
+def _worker_init(
+    artifact_path: str, timeout_s: float | None = None, backend: str | None = None
+) -> None:
     global _WORKER_ENGINE, _WORKER_TIMEOUT_S
-    _WORKER_ENGINE = Engine.from_artifact(artifact_path)
+    _WORKER_ENGINE = Engine.from_artifact(artifact_path, backend=backend)
     _WORKER_TIMEOUT_S = timeout_s
 
 
@@ -439,6 +456,8 @@ class BatchSolver:
       a request whose solve exceeds it is answered with a structured
       ``"error_kind": "timeout"`` result, enforced by ``SIGALRM`` inline
       and inside every worker process;
+    * ``backend`` — default kernel backend for every serving engine
+      (inline and in each worker); per-request ``backend`` overrides it;
     * ``chunksize`` — requests handed to a worker per dispatch.  The
       default 1 maximizes load balancing: per-task IPC is microseconds
       while solves are typically milliseconds, so at every measured batch
@@ -459,6 +478,7 @@ class BatchSolver:
         workers: int = 0,
         timeout_s: float | None = None,
         chunksize: int = 1,
+        backend: str | None = None,
     ) -> None:
         if workers < 0:
             raise ValidationError(f"workers must be >= 0, got {workers}")
@@ -466,9 +486,12 @@ class BatchSolver:
             raise ValidationError(f"timeout_s must be positive, got {timeout_s}")
         if chunksize < 1:
             raise ValidationError(f"chunksize must be >= 1, got {chunksize}")
+        if backend is not None and backend not in BACKENDS:
+            raise ValidationError(f"unknown backend {backend!r}; allowed: {', '.join(BACKENDS)}")
         self.workers = workers
         self.timeout_s = timeout_s
         self.chunksize = chunksize
+        self.backend = backend
         self._pool: Pool | None = None
         self._engine: Engine | None = None
         self._owns_artifact = False
@@ -482,7 +505,7 @@ class BatchSolver:
                 self._check_artifact_matches(path, program, database)
             self._artifact_path = path  # inline engine loads lazily (see .engine)
         elif program is not None:
-            engine = Engine(program, database, grounding=grounding)
+            engine = Engine(program, database, grounding=grounding, backend=backend)
             if path is None:
                 fd, tmp = tempfile.mkstemp(prefix="repro-ground-", suffix=".repro-ground")
                 os.close(fd)
@@ -525,7 +548,7 @@ class BatchSolver:
         parent process.
         """
         if self._engine is None:
-            self._engine = Engine.from_artifact(self._artifact_path)
+            self._engine = Engine.from_artifact(self._artifact_path, backend=self.backend)
         return self._engine
 
     def _ensure_pool(self) -> Pool:
@@ -536,7 +559,7 @@ class BatchSolver:
             self._pool = get_context().Pool(
                 processes=self.workers,
                 initializer=_worker_init,
-                initargs=(str(self._artifact_path), self.timeout_s),
+                initargs=(str(self._artifact_path), self.timeout_s, self.backend),
             )
         return self._pool
 

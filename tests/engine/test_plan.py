@@ -48,11 +48,23 @@ class TestIntFactStore:
         store = IntFactStore()
         store.add("e", (0, 1))
         store.add("e", (0, 2))
-        assert sorted(store.matching("e", (0,), (0,))) == [(0, 1), (0, 2)]
+        # Single-position signatures take the bare value as key (the
+        # probe hot path skips the 1-tuple allocation).
+        assert sorted(store.matching("e", (0,), 0)) == [(0, 1), (0, 2)]
         # Rows added after the index was built must land in it.
         store.add("e", (0, 3))
-        assert sorted(store.matching("e", (0,), (0,))) == [(0, 1), (0, 2), (0, 3)]
-        assert store.matching("e", (1,), (9,)) == ()
+        assert sorted(store.matching("e", (0,), 0)) == [(0, 1), (0, 2), (0, 3)]
+        assert store.matching("e", (1,), 9) == ()
+
+    def test_matching_multi_position_keys_are_tuples(self):
+        store = IntFactStore()
+        store.add("t", (0, 1, 2))
+        store.add("t", (0, 1, 3))
+        store.add("t", (0, 2, 2))
+        assert sorted(store.matching("t", (0, 1), (0, 1))) == [(0, 1, 2), (0, 1, 3)]
+        store.add("t", (0, 1, 4))
+        assert sorted(store.matching("t", (0, 1), (0, 1))) == [(0, 1, 2), (0, 1, 3), (0, 1, 4)]
+        assert store.matching("t", (0, 2), (9, 9)) == ()
 
 
 def _slots_of(rule_vars):
@@ -89,7 +101,9 @@ class TestJoinPlan:
         store.add("e", (key, 5))
         plan = JoinPlan.compile([pos("e", "a", "X")], _slots_of("X"), pool)
         (step,) = plan.steps
-        assert step.static_key == (key,)
+        # Single-position static keys are bare values, matching the
+        # store's scalar-key convention.
+        assert step.static_key == key
         results = []
         plan.execute(store, [0], lambda s: results.append(tuple(s)))
         assert results == [(5,)]

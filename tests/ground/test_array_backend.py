@@ -1,0 +1,518 @@
+"""Differential tests for the array kernel backend and backend selection.
+
+The NumPy-vectorized :class:`~repro.ground.array_state.ArrayGroundGraphState`
+is a drop-in subclass of the pure-Python kernel; these tests pin it against
+the scalar kernel (the differential oracle) at three granularities:
+
+* **lockstep** — both states driven through the same close / unfounded /
+  tie rounds with a full raw-buffer snapshot compared after every phase;
+* **run level** — complete well-founded tie-breaking drives (the array
+  side batched through ``select_ties``) must land on the identical model
+  with the identical *set* of orientation decisions, and the committee
+  family's round count must collapse from ~n to O(DAG depth);
+* **facade level** — ``Engine(backend=...)`` and per-call overrides
+  produce solutions indistinguishable from the python backend.
+
+Everything array-specific is gated on numpy importing so the whole module
+passes (skipping those tests) in the dependency-free environment; the
+no-numpy behaviours themselves — :class:`BackendUnavailableError`,
+``auto`` falling back — are tested by simulation (monkeypatching the
+module-level ``np``) so they run in *both* environments.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import Engine
+from repro.datalog.database import Database
+from repro.datalog.grounding import ground
+from repro.errors import BackendUnavailableError, SemanticsError
+from repro.ground import array_state as array_state_module
+from repro.ground import backend as backend_module
+from repro.ground.array_state import ArrayGroundGraphState, numpy_available
+from repro.ground.backend import BACKENDS, make_state, resolve_backend
+from repro.ground.model import FALSE, TRUE
+from repro.ground.state import GroundGraphState
+from repro.semantics.tie_breaking import _select_tie
+from repro.workloads import families
+from repro.workloads.random_programs import random_propositional_program
+
+from tests.properties.strategies import propositional_programs
+
+HAS_NUMPY = numpy_available()
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+MAX_STEPS = 256
+
+FAMILY_CASES = [
+    ("win_move_line", families.win_move_line, 40, "relevant"),
+    ("win_move_cycle", families.win_move_cycle, 41, "relevant"),
+    ("unfounded_tower", families.unfounded_tower, 24, "relevant"),
+    ("negation_tower", families.negation_tower, 16, "relevant"),
+    ("tie_chain", families.tie_chain, 20, "relevant"),
+    ("committee", families.committee, 16, "relevant"),
+]
+
+
+def _grounds():
+    for name, generator, n, mode in FAMILY_CASES:
+        program, db = generator(n)
+        yield f"{name}({n})", ground(program, db, mode=mode)
+    for seed in range(3):
+        program = random_propositional_program(
+            seed=seed, n_predicates=8, n_rules=14, negation_probability=0.45, edb_predicates=2
+        )
+        yield f"random-seed{seed}", ground(program, Database(), mode="full")
+
+
+GROUND_CASES = list(_grounds())
+GROUND_IDS = [name for name, _ in GROUND_CASES]
+
+
+def _snapshot(state: GroundGraphState) -> tuple:
+    """Raw-buffer view of one state, comparable across kernel backends."""
+    return (
+        bytes(state.status),
+        bytes(state.atom_alive),
+        bytes(state.rule_alive),
+        list(state.rule_pending),
+        list(state.atom_support),
+        list(state.pos_live),
+        sorted(state._live_atoms),
+        sorted(state._live_rules),
+        state.live_atom_count,
+    )
+
+
+def _orient_min(state: GroundGraphState, tie) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Orient one tie deterministically (min-atom side true); return sides."""
+    sides = tie.side_of_atom()
+    side_atoms: tuple[list[int], list[int]] = ([], [])
+    for atom_id, side in sides.items():
+        side_atoms[side].append(atom_id)
+    if not side_atoms[0]:
+        true_side = 0
+    elif not side_atoms[1]:
+        true_side = 1
+    else:
+        true_side = 0 if min(side_atoms[0]) <= min(side_atoms[1]) else 1
+    state.assign_many(side_atoms[true_side], TRUE, ("tie", true_side))
+    state.assign_many(side_atoms[1 - true_side], FALSE, ("tie", 1 - true_side))
+    return (
+        tuple(sorted(side_atoms[true_side])),
+        tuple(sorted(side_atoms[1 - true_side])),
+    )
+
+
+def _drive_batched(state: GroundGraphState) -> tuple[list[int], frozenset, int]:
+    """Well-founded tie-breaking via ``select_ties``; decisions as a set.
+
+    Returns ``(final status, orientation decisions, tie rounds)``.  The
+    decisions are backend-comparable: batched rounds may surface the
+    independent ties in a different order, but the *set* of (true side,
+    false side) pairs must match the sequential schedule exactly.
+    """
+    decisions = set()
+    state.close()
+    for _ in range(MAX_STEPS):
+        state.falsify_unfounded(numbered=False)
+        ties = state.select_ties()
+        if not ties:
+            return list(state.status), frozenset(decisions), state.tie_rounds
+        for tie in ties:
+            decisions.add(_orient_min(state, tie))
+        state.close()
+    pytest.fail("batched drive did not converge")
+
+
+# ---------------------------------------------------------------------------
+# Backend resolution (runs with and without numpy)
+# ---------------------------------------------------------------------------
+
+
+def _tiny_gp():
+    program, db = families.win_move_line(3)
+    return ground(program, db, mode="relevant")
+
+
+class TestResolveBackend:
+    def test_none_and_python_resolve_to_python(self):
+        gp = _tiny_gp()
+        assert resolve_backend(gp, None) == "python"
+        assert resolve_backend(gp, "python") == "python"
+        assert isinstance(make_state(gp, "python"), GroundGraphState)
+        assert not isinstance(make_state(gp, "python"), ArrayGroundGraphState)
+
+    def test_unknown_backend_raises(self):
+        gp = _tiny_gp()
+        with pytest.raises(SemanticsError, match="unknown kernel backend"):
+            resolve_backend(gp, "gpu")
+        with pytest.raises(SemanticsError, match="unknown kernel backend"):
+            make_state(gp, "vectorized")
+
+    def test_auto_stays_python_below_threshold(self):
+        # A 3-node game is far below AUTO_ARRAY_THRESHOLD regardless of
+        # numpy availability.
+        state = make_state(_tiny_gp(), "auto")
+        assert not isinstance(state, ArrayGroundGraphState)
+
+    @needs_numpy
+    def test_auto_threshold_boundary(self, monkeypatch):
+        gp = _tiny_gp()
+        n_nodes = gp.index.n_atoms + gp.index.n_rules
+        monkeypatch.setattr(backend_module, "AUTO_ARRAY_THRESHOLD", n_nodes)
+        assert resolve_backend(gp, "auto") == "array"
+        assert isinstance(make_state(gp, "auto"), ArrayGroundGraphState)
+        monkeypatch.setattr(backend_module, "AUTO_ARRAY_THRESHOLD", n_nodes + 1)
+        assert resolve_backend(gp, "auto") == "python"
+
+    @needs_numpy
+    def test_array_resolves_to_array_state(self):
+        gp = _tiny_gp()
+        assert resolve_backend(gp, "array") == "array"
+        assert isinstance(make_state(gp, "array"), ArrayGroundGraphState)
+
+
+class TestWithoutNumpy:
+    """No-numpy behaviour, simulated by clearing the module-level ``np``."""
+
+    @pytest.fixture(autouse=True)
+    def _no_numpy(self, monkeypatch):
+        monkeypatch.setattr(array_state_module, "np", None)
+
+    def test_numpy_available_reports_false(self):
+        assert not numpy_available()
+
+    def test_array_state_constructor_raises(self):
+        with pytest.raises(BackendUnavailableError, match="requires numpy"):
+            ArrayGroundGraphState(_tiny_gp())
+
+    def test_backend_array_raises(self):
+        gp = _tiny_gp()
+        with pytest.raises(BackendUnavailableError, match="backend='array'"):
+            resolve_backend(gp, "array")
+        with pytest.raises(BackendUnavailableError):
+            make_state(gp, "array")
+
+    def test_backend_auto_silently_falls_back(self, monkeypatch):
+        gp = _tiny_gp()
+        monkeypatch.setattr(backend_module, "AUTO_ARRAY_THRESHOLD", 1)
+        assert resolve_backend(gp, "auto") == "python"
+        state = make_state(gp, "auto")
+        assert type(state) is GroundGraphState
+
+    def test_python_backend_unaffected(self):
+        state = make_state(_tiny_gp(), "python")
+        state.close()
+        assert state.live_atom_count >= 0
+
+
+# ---------------------------------------------------------------------------
+# Differential: array kernel vs scalar kernel
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize("name,gp", GROUND_CASES, ids=GROUND_IDS)
+def test_lockstep_full_state(name, gp):
+    """Both kernels, same rounds, identical raw buffers after each phase."""
+    p = GroundGraphState(gp)
+    a = ArrayGroundGraphState(gp)
+    p.close()
+    a.close()
+    assert _snapshot(p) == _snapshot(a), "divergence after close"
+    assert p.unfounded_atoms() == a.unfounded_atoms()
+    p.falsify_unfounded(numbered=False)
+    a.falsify_unfounded(numbered=False)
+    p.close()
+    a.close()
+    assert _snapshot(p) == _snapshot(a), "divergence after unfounded cascade"
+    assert {(tuple(c.atom_ids), c.is_tie) for c in p.bottom_components_live()} == {
+        (tuple(c.atom_ids), c.is_tie) for c in a.bottom_components_live()
+    }
+    for _ in range(MAX_STEPS):
+        tp = p.select_tie()
+        ta = a.select_tie()
+        if tp is None or ta is None:
+            assert tp is None and ta is None
+            break
+        assert tuple(tp.atom_ids) == tuple(ta.atom_ids)
+        assert tp.side_of_atom() == ta.side_of_atom()
+        _orient_min(p, tp)
+        _orient_min(a, ta)
+        for s in (p, a):
+            s.close()
+            s.falsify_unfounded(numbered=False)
+            s.close()
+        assert _snapshot(p) == _snapshot(a), "divergence after tie round"
+    assert p.interpretation().status == a.interpretation().status
+
+
+@needs_numpy
+@pytest.mark.parametrize("name,gp", GROUND_CASES, ids=GROUND_IDS)
+def test_batched_rounds_match_sequential_schedule(name, gp):
+    """Array ``select_ties`` batching ≡ the one-tie-per-round schedule."""
+    py_status, py_decisions, py_rounds = _drive_batched(GroundGraphState(gp))
+    ar_status, ar_decisions, ar_rounds = _drive_batched(ArrayGroundGraphState(gp))
+    assert py_status == ar_status
+    assert py_decisions == ar_decisions
+    # Batching can only merge rounds, never add them.
+    assert ar_rounds <= py_rounds
+
+
+@needs_numpy
+@settings(max_examples=30, deadline=None)
+@given(program=propositional_programs())
+def test_batched_rounds_match_on_random_programs(program):
+    gp = ground(program, Database(), mode="full")
+    py_status, py_decisions, _ = _drive_batched(GroundGraphState(gp))
+    ar_status, ar_decisions, _ = _drive_batched(ArrayGroundGraphState(gp))
+    assert py_status == ar_status
+    assert py_decisions == ar_decisions
+
+
+@needs_numpy
+@pytest.mark.parametrize("n", [6, 12, 24])
+def test_committee_rounds_collapse_to_dag_depth(n):
+    """committee(n): n independent ties → one batched round (O(DAG depth)).
+
+    The committee family's ties are pairwise independent (its choice
+    DAG has depth 1), so the sequential schedule needs ~n rounds while
+    ``select_ties`` resolves every tie in a single batch — the ISSUE's
+    acceptance criterion for the batched-round tentpole.
+    """
+    program, db = families.committee(n)
+    gp = ground(program, db, mode="relevant")
+    _, py_decisions, py_rounds = _drive_batched(GroundGraphState(gp))
+    _, ar_decisions, ar_rounds = _drive_batched(ArrayGroundGraphState(gp))
+    assert py_rounds == n  # base select_ties keeps the sequential schedule
+    assert ar_rounds == 1  # all n ties are bottom at once
+    assert py_decisions == ar_decisions
+    assert len(py_decisions) == n
+
+
+@needs_numpy
+def test_base_select_ties_is_single_tie_per_round():
+    """The python kernel's select_ties stays the sequential schedule."""
+    program, db = families.committee(5)
+    state = GroundGraphState(ground(program, db, mode="relevant"))
+    state.close()
+    state.falsify_unfounded(numbered=False)
+    ties = state.select_ties()
+    assert len(ties) == 1
+    assert tuple(ties[0].atom_ids) == tuple(_select_tie(state).atom_ids)
+
+
+@needs_numpy
+def test_array_select_ties_returns_disjoint_bottom_ties():
+    program, db = families.committee(8)
+    state = ArrayGroundGraphState(ground(program, db, mode="relevant"))
+    state.close()
+    state.falsify_unfounded(numbered=False)
+    ties = state.select_ties()
+    assert len(ties) == 8
+    seen: set[int] = set()
+    for tie in ties:
+        atoms = set(tie.atom_ids)
+        assert not atoms & seen, "batched ties must be pairwise disjoint"
+        seen |= atoms
+    # The schedule-free oracle's pick is among the batch.
+    oracle = _select_tie(state)
+    assert any(tuple(t.atom_ids) == tuple(oracle.atom_ids) for t in ties)
+
+
+@needs_numpy
+def test_scipy_fallback_paths_match(monkeypatch):
+    """With scipy stubbed out, the numpy-only fallbacks stay identical."""
+    monkeypatch.setattr(array_state_module, "_sp_csr", None)
+    monkeypatch.setattr(array_state_module, "_sp_scc", None)
+    monkeypatch.setattr(array_state_module, "_sp_dijkstra", None)
+    for name, gp in GROUND_CASES[:4]:
+        py_status, py_decisions, _ = _drive_batched(GroundGraphState(gp))
+        ar_status, ar_decisions, _ = _drive_batched(ArrayGroundGraphState(gp))
+        assert py_status == ar_status, name
+        assert py_decisions == ar_decisions, name
+
+
+@needs_numpy
+def test_array_state_clone_is_independent():
+    program, db = families.tie_chain(12)
+    gp = ground(program, db, mode="relevant")
+    state = ArrayGroundGraphState(gp)
+    state.close()
+    state.falsify_unfounded(numbered=False)
+    state.select_ties()
+    copy = state.clone()
+    assert isinstance(copy, ArrayGroundGraphState)
+    assert _snapshot(copy) == _snapshot(state)
+    assert copy.tie_rounds == state.tie_rounds
+    # Diverge the clone; the original must not move.
+    before = _snapshot(state)
+    tie = copy.select_tie()
+    assert tie is not None
+    _orient_min(copy, tie)
+    copy.close()
+    assert _snapshot(state) == before
+    assert _snapshot(copy) != before
+
+
+# ---------------------------------------------------------------------------
+# Engine facade
+# ---------------------------------------------------------------------------
+
+WIN_MOVE = "win(X) :- move(X, Y), not win(Y)."
+DRAW_DB = "move(1, 2). move(2, 1)."
+
+
+class TestEngineBackend:
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(SemanticsError, match="unknown backend"):
+            Engine(WIN_MOVE, DRAW_DB, backend="fortran")
+
+    def test_stats_report_backend(self):
+        assert Engine(WIN_MOVE, DRAW_DB).stats()["backend"] == "python"
+        assert Engine(WIN_MOVE, DRAW_DB, backend="auto").stats()["backend"] == "auto"
+
+    @needs_numpy
+    def test_array_engine_matches_python_engine(self):
+        program, db = families.committee(6)
+        results = {}
+        for backend in ("python", "array"):
+            solution = Engine(program, db, backend=backend).solve("tie_breaking")
+            results[backend] = (
+                solution.true_atoms,
+                solution.total,
+                frozenset(
+                    (tuple(sorted(c.true_ids)), tuple(sorted(c.false_ids)))
+                    for c in solution.choices
+                ),
+            )
+        assert results["python"] == results["array"]
+
+    @needs_numpy
+    def test_per_call_backend_overrides_default(self):
+        engine = Engine(WIN_MOVE, DRAW_DB)  # python default
+        base = engine.solve("tie_breaking")
+        overridden = engine.solve("tie_breaking", backend="array")
+        assert overridden.true_atoms == base.true_atoms
+        with pytest.raises(SemanticsError, match="unknown kernel backend"):
+            engine.solve("tie_breaking", backend="simd")
+
+    def test_backendless_semantics_ignore_engine_default(self):
+        # fitting's spec has no backend option; the engine default must
+        # not be injected into its options (that would be rejected).
+        engine = Engine(WIN_MOVE, DRAW_DB, backend="auto")
+        solution = engine.solve("fitting")
+        assert solution.semantics == "fitting"
+        # ... but passing it explicitly is still an option error.
+        with pytest.raises(SemanticsError, match="does not accept option"):
+            engine.solve("fitting", backend="python")
+
+    def test_well_founded_accepts_backend_option(self):
+        solution = Engine(WIN_MOVE, DRAW_DB, backend="python").solve("well_founded")
+        assert solution.semantics == "well_founded"
+        assert not solution.total  # the draw cycle stays undefined
+
+
+# ---------------------------------------------------------------------------
+# Satellite: select_tie lazy-discard edge cases under trail undo (python
+# kernel).  The min-keyed schedule keeps stale heap entries around after
+# assignments and undos; every resurfaced entry must be re-validated
+# against live state, pinned here by the schedule-free oracle.
+# ---------------------------------------------------------------------------
+
+
+def _assert_schedule_matches_oracle(state: GroundGraphState) -> None:
+    scheduled = state.select_tie()
+    scanned = _select_tie(state)
+    if scheduled is None:
+        assert scanned is None
+    else:
+        assert scanned is not None
+        assert sorted(scheduled.atom_ids) == sorted(scanned.atom_ids)
+        assert scheduled.side_of_atom() == scanned.side_of_atom()
+
+
+def test_select_tie_revalidates_after_undo_of_consumed_tie():
+    """Undoing a tie orientation resurrects it as the scheduled minimum."""
+    program, db = families.tie_chain(8)
+    state = GroundGraphState(ground(program, db, mode="relevant"))
+    state.trail_begin()
+    state.close()
+    state.falsify_unfounded(numbered=False)
+    first = state.select_tie()
+    assert first is not None
+    first_atoms = tuple(first.atom_ids)
+    mark = state.trail_mark()
+    _orient_min(state, first)
+    state.close()
+    # The heap has discarded/consumed entries for the orientation above;
+    # after undo the same component must be offered again.
+    state.trail_undo(mark)
+    again = state.select_tie()
+    assert again is not None
+    assert tuple(again.atom_ids) == first_atoms
+    _assert_schedule_matches_oracle(state)
+
+
+def test_select_tie_discards_stale_entries_after_partial_assignment():
+    """Assigning a tie's atoms outside select-tie flow lazily discards it."""
+    program, db = families.committee(4)
+    state = GroundGraphState(ground(program, db, mode="relevant"))
+    state.trail_begin()
+    state.close()
+    state.falsify_unfounded(numbered=False)
+    tie = state.select_tie()
+    assert tie is not None
+    mark = state.trail_mark()
+    # Orient the scheduled minimum *and* the next tie, then undo only to
+    # the mark: the schedule must resurface exactly the oracle's pick,
+    # not a stale heap head.
+    _orient_min(state, tie)
+    state.close()
+    second = state.select_tie()
+    assert second is not None
+    _orient_min(state, second)
+    state.close()
+    state.trail_undo(mark)
+    _assert_schedule_matches_oracle(state)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program=propositional_programs(),
+    plan=st.lists(st.tuples(st.integers(0, 3), st.booleans()), min_size=1, max_size=4),
+)
+def test_select_tie_schedule_survives_random_undo_cycles(program, plan):
+    """Random orient/undo interleavings: schedule ≡ oracle at every stop.
+
+    Each plan step orients up to three scheduled ties and then either
+    keeps them or undoes back to the step's mark; after every step the
+    min-keyed schedule must agree with the schedule-free scan.
+    """
+    gp = ground(program, Database(), mode="full")
+    state = GroundGraphState(gp)
+    state.trail_begin()
+    state.close()
+    state.falsify_unfounded(numbered=False)
+    for breaks, keep in plan:
+        mark = state.trail_mark()
+        for _ in range(breaks):
+            tie = state.select_tie()
+            if tie is None:
+                break
+            _orient_min(state, tie)
+            state.close()
+            state.falsify_unfounded(numbered=False)
+            state.close()
+        if not keep:
+            state.trail_undo(mark)
+        _assert_schedule_matches_oracle(state)
+
+
+def test_backends_tuple_is_stable():
+    """The public backend names are part of the wire/CLI surface."""
+    assert BACKENDS == ("python", "array", "auto")

@@ -269,8 +269,9 @@ _DERIVED_CACHES = frozenset(
 # the fingerprint asserts identity for the overlay's atom order.
 _SHARED_IMMUTABLE = frozenset({"gp", "_idx", "n_atoms", "n_rules", "_order"})
 # MACHINERY is the trail itself, the epoch-disciplined query scratch,
-# and wall-clock accounting — definitionally outside state equality.
-_MACHINERY = frozenset({"_trail", "_scratch", "phase_s"})
+# and accounting (wall-clock phases, the select_ties round counter) —
+# definitionally outside state equality.
+_MACHINERY = frozenset({"_trail", "_scratch", "phase_s", "tie_rounds"})
 
 
 def test_state_fields_are_classified():

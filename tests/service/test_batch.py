@@ -397,3 +397,53 @@ class TestServeCli:
         batch = tmp_path / "requests.jsonl"
         batch.write_text("{}\n")
         assert main(["serve", "--batch", str(batch)]) == 2
+
+
+class TestBackendField:
+    """Per-request and per-solver kernel backend selection."""
+
+    def test_round_trip_and_validation(self):
+        req = BatchRequest.from_obj({"backend": "auto"})
+        assert req.backend == "auto"
+        assert BatchRequest.from_obj(req.to_obj()) == req
+        assert BatchRequest.from_obj({}).backend is None
+        with pytest.raises(ValidationError, match="unknown backend"):
+            BatchRequest.from_obj({"backend": "gpu"})
+        with pytest.raises(ValidationError, match="unknown backend"):
+            BatchRequest.from_obj({"backend": 3})
+
+    def test_solver_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(ValidationError, match="backend"):
+            BatchSolver(tmp_path / "g.rg", program=GAME, database=BOARD, backend="gpu")
+
+    def test_request_backend_routes_through_solver(self, tmp_path):
+        from repro.ground.array_state import numpy_available
+
+        with BatchSolver(
+            tmp_path / "c.rg", program=COMMITTEE, database=MEMBERS, grounding="relevant"
+        ) as solver:
+            atoms = ["in(a)", "in(b)", "in(c)"]
+            python_r, array_r = solver.solve_many(
+                [
+                    {"id": "p", "backend": "python", "atoms": atoms},
+                    {"id": "a", "backend": "array", "atoms": atoms},
+                ]
+            )
+        assert python_r["ok"]
+        if numpy_available():
+            assert array_r["ok"]
+            assert array_r["values"] == python_r["values"]
+        else:
+            assert not array_r["ok"]
+            assert "requires numpy" in array_r["error"]
+
+    def test_solver_default_backend_applies(self, tmp_path):
+        with BatchSolver(
+            tmp_path / "c.rg",
+            program=COMMITTEE,
+            database=MEMBERS,
+            grounding="relevant",
+            backend="auto",  # tiny program: auto resolves to python
+        ) as solver:
+            (result,) = solver.solve_many([{"id": 1, "atoms": ["in(a)"]}])
+        assert result["ok"] and result["total"]
