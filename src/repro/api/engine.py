@@ -341,8 +341,8 @@ class Engine:
 
     def _finalize(self, solution: Solution, solve_s: float) -> Solution:
         # Keep whatever the solver recorded (the kernel's per-phase solve
-        # breakdown: close_s / unfounded_s / tie_select_s / tie_apply_s)
-        # and add the engine-level pipeline costs on top.
+        # breakdown: close_s / unfounded_s / tie_select_s / tie_apply_s /
+        # tie_analysis_s) and add the engine-level pipeline costs on top.
         return replace(
             solution,
             timings={**solution.timings, **self._timings, "solve_s": solve_s},

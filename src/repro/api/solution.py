@@ -64,7 +64,7 @@ class Solution:
       ``artifact_save_s`` when binary artifacts are involved).  The
       ground-graph interpreters additionally break ``solve_s`` down into
       the kernel phases ``close_s`` / ``unfounded_s`` / ``tie_select_s``
-      / ``tie_apply_s`` (summing to ~``solve_s``);
+      / ``tie_apply_s`` / ``tie_analysis_s`` (summing to ~``solve_s``);
     * ``state`` — the retained evaluation state for ``explain``, or
       ``None``;
     * ``run`` — the legacy result object (``WellFoundedRun``,

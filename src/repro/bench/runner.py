@@ -246,11 +246,13 @@ def _drive(state, semantics: str, *, batched: bool = False) -> dict:
             if true_side is None:
                 true_side = policy.choose_true_side(side_atoms[0], side_atoms[1])
             tie_choices += 1
-            decisions.append(
-                (tuple(sorted(side_atoms[true_side])), tuple(sorted(side_atoms[1 - true_side])))
-            )
-            state.assign_many(side_atoms[true_side], TRUE, ("tie", true_side))
-            state.assign_many(side_atoms[1 - true_side], FALSE, ("tie", 1 - true_side))
+            # Sorted assignment order: identical trajectories whether the
+            # sides came from a fresh BFS or the incremental cache.
+            made_true = sorted(side_atoms[true_side])
+            made_false = sorted(side_atoms[1 - true_side])
+            decisions.append((tuple(made_true), tuple(made_false)))
+            state.assign_many(made_true, TRUE, ("tie", true_side))
+            state.assign_many(made_false, FALSE, ("tie", 1 - true_side))
         t0 = perf_counter()
         state.close()
         close_s += perf_counter() - t0
@@ -268,6 +270,80 @@ def _drive(state, semantics: str, *, batched: bool = False) -> dict:
         "_true_set": frozenset(i for i, s in enumerate(interp.status) if s == TRUE),
         "_decisions": decisions,
     }
+
+
+def _normalized_sides(sides: Mapping[int, int]) -> dict[int, int]:
+    """Sides flipped so the smallest node sits on side 0.
+
+    The K/L naming is root-dependent (a global flip yields the same
+    partition), so differential comparisons go through this canonical
+    relabelling.
+    """
+    flip = sides[min(sides)]
+    return {node: side ^ flip for node, side in sides.items()}
+
+
+def _verify_tie_sides(name: str, gp, state_cls) -> int:
+    """Lockstep differential of the incremental (K, L) sides cache.
+
+    Drives one untimed well-founded tie-breaking run on ``state_cls``;
+    before every tie round, each bottom component served by the
+    incremental path (cached condensation + sides cache) is compared
+    against a ``full_recompute=True`` pass on a clone — the fresh-Tarjan,
+    fresh-``analyze_component`` oracle.  Components are matched by node
+    set and sides are compared through the canonical relabelling.
+    Returns the number of (component, round) pairs verified; raises
+    :class:`ReproError` on any divergence.
+    """
+    policy = FirstSideTrue()
+    state = state_cls(gp)
+    state.close()
+    checked = 0
+    while True:
+        state.falsify_unfounded(numbered=False)
+        incremental = {
+            frozenset(c.atom_ids): c for c in state.bottom_components_live()
+        }
+        oracle = state.clone().bottom_components_live(full_recompute=True)
+        if len(oracle) != len(incremental):
+            raise ReproError(
+                f"bench family {name!r}: incremental tie sides report "
+                f"{len(incremental)} bottom components, oracle {len(oracle)}"
+            )
+        for ref in oracle:
+            inc = incremental.get(frozenset(ref.atom_ids))
+            if inc is None or inc.is_tie != ref.is_tie:
+                raise ReproError(
+                    f"bench family {name!r}: incremental tie sides diverge "
+                    f"from the full_recompute oracle (component membership)"
+                )
+            if ref.is_tie:
+                assert inc.analysis.sides is not None
+                assert ref.analysis.sides is not None
+                if _normalized_sides(inc.analysis.sides) != _normalized_sides(
+                    ref.analysis.sides
+                ):
+                    raise ReproError(
+                        f"bench family {name!r}: incremental (K, L) sides "
+                        f"diverge from the full_recompute oracle"
+                    )
+            checked += 1
+        ties = state.select_ties()
+        if not ties:
+            return checked
+        for tie in ties:
+            sides = tie.side_of_atom()
+            side_atoms: tuple[list[int], list[int]] = ([], [])
+            for atom_id, side in sides.items():
+                side_atoms[side].append(atom_id)
+            true_side = forced_orientation(len(side_atoms[0]), len(side_atoms[1]))
+            if true_side is None:
+                true_side = policy.choose_true_side(side_atoms[0], side_atoms[1])
+            state.assign_many(sorted(side_atoms[true_side]), TRUE, ("tie", true_side))
+            state.assign_many(
+                sorted(side_atoms[1 - true_side]), FALSE, ("tie", 1 - true_side)
+            )
+        state.close()
 
 
 def _measure_kernel(gp, kernel: str, semantics: str, repeat: int) -> dict:
@@ -461,7 +537,13 @@ def _bench_family(
 
     # Cross-check the public Engine path against the timed drive loop: the
     # registry runner must reproduce the exact model (same FirstSideTrue
-    # trajectory), and must do so without grounding again.
+    # trajectory), and must do so without grounding again.  Warm the lazy
+    # atom-table decode first: result materialization touches every atom
+    # once, and (like the rule view above) charging that one-time decode
+    # to the solve would distort the interpreter timing.
+    atom_table = gp.atoms
+    for i in range(gp.atom_count):
+        atom_table.atom(i)
     solution = engine.solve(_ENGINE_SEMANTICS[spec.semantics])
     engine_true = frozenset(i for i, s in enumerate(solution.model.status) if s == TRUE)
     if engine_true != kernels["kernel"]["_true_set"]:
@@ -471,6 +553,18 @@ def _bench_family(
     for phases in kernels.values():
         del phases["_true_set"]
         del phases["_decisions"]
+
+    # Differential guard on the incremental (K, L) sides cache: every
+    # bench run re-verifies it per tie round against the full_recompute
+    # oracle, on every backend the run exercises.
+    tie_sides_checked = 0
+    if spec.semantics == "wf-tb":
+        tie_sides_checked = _verify_tie_sides(name, gp, GroundGraphState)
+        if backends:
+            from repro.ground.array_state import ArrayGroundGraphState, numpy_available
+
+            if numpy_available():
+                tie_sides_checked += _verify_tie_sides(name, gp, ArrayGroundGraphState)
 
     return {
         "n": n,
@@ -492,8 +586,18 @@ def _bench_family(
         # minus result materialization.
         "solve_phases": {
             key: solution.timings.get(key, 0.0)
-            for key in ("close_s", "unfounded_s", "tie_select_s", "tie_apply_s")
+            for key in (
+                "close_s",
+                "unfounded_s",
+                "tie_select_s",
+                "tie_apply_s",
+                "tie_analysis_s",
+            )
         },
+        # (component, round) pairs of the incremental sides cache verified
+        # against the full_recompute oracle in this run (0 for families
+        # whose semantics never queries ties).
+        "tie_sides_checked": tie_sides_checked,
         "speedup": speedup,
         "backends": backend_section,
     }

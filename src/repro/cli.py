@@ -370,6 +370,7 @@ def _cmd_serve(args) -> int:
             f" (close {solve_stats.get('close_s', 0.0):.3f}"
             f" / unfounded {solve_stats.get('unfounded_s', 0.0):.3f}"
             f" / tie-select {solve_stats.get('tie_select_s', 0.0):.3f}"
+            f" / tie-analysis {solve_stats.get('tie_analysis_s', 0.0):.3f}"
             f" / tie-apply {solve_stats.get('tie_apply_s', 0.0):.3f})"
         )
     print(

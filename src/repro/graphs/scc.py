@@ -41,38 +41,47 @@ def strongly_connected_components(
     counter = 0
 
     roots = range(node_count) if nodes is None else nodes
+    # Explicit DFS stack as two parallel lists (node, successor iterator):
+    # avoids a tuple allocation per visited node and unpacking per step.
+    work_node: list[int] = []
+    work_iter: list[object] = []
     for root in roots:
         if index[root] != -1:
             continue
-        # Explicit DFS stack of (node, iterator over successors).
-        work: list[tuple[int, object]] = [(root, iter(successors(root)))]
+        work_node.append(root)
+        work_iter.append(iter(successors(root)))
         index[root] = lowlink[root] = counter
         counter += 1
         stack.append(root)
         on_stack[root] = True
-        while work:
-            u, it = work[-1]
+        while work_node:
+            u = work_node[-1]
+            it = work_iter[-1]
             advanced = False
+            ll_u = lowlink[u]
             for v in it:  # type: ignore[union-attr]
-                if index[v] == -1:
+                iv = index[v]
+                if iv == -1:
                     index[v] = lowlink[v] = counter
                     counter += 1
                     stack.append(v)
                     on_stack[v] = True
-                    work.append((v, iter(successors(v))))
+                    work_node.append(v)
+                    work_iter.append(iter(successors(v)))
                     advanced = True
                     break
-                if on_stack[v]:
-                    if index[v] < lowlink[u]:
-                        lowlink[u] = index[v]
+                if on_stack[v] and iv < ll_u:
+                    ll_u = iv
+            lowlink[u] = ll_u
             if advanced:
                 continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                if lowlink[u] < lowlink[parent]:
-                    lowlink[parent] = lowlink[u]
-            if lowlink[u] == index[u]:
+            work_node.pop()
+            work_iter.pop()
+            if work_node:
+                parent = work_node[-1]
+                if ll_u < lowlink[parent]:
+                    lowlink[parent] = ll_u
+            if ll_u == index[u]:
                 component: list[int] = []
                 while True:
                     w = stack.pop()

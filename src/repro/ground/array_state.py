@@ -73,7 +73,7 @@ except ImportError:  # pragma: no cover - numpy-without-scipy environments
 
 from repro.datalog.grounding import GroundProgram
 from repro.errors import BackendUnavailableError, CloseConflictError
-from repro.graphs.ties import TieAnalysis, analyze_component
+from repro.graphs.ties import TieAnalysis, TieSides, analyze_component
 from repro.ground.model import FALSE, TRUE, UNDEF
 from repro.ground.state import (
     _R_FIRED,
@@ -849,9 +849,10 @@ class ArrayGroundGraphState(GroundGraphState):
 
     # -- SCC condensation and tie analysis -----------------------------------
 
-    def _rebuild_scc(self) -> None:
+    def _rebuild_scc(self, *, eager_sides: bool = True) -> None:
         if self._trail is not None:
             self._trail.append((_T_REBUILD,))
+        self._tie_sides = {}
         n_atoms = self.n_atoms
         node_count = n_atoms + self.n_rules
         aidx = self._aidx
@@ -908,19 +909,51 @@ class ArrayGroundGraphState(GroundGraphState):
         for cid in bottom:
             heappush(heap, (self._heap_key(comps[cid]), cid))
 
-    def _bottom_component(self, cid: int) -> BottomComponent:
+        if eager_sides:
+            # One pooled Lemma-1 pass over every cyclic component while
+            # the fresh CSR state is hot: later bottom queries — one per
+            # tie round in sequential-DAG families — become cache hits
+            # instead of per-component spanning walks.  Non-ties are
+            # simply left uncached (they re-analyze scalar for the
+            # odd-cycle witness if ever queried).
+            multi = [cid for cid, component in comps.items() if len(component) > 1]
+            if multi:
+                t0 = perf_counter()
+                spans, side_l, bad_comps = self._pooled_sides(multi)
+                tie_sides = self._tie_sides
+                for cid, start, end in spans:
+                    if cid not in bad_comps:
+                        component = comps[cid]
+                        tie_sides[cid] = TieSides(
+                            set(component), dict(zip(component, side_l[start:end]))
+                        )
+                dt = perf_counter() - t0
+                self.phase_s["tie_analysis_s"] += dt
+                self._ta_overlap += dt
+
+    def _bottom_component(self, cid: int, *, fresh: bool = False) -> BottomComponent:
         obj = self._scc_bottom_obj.get(cid)
         if obj is None:
             comps = self._scc_comps
             assert comps is not None
-            if len(comps[cid]) < _ANALYZE_MIN:
-                return super()._bottom_component(cid)
+            if fresh or cid in self._tie_sides or len(comps[cid]) < _ANALYZE_MIN:
+                # Oracle path, cache hit, or too small to pool: the base
+                # implementation covers all three (it serves cached sides
+                # itself and runs the CSR-direct scalar pass on a miss).
+                return super()._bottom_component(cid, fresh=fresh)
             self._analyze_bottom_batch([cid])
             obj = self._scc_bottom_obj[cid]
         return obj
 
     def _analyze_bottom_batch(self, cids: list) -> None:
         """Pooled Lemma-1 pass over many bottom components at once.
+
+        Components whose (K, L) sides are already in the incremental
+        cache — installed by the eager rebuild pass or derived by
+        refinement — skip the pooled pass entirely and just materialize
+        their :class:`BottomComponent`.  The rest run the vectorized
+        analysis below, and every clean result is installed into the
+        cache.  Results land in the memo table either way.
 
         Bottom components are disjoint, so their nodes pool into one
         array: edges of every component are gathered in a single CSR
@@ -933,12 +966,61 @@ class ArrayGroundGraphState(GroundGraphState):
         partition identical), and every in-component edge of every
         component is verified in one vectorized comparison.  Components
         with a violated edge re-run the exact scalar pass to extract the
-        odd-cycle witness.  Results land in the memo table.
+        odd-cycle witness.
+        """
+        comps = self._scc_comps
+        assert comps is not None
+        tie_sides = self._tie_sides
+        bottom_obj = self._scc_bottom_obj
+        n_atoms = self.n_atoms
+        pool_cids: list = []
+        for cid in cids:
+            cached = tie_sides.get(cid)
+            if cached is None:
+                pool_cids.append(cid)
+                continue
+            component = comps[cid]
+            cut = bisect_left(component, n_atoms)
+            bottom_obj[cid] = BottomComponent(
+                component[:cut],
+                [n - n_atoms for n in component[cut:]],
+                cached.to_analysis(component),
+                n_atoms,
+            )
+        if not pool_cids:
+            return
+        t0 = perf_counter()
+        spans, side_l, bad_comps = self._pooled_sides(pool_cids)
+        for cid, start, end in spans:
+            component = comps[cid]
+            if cid in bad_comps:
+                analysis = analyze_component(component, self._live_successors)
+            else:
+                sides_map = dict(zip(component, side_l[start:end]))
+                tie_sides[cid] = TieSides(set(component), sides_map)
+                analysis = TieAnalysis(is_tie=True, sides=sides_map)
+            # Node lists are sorted and atoms precede shifted rule nodes.
+            cut = bisect_left(component, n_atoms)
+            atom_ids = component[:cut]
+            rule_ids = [n - n_atoms for n in component[cut:]]
+            bottom_obj[cid] = BottomComponent(atom_ids, rule_ids, analysis, n_atoms)
+        dt = perf_counter() - t0
+        self.phase_s["tie_analysis_s"] += dt
+        self._ta_overlap += dt
+
+    def _pooled_sides(
+        self, cids: list
+    ) -> tuple[list[tuple[int, int, int]], list[int], set]:
+        """Vectorized (K, L) assignment for disjoint components.
+
+        Returns ``(spans, side_l, bad_comps)``: per-cid ``(cid, start,
+        end)`` slices into the pooled side list, the side per pooled
+        node, and the cids with a partition-violating edge (their sides
+        are meaningless — they are not ties).
         """
         comps = self._scc_comps
         assert comps is not None and self._scc_comp_of is not None
         comp_of = self._comp_np()
-        n_atoms = self.n_atoms
         aidx = self._aidx
         pooled: list[int] = []
         spans: list[tuple[int, int, int]] = []
@@ -1000,21 +1082,7 @@ class ArrayGroundGraphState(GroundGraphState):
         bad_comps: set = set()
         if bool(bad.any()):
             bad_comps = set(comp_of[src_in[bad]].tolist())
-        bottom_obj = self._scc_bottom_obj
-        side_l = side_arr.tolist()
-        for cid, start, end in spans:
-            component = comps[cid]
-            if cid in bad_comps:
-                analysis = analyze_component(component, self._live_successors)
-            else:
-                analysis = TieAnalysis(
-                    is_tie=True, sides=dict(zip(component, side_l[start:end]))
-                )
-            # Node lists are sorted and atoms precede shifted rule nodes.
-            cut = bisect_left(component, n_atoms)
-            atom_ids = component[:cut]
-            rule_ids = [n - n_atoms for n in component[cut:]]
-            bottom_obj[cid] = BottomComponent(atom_ids, rule_ids, analysis, n_atoms)
+        return spans, side_arr.tolist(), bad_comps
 
     def select_ties(self) -> list[BottomComponent]:
         """All current bottom ties, in canonical (smallest-atom) order.
@@ -1027,6 +1095,7 @@ class ArrayGroundGraphState(GroundGraphState):
         its exact sequential contract on this backend too.
         """
         t0 = perf_counter()
+        self._ta_overlap = 0.0
         self._require_closed()
         if self._scc_comps is None:
             self._rebuild_scc()
@@ -1034,16 +1103,24 @@ class ArrayGroundGraphState(GroundGraphState):
             self._refine_scc()
         comps = self._scc_comps
         assert comps is not None
+        tie_sides = self._tie_sides
         pending = []
+        pooled_len = 0
         for cid in self._scc_bottom:
             if len(comps[cid]) == 1:
                 raise AssertionError(
                     "singleton bottom component survived close(); graph state corrupt"
                 )
             if cid not in self._scc_bottom_obj:
-                pending.append(cid)
+                if cid in tie_sides:
+                    # Cache hit: materialized straight from the stored
+                    # sides, no spanning walk at all.
+                    super()._bottom_component(cid)
+                else:
+                    pending.append(cid)
+                    pooled_len += len(comps[cid])
         if pending:
-            if sum(len(comps[cid]) for cid in pending) < _SCALAR_TAIL:
+            if pooled_len < _SCALAR_TAIL:
                 for cid in pending:
                     super()._bottom_component(cid)
             else:
@@ -1057,7 +1134,8 @@ class ArrayGroundGraphState(GroundGraphState):
         ties = [obj for _, obj in keyed]
         if ties:
             self.tie_rounds += 1
-        self.phase_s["tie_select_s"] += perf_counter() - t0
+        # Sides work inside this window is booked under tie_analysis_s.
+        self.phase_s["tie_select_s"] += (perf_counter() - t0) - self._ta_overlap
         return ties
 
     # -- cloning -------------------------------------------------------------
@@ -1100,6 +1178,8 @@ class ArrayGroundGraphState(GroundGraphState):
         other._scc_bottom_obj = dict(self._scc_bottom_obj)
         other._scc_next_cid = self._scc_next_cid
         other._scc_dirty = set(self._scc_dirty)
+        other._tie_sides = dict(self._tie_sides)
+        other._ta_overlap = 0.0
         other._tie_heap = list(self._tie_heap)
         other._trail = None
         other.phase_s = dict(self.phase_s)

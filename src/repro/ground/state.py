@@ -61,6 +61,7 @@ operation order); a property test shuffles worklist order to confirm.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from heapq import heappop, heappush
 from time import perf_counter
@@ -69,7 +70,7 @@ from typing import Iterable, Iterator
 from repro.datalog.grounding import GroundProgram
 from repro.errors import CloseConflictError, SemanticsError
 from repro.graphs.scc import strongly_connected_components
-from repro.graphs.ties import TieAnalysis, analyze_component
+from repro.graphs.ties import TieAnalysis, TieSides, analyze_component
 from repro.ground.model import FALSE, TRUE, UNDEF, Interpretation
 
 __all__ = ["GroundGraphState", "BottomComponent"]
@@ -116,26 +117,58 @@ class BottomComponent:
     """
 
     def __init__(
-        self, atom_ids: list[int], rule_ids: list[int], analysis: TieAnalysis, atom_count: int
+        self,
+        atom_ids: list[int],
+        rule_ids: list[int],
+        analysis: TieAnalysis | None,
+        atom_count: int,
+        sides_map: dict[int, int] | None = None,
     ):
         self.atom_ids = atom_ids
         self.rule_ids = rule_ids
-        self.analysis = analysis
+        # Either a materialized analysis, or (hot path: served from the
+        # incremental sides cache) just the canonical node → side dict;
+        # the TieAnalysis view is then built on first ``.analysis`` touch.
+        self._analysis = analysis
+        self._sides_map = sides_map
         self._atom_count = atom_count
+        self._side_of_atom: dict[int, int] | None = None
+
+    @property
+    def analysis(self) -> TieAnalysis:
+        """The frozen Lemma-1 analysis (materialized lazily)."""
+        a = self._analysis
+        if a is None:
+            a = TieAnalysis(is_tie=True, sides=self._sides_map)
+            self._analysis = a
+        return a
 
     @property
     def is_tie(self) -> bool:
         """True iff the component has no cycle with odd negative parity."""
-        return self.analysis.is_tie
+        a = self._analysis
+        return True if a is None else a.is_tie
 
     def side_of_atom(self) -> dict[int, int]:
-        """Atom id → side (0/1) under the Lemma-1 partition."""
-        assert self.analysis.sides is not None
-        return {
-            node: side
-            for node, side in self.analysis.sides.items()
-            if node < self._atom_count
-        }
+        """Atom id → side (0/1) under the Lemma-1 partition (cached)."""
+        cached = self._side_of_atom
+        if cached is None:
+            sides = self._sides_map
+            if sides is None:
+                sides = self.analysis.sides
+            assert sides is not None
+            atom_count = self._atom_count
+            cached = {
+                node: side for node, side in sides.items() if node < atom_count
+            }
+            self._side_of_atom = cached
+        return cached
+
+    def side_counts(self) -> tuple[int, int]:
+        """Number of *atoms* on side 0 and side 1."""
+        sides = self.side_of_atom()
+        ones = sum(sides.values())
+        return len(sides) - ones, ones
 
 
 class _QueryScratch:
@@ -179,9 +212,10 @@ class GroundGraphState:
     shared :class:`~repro.datalog.grounding.GroundIndex`, so construction
     and :meth:`clone` cost O(n) memcpy rather than O(edges) Python loops.
     ``phase_s`` accumulates wall-clock seconds per kernel phase
-    (``close_s`` / ``unfounded_s`` / ``tie_select_s`` / ``tie_apply_s``)
-    for the solve-phase accounting surfaced in
-    :class:`~repro.api.solution.Solution` timings.
+    (``close_s`` / ``unfounded_s`` / ``tie_select_s`` / ``tie_apply_s`` /
+    ``tie_analysis_s`` — the last carved out of tie selection so the
+    Lemma-1 sides work is attributable on its own) for the solve-phase
+    accounting surfaced in :class:`~repro.api.solution.Solution` timings.
     """
 
     def __init__(self, ground_program: GroundProgram):
@@ -273,6 +307,21 @@ class GroundGraphState:
         self._scc_next_cid = 0
         self._scc_dirty: set[int] = set()
 
+        # Incremental Lemma-1 (K, L) sides per component (clean/tie
+        # components only — non-ties fall back to analyze_component for
+        # the odd-cycle witness).  Keyed by cid; because component node
+        # lists are immutable, cids are never reused, and any component
+        # that loses a member is replaced by _refine_scc before the next
+        # query, an entry for a *current* cid can never be stale — the
+        # sides are a pure function of the cid.  Refinement derives the
+        # pieces' sides by restriction (a valid partition stays valid on
+        # any subgraph); a full rebuild assigns new cids, so the dict is
+        # simply reset there.
+        self._tie_sides: dict[int, TieSides] = {}
+        # tie_analysis_s seconds accrued inside the current select_tie /
+        # select_ties window, subtracted so the two phases never overlap.
+        self._ta_overlap = 0.0
+
         # Min-keyed schedule of bottom components: (smallest node, cid)
         # heap entries pushed whenever a component becomes bottom; stale
         # entries (split, resolved, or non-tie components) are discarded
@@ -288,6 +337,7 @@ class GroundGraphState:
             "unfounded_s": 0.0,
             "tie_select_s": 0.0,
             "tie_apply_s": 0.0,
+            "tie_analysis_s": 0.0,
         }
 
         # Number of nonempty tie rounds served by select_ties() — the
@@ -886,25 +936,48 @@ class GroundGraphState:
             if self.atom_alive[head]:
                 yield head, True
 
-    def _rebuild_scc(self) -> None:
+    def _rebuild_scc(self, *, eager_sides: bool = True) -> None:
         """Full Tarjan over the live graph; installs a fresh condensation.
 
         Component ids continue from ``_scc_next_cid`` so ids are never
         reused across rebuilds — stale schedule entries and trail records
         referring to pre-rebuild components can be recognized as such.
+        The sides cache is reset (its keys are pre-rebuild cids); the
+        pure-Python kernel repopulates it lazily per bottom query, while
+        the array backend overrides this to run one pooled Lemma-1 pass
+        when ``eager_sides`` is set (``full_recompute`` clears it so the
+        oracle path stays on fresh :func:`analyze_component` calls).
         """
         if self._trail is not None:
             self._trail.append((_T_REBUILD,))
+        self._tie_sides = {}
         n_atoms = self.n_atoms
         node_count = n_atoms + self.n_rules
         live_nodes = sorted(self._live_atoms)
         live_nodes.extend(sorted(n_atoms + r for r in self._live_rules))
 
-        def succ_ids(u: int) -> Iterator[int]:
-            return (v for v, _ in self._live_successors(u))
+        # Materialize live out-edges as plain lists up front: Tarjan and
+        # the incross sweep below then iterate them at C speed instead of
+        # paying two generator frames per edge.  Dead slots share one
+        # (never-mutated) empty list and are never visited.
+        idx = self._idx
+        rule_alive = self.rule_alive
+        atom_alive = self.atom_alive
+        pos_occ_t, neg_occ_t = idx.pos_occ_t, idx.neg_occ_t
+        head_of = idx.head_of_t
+        empty: list[int] = []
+        adj: list[list[int]] = [empty] * node_count
+        for u in self._live_atoms:
+            adj[u] = [
+                n_atoms + r for r in pos_occ_t[u] if rule_alive[r]
+            ] + [n_atoms + r for r in neg_occ_t[u] if rule_alive[r]]
+        for r in self._live_rules:
+            head = head_of[r]
+            if atom_alive[head]:
+                adj[n_atoms + r] = [head]
 
         components = strongly_connected_components(
-            node_count, succ_ids, nodes=live_nodes
+            node_count, adj.__getitem__, nodes=live_nodes
         )
         if self._scc_comp_of is None:
             self._scc_comp_of = [-1] * node_count
@@ -925,31 +998,15 @@ class GroundGraphState:
         self._scc_bottom_obj = {}
         self._scc_dirty.clear()
 
-        # Count incoming cross edges per component in one edge sweep.
+        # Count incoming cross edges per component in one edge sweep
+        # over the adjacency lists built above.
         incross = dict.fromkeys(comps, 0)
-        idx = self._idx
-        rule_alive = self.rule_alive
-        atom_alive = self.atom_alive
-        pos_occ_t, neg_occ_t = idx.pos_occ_t, idx.neg_occ_t
-        head_of = idx.head_of_t
-        for u in self._live_atoms:
+        for u in live_nodes:
             cu = comp_of[u]
-            for r in pos_occ_t[u]:
-                if rule_alive[r]:
-                    cr = comp_of[n_atoms + r]
-                    if cr != cu:
-                        incross[cr] += 1
-            for r in neg_occ_t[u]:
-                if rule_alive[r]:
-                    cr = comp_of[n_atoms + r]
-                    if cr != cu:
-                        incross[cr] += 1
-        for r in self._live_rules:
-            head = head_of[r]
-            if atom_alive[head]:
-                ch = comp_of[head]
-                if ch != comp_of[n_atoms + r]:
-                    incross[ch] += 1
+            for v in adj[u]:
+                cv = comp_of[v]
+                if cv != cu:
+                    incross[cv] += 1
         self._scc_incross = incross
         self._scc_bottom = {cid for cid, count in incross.items() if count == 0}
         heap = self._tie_heap
@@ -979,6 +1036,8 @@ class GroundGraphState:
         bottom_obj = self._scc_bottom_obj
         trail = self._trail
 
+        tie_sides = self._tie_sides
+        popped_sides: dict[int, TieSides] = {}
         removed: list[tuple] = []
         affected: list[int] = []
         for cid in dirty:
@@ -990,9 +1049,19 @@ class GroundGraphState:
                 )
                 if alive:
                     affected.append(node)
+            sides = tie_sides.pop(cid, None)
+            if sides is not None:
+                popped_sides[cid] = sides
             if trail is not None:
                 removed.append(
-                    (cid, comps[cid], incross[cid], cid in bottom, bottom_obj.get(cid))
+                    (
+                        cid,
+                        comps[cid],
+                        incross[cid],
+                        cid in bottom,
+                        bottom_obj.get(cid),
+                        sides,
+                    )
                 )
             del comps[cid]
             del incross[cid]
@@ -1021,6 +1090,15 @@ class GroundGraphState:
             self._scc_next_cid += 1
             comps[cid] = piece
             fresh.append((cid, piece))
+            if len(piece) > 1:
+                # Derive the piece's (K, L) sides from its old component:
+                # a clean partition restricted to any subgraph stays
+                # clean, so the surviving piece inherits its labels with
+                # no re-verification — the incremental reuse this cache
+                # exists for.  comp_of still holds the old cid here.
+                old = popped_sides.get(comp_of[piece[0]])
+                if old is not None and old.is_tie:
+                    tie_sides[cid] = old.restricted(piece)
         for cid, piece in fresh:
             for node in piece:
                 comp_of[node] = cid
@@ -1055,18 +1133,120 @@ class GroundGraphState:
                 bottom.add(cid)
                 heappush(heap, (self._heap_key(piece), cid))
 
-    def _bottom_component(self, cid: int) -> BottomComponent:
-        """Memoized :class:`BottomComponent` (with analysis) for one cid."""
+    def _sides_scalar(self, component: list[int]) -> TieSides | None:
+        """One CSR-direct Lemma-1 pass over a live component; ``None`` if
+        the component is not a tie.
+
+        Equivalent to the spanning-walk-plus-verify of
+        :func:`analyze_component` (root ``component[0]``, side 0) but
+        reads the compiled adjacency directly instead of going through
+        the ``_live_successors`` generator.  Membership and liveness are
+        one test: a node belongs to the component iff ``comp_of`` maps it
+        to this cid — dead nodes keep their stale, never-reused cids, so
+        they can never collide with a current one.
+        """
+        idx = self._idx
+        n_atoms = self.n_atoms
+        comp_of = self._scc_comp_of
+        assert comp_of is not None
+        cid = comp_of[component[0]]
+        pos_occ_t, neg_occ_t = idx.pos_occ_t, idx.neg_occ_t
+        head_of = idx.head_of_t
+        root = component[0]
+        side: dict[int, int] = {root: 0}
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            su = side[u]
+            if u < n_atoms:
+                for r in pos_occ_t[u]:
+                    v = n_atoms + r
+                    if comp_of[v] == cid and v not in side:
+                        side[v] = su
+                        stack.append(v)
+                for r in neg_occ_t[u]:
+                    v = n_atoms + r
+                    if comp_of[v] == cid and v not in side:
+                        side[v] = su ^ 1
+                        stack.append(v)
+            else:
+                h = head_of[u - n_atoms]
+                if comp_of[h] == cid and h not in side:
+                    side[h] = su
+                    stack.append(h)
+        for u in component:
+            su = side[u]
+            if u < n_atoms:
+                for r in pos_occ_t[u]:
+                    v = n_atoms + r
+                    if comp_of[v] == cid and side[v] != su:
+                        return None
+                for r in neg_occ_t[u]:
+                    v = n_atoms + r
+                    if comp_of[v] == cid and side[v] == su:
+                        return None
+            else:
+                h = head_of[u - n_atoms]
+                if comp_of[h] == cid and side[h] != su:
+                    return None
+        return TieSides(set(component), side)
+
+    def _cached_sides(self, cid: int, component: list[int]) -> TieSides | None:
+        """Sides for ``cid`` from the incremental cache, computing (and
+        installing) them on a miss; ``None`` marks a non-tie.
+
+        Installs need no trail record: the sides are a pure function of
+        the (never reused) cid, so an entry that survives a rewind — like
+        a memoized ``_scc_bottom_obj`` — revalidates naturally, and a
+        missing one is simply recomputed.  Time is attributed to
+        ``tie_analysis_s`` (and to the overlap accumulator, so an
+        enclosing select window does not double-count it).
+        """
+        sides = self._tie_sides.get(cid)
+        if sides is None:
+            t0 = perf_counter()
+            sides = self._sides_scalar(component)
+            if sides is not None:
+                self._tie_sides[cid] = sides
+            dt = perf_counter() - t0
+            self.phase_s["tie_analysis_s"] += dt
+            self._ta_overlap += dt
+        return sides
+
+    def _bottom_component(self, cid: int, *, fresh: bool = False) -> BottomComponent:
+        """Memoized :class:`BottomComponent` (with analysis) for one cid.
+
+        Serves the analysis from the incremental sides cache when it can;
+        non-ties (and ``fresh=True``, the ``full_recompute`` oracle) run
+        the one-shot :func:`analyze_component`, which also produces the
+        odd-cycle witness.
+        """
         obj = self._scc_bottom_obj.get(cid)
         if obj is None:
             comps = self._scc_comps
             assert comps is not None
             component = comps[cid]
             n_atoms = self.n_atoms
-            analysis = analyze_component(component, self._live_successors)
-            atom_ids = [n for n in component if n < n_atoms]
-            rule_ids = [n - n_atoms for n in component if n >= n_atoms]
-            obj = BottomComponent(atom_ids, rule_ids, analysis, n_atoms)
+            analysis: TieAnalysis | None = None
+            sides_map: dict[int, int] | None = None
+            if not fresh:
+                sides = self._cached_sides(cid, component)
+                if sides is not None:
+                    # Canonicalize (component head on side 0) without the
+                    # TieAnalysis round trip; flip 0 shares the cached
+                    # dict, which the kernel never mutates in place.
+                    s = sides.side
+                    sides_map = (
+                        s if s[component[0]] == 0 else {n: s[n] ^ 1 for n in component}
+                    )
+            if sides_map is None:
+                analysis = analyze_component(component, self._live_successors)
+            # Component node lists are sorted, so the atom/rule halves are
+            # contiguous slices.
+            cut = bisect_left(component, n_atoms)
+            atom_ids = component[:cut]
+            rule_ids = [n - n_atoms for n in component[cut:]]
+            obj = BottomComponent(atom_ids, rule_ids, analysis, n_atoms, sides_map)
             self._scc_bottom_obj[cid] = obj
         return obj
 
@@ -1080,13 +1260,16 @@ class GroundGraphState:
         returned component is a genuine cyclic component.
 
         Incremental: the condensation, the per-component incoming-edge
-        counts, and the analyses/result objects are all cached; only
-        components touched by deletions since the last query cost work.
-        ``full_recompute=True`` rebuilds everything from scratch.
+        counts, and the (K, L) sides are all cached; only components
+        touched by deletions since the last query cost work.
+        ``full_recompute=True`` rebuilds everything from scratch — the
+        condensation via a full Tarjan and every analysis via a fresh
+        :func:`analyze_component`, bypassing the incremental sides cache
+        (the differential oracle for it).
         """
         self._require_closed()
         if full_recompute or self._scc_comps is None:
-            self._rebuild_scc()
+            self._rebuild_scc(eager_sides=not full_recompute)
         elif self._scc_dirty:
             self._refine_scc()
 
@@ -1100,7 +1283,7 @@ class GroundGraphState:
                 raise AssertionError(
                     "singleton bottom component survived close(); graph state corrupt"
                 )
-            result.append(self._bottom_component(cid))
+            result.append(self._bottom_component(cid, fresh=full_recompute))
         return result
 
     def select_tie(self) -> BottomComponent | None:
@@ -1115,6 +1298,7 @@ class GroundGraphState:
         id, at O(log n) instead of O(components) per round.
         """
         t0 = perf_counter()
+        self._ta_overlap = 0.0
         self._require_closed()
         if self._scc_comps is None:
             self._rebuild_scc()
@@ -1148,7 +1332,9 @@ class GroundGraphState:
                 continue
             result = obj
             break
-        self.phase_s["tie_select_s"] += perf_counter() - t0
+        # Sides work done inside this window was already booked under
+        # tie_analysis_s; subtract it so the phase totals stay disjoint.
+        self.phase_s["tie_select_s"] += (perf_counter() - t0) - self._ta_overlap
         return result
 
     def select_ties(self) -> list[BottomComponent]:
@@ -1279,9 +1465,10 @@ class GroundGraphState:
                         self._scc_incross.pop(cid, None)
                         self._scc_bottom.discard(cid)
                         self._scc_bottom_obj.pop(cid, None)
+                        self._tie_sides.pop(cid, None)
                     comp_of = self._scc_comp_of
                     assert comp_of is not None
-                    for cid, nodes, count, was_bottom, obj in entry[1]:
+                    for cid, nodes, count, was_bottom, obj, sides in entry[1]:
                         comps[cid] = nodes
                         self._scc_incross[cid] = count
                         if was_bottom:
@@ -1292,6 +1479,8 @@ class GroundGraphState:
                             heappush(self._tie_heap, (self._heap_key(nodes), cid))
                         if obj is not None:
                             self._scc_bottom_obj[cid] = obj
+                        if sides is not None:
+                            self._tie_sides[cid] = sides
                         for node in nodes:
                             comp_of[node] = cid
                         self._scc_dirty.add(cid)
@@ -1305,6 +1494,7 @@ class GroundGraphState:
                 self._scc_bottom = set()
                 self._scc_bottom_obj = {}
                 self._scc_dirty = set()
+                self._tie_sides = {}
             elif tag == _T_SRC:
                 self._src[entry[1]] = entry[2]
             elif tag == _T_SL_ADD:
@@ -1381,6 +1571,8 @@ class GroundGraphState:
         other._scc_bottom_obj = dict(self._scc_bottom_obj)
         other._scc_next_cid = self._scc_next_cid
         other._scc_dirty = set(self._scc_dirty)
+        other._tie_sides = dict(self._tie_sides)
+        other._ta_overlap = 0.0
         other._tie_heap = list(self._tie_heap)
         other._trail = None
         other.phase_s = dict(self.phase_s)

@@ -123,7 +123,8 @@ class TieBreakingRun:
     policy that drove the run (e.g. ``RandomChoice(seed=7)``), so
     nondeterministic runs are reproducible from their own output.
     ``timings`` carries the kernel's per-phase solve accounting
-    (``close_s`` / ``unfounded_s`` / ``tie_select_s`` / ``tie_apply_s``).
+    (``close_s`` / ``unfounded_s`` / ``tie_select_s`` / ``tie_apply_s`` /
+    ``tie_analysis_s``).
     """
 
     model: Interpretation
@@ -169,10 +170,18 @@ def _select_tie(state: GroundGraphState) -> BottomComponent | None:
 def _apply_tie(
     state: GroundGraphState, component: BottomComponent, true_side: int, *, forced: bool
 ) -> TieChoice:
-    """Orient one tie: assign the chosen side true, the other false."""
-    atom_sides = component.side_of_atom()
-    made_true = [a for a, s in atom_sides.items() if s == true_side]
-    made_false = [a for a, s in atom_sides.items() if s != true_side]
+    """Orient one tie: assign the chosen side true, the other false.
+
+    Assignment batches are sorted by atom id so the trail/decision
+    trajectory is independent of the side dict's iteration order (fresh
+    BFS, cached sides, and the array backend enumerate differently).
+    """
+    made_true: list[int] = []
+    made_false: list[int] = []
+    for a, s in component.side_of_atom().items():
+        (made_true if s == true_side else made_false).append(a)
+    made_true.sort()
+    made_false.sort()
     t0 = perf_counter()
     state.assign_many(made_true, TRUE, ("tie", true_side))
     state.assign_many(made_false, FALSE, ("tie", 1 - true_side))
@@ -183,24 +192,30 @@ def _apply_tie(
 def _break_tie(
     state: GroundGraphState, component: BottomComponent, policy: ChoicePolicy
 ) -> TieChoice:
-    """Orient one tie under a policy (forced orientations bypass it)."""
-    assert component.analysis.sides is not None
-    side_nodes = [0, 0]
-    for side in component.analysis.sides.values():
-        side_nodes[side] += 1
-    true_side = forced_orientation(side_nodes[0], side_nodes[1])
+    """Orient one tie under a policy (forced orientations bypass it).
+
+    A side is forced exactly when it holds no atoms: in a bipartite SCC
+    every rule node's head edge stays in-component and on its own side,
+    so a side without atoms has no nodes at all — counting atoms
+    (:meth:`BottomComponent.side_counts`) is equivalent to counting
+    nodes, and skips a sweep over the rule half of the partition.
+    """
+    side_atoms: tuple[list[int], list[int]] = ([], [])
+    for atom_id, side in component.side_of_atom().items():
+        side_atoms[side].append(atom_id)
+    true_side = forced_orientation(len(side_atoms[0]), len(side_atoms[1]))
     forced = true_side is not None
     if true_side is None:
-        atom_sides = component.side_of_atom()
-        side_atoms: tuple[list[int], list[int]] = ([], [])
-        for atom_id, side in atom_sides.items():
-            side_atoms[side].append(atom_id)
         # Policies see canonical ranks, not raw ids: a streamed-update
-        # state must make the same choice a fresh re-ground would.
-        order = state.order_key
-        true_side = policy.choose_true_side(
-            [order(a) for a in side_atoms[0]], [order(a) for a in side_atoms[1]]
-        )
+        # state must make the same choice a fresh re-ground would.  The
+        # overlay is identity for fresh groundings — skip the mapping.
+        order = state._order
+        if order is None:
+            ranks0, ranks1 = side_atoms[0], side_atoms[1]
+        else:
+            ranks0 = [order[a] for a in side_atoms[0]]
+            ranks1 = [order[a] for a in side_atoms[1]]
+        true_side = policy.choose_true_side(ranks0, ranks1)
     return _apply_tie(state, component, true_side, forced=forced)
 
 
@@ -402,10 +417,8 @@ def _enumerate_tie_breaking_models(
                 advancing = False
                 continue
             assert tie.analysis.sides is not None
-            side_nodes = [0, 0]
-            for side in tie.analysis.sides.values():
-                side_nodes[side] += 1
-            forced = forced_orientation(side_nodes[0], side_nodes[1])
+            count0, count1 = tie.side_counts()
+            forced = forced_orientation(count0, count1)
             if forced is not None:
                 trail.append(_apply_tie(state, tie, forced, forced=True))
                 state.close()
@@ -464,10 +477,8 @@ def _enumerate_reference(
                 )
                 break
             assert tie.analysis.sides is not None
-            side_nodes = [0, 0]
-            for side in tie.analysis.sides.values():
-                side_nodes[side] += 1
-            forced = forced_orientation(side_nodes[0], side_nodes[1])
+            count0, count1 = tie.side_counts()
+            forced = forced_orientation(count0, count1)
             if forced is not None:
                 trail.append(_apply_tie(state, tie, forced, forced=True))
                 state.close()

@@ -33,7 +33,8 @@ class WellFoundedRun:
     evaluation state for provenance queries
     (:func:`repro.ground.explain.explain`); ``timings`` carries the
     kernel's per-phase solve accounting (``close_s`` / ``unfounded_s`` /
-    ``tie_select_s`` / ``tie_apply_s`` — the tie phases are zero here).
+    ``tie_select_s`` / ``tie_apply_s`` / ``tie_analysis_s`` — the tie
+    phases are zero here).
     """
 
     model: Interpretation

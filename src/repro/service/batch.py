@@ -386,7 +386,14 @@ def solve_one(
         # cache reports the timings of the solve that populated it.)
         timings = {
             key: solution.timings[key]
-            for key in ("solve_s", "close_s", "unfounded_s", "tie_select_s", "tie_apply_s")
+            for key in (
+                "solve_s",
+                "close_s",
+                "unfounded_s",
+                "tie_select_s",
+                "tie_apply_s",
+                "tie_analysis_s",
+            )
             if key in solution.timings
         }
         if timings:

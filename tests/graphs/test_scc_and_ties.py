@@ -98,6 +98,23 @@ class TestTieAnalysis:
         with pytest.raises(NotATieError):
             analysis.side_nodes(0)
 
+    def test_side_nodes_sorted_regardless_of_discovery_order(self):
+        """``side_nodes`` returns ascending node ids, not insertion order.
+
+        Regression: the sides dict is keyed in spanning-walk discovery
+        order, which on this 4-cycle visits d (id 3) before c (id 2);
+        the per-side views must still come back sorted.
+        """
+        g, analysis = self.run(
+            ("a", "b", "-"), ("b", "c", "+"), ("c", "d", "-"), ("d", "a", "+")
+        )
+        for side in (0, 1):
+            nodes = analysis.side_nodes(side)
+            assert nodes == sorted(nodes)
+        assert sorted(analysis.side_nodes(0) + analysis.side_nodes(1)) == list(
+            range(g.node_count)
+        )
+
     def test_singleton_component_trivial_tie(self):
         g = SignedDigraph()
         g.add_node("solo")

@@ -253,6 +253,44 @@ def test_lockstep_full_state(name, gp):
 
 @needs_numpy
 @pytest.mark.parametrize("name,gp", GROUND_CASES, ids=GROUND_IDS)
+def test_lockstep_with_and_without_sides_cache(name, gp):
+    """The incremental (K, L) sides cache is invisible to the semantics.
+
+    Drives the array kernel twice through identical rounds — once with
+    the cache operating normally, once with ``_tie_sides`` cleared before
+    every select (forcing fresh analyses throughout) — and requires the
+    identical tie-decision sequence and identical raw buffers after every
+    round.
+    """
+    cached = ArrayGroundGraphState(gp)
+    uncached = ArrayGroundGraphState(gp)
+    for s in (cached, uncached):
+        s.close()
+        s.falsify_unfounded(numbered=False)
+        s.close()
+    assert _snapshot(cached) == _snapshot(uncached)
+    for _ in range(MAX_STEPS):
+        uncached._tie_sides.clear()  # cache-off leg: every analysis fresh
+        tc = cached.select_ties()
+        tu = uncached.select_ties()
+        assert [tuple(t.atom_ids) for t in tc] == [tuple(t.atom_ids) for t in tu]
+        if not tc:
+            break
+        decisions_c = [_orient_min(cached, t) for t in tc]
+        decisions_u = [_orient_min(uncached, t) for t in tu]
+        assert decisions_c == decisions_u, "tie decisions diverge without the cache"
+        for s in (cached, uncached):
+            s.close()
+            s.falsify_unfounded(numbered=False)
+            s.close()
+        assert _snapshot(cached) == _snapshot(uncached), "divergence after tie round"
+    else:
+        pytest.fail("drive did not converge")
+    assert cached.interpretation().status == uncached.interpretation().status
+
+
+@needs_numpy
+@pytest.mark.parametrize("name,gp", GROUND_CASES, ids=GROUND_IDS)
 def test_batched_rounds_match_sequential_schedule(name, gp):
     """Array ``select_ties`` batching ≡ the one-tie-per-round schedule."""
     py_status, py_decisions, py_rounds = _drive_batched(GroundGraphState(gp))

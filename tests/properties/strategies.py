@@ -98,6 +98,116 @@ def small_predicate_programs(draw, max_rules: int = 5):
     return Program(rules)
 
 
+# -- signed tie components and deletion traces ---------------------------
+#
+# Generators for the Lemma-1 incremental machinery
+# (:class:`repro.graphs.ties.TieSides`).  A component is built from a
+# *planted* side assignment: signs are derived from it (positive inside a
+# side, negative across), so the graph is 2-colorable by construction and
+# the planted labelling is a ground-truth witness.  Strong connectivity
+# comes from a random cycle cover (one directed cycle through all nodes);
+# flipping the sign of any arc then introduces an odd cycle, because every
+# arc lies on a cycle.
+
+
+@st.composite
+def signed_tie_components(draw, max_nodes: int = 10, flipped: bool | None = None):
+    """A signed strongly connected component.
+
+    Returns ``(nodes, arcs, planted, n_flipped)``: sorted node ids,
+    signed arcs ``(u, v, positive)``, the planted node → side dict, and
+    how many arc signs were flipped afterwards (0 ⟺ the component is a
+    tie; > 0 ⟺ it has an odd cycle through each flipped arc).
+    ``flipped`` forces (True) or forbids (False) sign flips; ``None``
+    draws it.
+    """
+    n = draw(st.integers(2, max_nodes))
+    nodes = list(range(n))
+    planted = {u: draw(st.integers(0, 1)) for u in nodes}
+    perm = draw(st.permutations(nodes))
+    pairs = {(perm[i], perm[(i + 1) % n]) for i in range(n)}
+    extra = draw(
+        st.lists(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+            max_size=2 * n,
+        )
+    )
+    pairs.update(extra)
+    arcs = [(u, v, planted[u] == planted[v]) for u, v in sorted(pairs)]
+    if flipped is None:
+        flipped = draw(st.booleans())
+    n_flipped = 0
+    if flipped:
+        count = draw(st.integers(1, max(1, len(arcs) // 3)))
+        indices = draw(
+            st.lists(
+                st.integers(0, len(arcs) - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        for i in indices:
+            u, v, positive = arcs[i]
+            arcs[i] = (u, v, not positive)
+        n_flipped = len(indices)
+    return nodes, arcs, planted, n_flipped
+
+
+@st.composite
+def tie_deletion_traces(draw, max_nodes: int = 10, max_steps: int = 6):
+    """A component plus a random deletion trace over it.
+
+    Returns ``(nodes, arcs, steps)`` where each step is ``("edges",
+    [signed arcs])`` or ``("nodes", [node ids])``.  Traces cover the
+    interesting regimes by construction: deletions on an intact planted
+    component stay tie-preserving until one *splits* the component, and
+    traces drawn over a sign-flipped component carry violated edges whose
+    set must shrink/move correctly as the trace deletes around them.
+    """
+    nodes, arcs, _planted, _n_flipped = draw(signed_tie_components(max_nodes=max_nodes))
+    live_arcs = list(arcs)
+    live_nodes = set(nodes)
+    steps = []
+    for _ in range(draw(st.integers(1, max_steps))):
+        kinds = []
+        if live_arcs:
+            kinds.append("edges")
+        if live_nodes:
+            kinds.append("nodes")
+        if not kinds:
+            break
+        kind = draw(st.sampled_from(kinds))
+        if kind == "edges":
+            count = draw(st.integers(1, min(3, len(live_arcs))))
+            chosen = draw(
+                st.lists(
+                    st.sampled_from(live_arcs),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            steps.append(("edges", chosen))
+            gone = set(chosen)
+            live_arcs = [a for a in live_arcs if a not in gone]
+        else:
+            count = draw(st.integers(1, min(2, len(live_nodes))))
+            chosen = draw(
+                st.lists(
+                    st.sampled_from(sorted(live_nodes)),
+                    min_size=count,
+                    max_size=count,
+                    unique=True,
+                )
+            )
+            steps.append(("nodes", chosen))
+            dead = set(chosen)
+            live_nodes -= dead
+            live_arcs = [a for a in live_arcs if a[0] not in dead and a[1] not in dead]
+    return nodes, arcs, steps
+
+
 @st.composite
 def small_predicate_cases(draw):
     """(program, database) with random unary 'eu' and binary 'eb' facts."""

@@ -263,6 +263,7 @@ _DERIVED_CACHES = frozenset(
         "_scc_next_cid",
         "_scc_dirty",
         "_tie_heap",
+        "_tie_sides",
     }
 )
 # SHARED structure is immutable and owned by the ground program/index;
@@ -271,7 +272,9 @@ _SHARED_IMMUTABLE = frozenset({"gp", "_idx", "n_atoms", "n_rules", "_order"})
 # MACHINERY is the trail itself, the epoch-disciplined query scratch,
 # and accounting (wall-clock phases, the select_ties round counter) —
 # definitionally outside state equality.
-_MACHINERY = frozenset({"_trail", "_scratch", "phase_s", "tie_rounds"})
+_MACHINERY = frozenset(
+    {"_trail", "_scratch", "phase_s", "tie_rounds", "_ta_overlap"}
+)
 
 
 def test_state_fields_are_classified():

@@ -38,9 +38,15 @@ class TestRunBench:
                 "unfounded_s",
                 "tie_select_s",
                 "tie_apply_s",
+                "tie_analysis_s",
             }
             assert all(v >= 0 for v in solve_phases.values())
             assert sum(solve_phases.values()) <= family["engine_solve_s"] + 1e-6
+            # Every run differentially verifies the incremental (K, L)
+            # sides cache against the full_recompute oracle.
+            assert family["tie_sides_checked"] >= 0
+            if family["semantics"] == "wf-tb":
+                assert family["tie_sides_checked"] > 0
         summary = record["summary"]
         assert (
             summary["min_speedup"]
