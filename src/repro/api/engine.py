@@ -20,7 +20,6 @@ per-semantics free functions are deprecated shims over it.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Iterable, Iterator, Mapping
@@ -343,8 +342,14 @@ class Engine:
         # Keep whatever the solver recorded (the kernel's per-phase solve
         # breakdown: close_s / unfounded_s / tie_select_s / tie_apply_s /
         # tie_analysis_s) and add the engine-level pipeline costs on top.
-        return replace(
-            solution,
+        # Any result_s the solver already accumulated (a lazy view touched
+        # inside the solve window) is subtracted from solve_s, so the
+        # result phase books non-overlapping — the same discipline as
+        # tie_analysis_s inside tie_select_s.
+        overlap = solution.timings.get("result_s", 0.0)
+        if overlap:
+            solve_s = max(0.0, solve_s - overlap)
+        return solution.replace(
             timings={**solution.timings, **self._timings, "solve_s": solve_s},
         )
 
@@ -377,7 +382,7 @@ class Engine:
         request = self._request(spec, dict(options))
         t0 = perf_counter()
         solution = spec.solver(request)
-        solution = replace(solution, grounding=request.grounding)
+        solution = solution.replace(grounding=request.grounding)
         solution = self._finalize(solution, perf_counter() - t0)
         if key is not None:
             self._solution_cache[key] = solution
@@ -404,13 +409,13 @@ class Engine:
                 return
             t0 = perf_counter()
             solution = spec.solver(request)
-            solution = replace(solution, grounding=request.grounding)
+            solution = solution.replace(grounding=request.grounding)
             yield self._finalize(solution, perf_counter() - t0)
             return
         t0 = perf_counter()
         for solution in spec.enumerator(request):
             solve_s = perf_counter() - t0
-            solution = replace(solution, grounding=request.grounding)
+            solution = solution.replace(grounding=request.grounding)
             yield self._finalize(solution, solve_s)
             t0 = perf_counter()
 
@@ -541,14 +546,31 @@ class Engine:
         ):
             raise SemanticsError(f"unknown predicate {predicate!r}")
         solution = self.solve(semantics, **options)
-        true_rows = frozenset(
-            tuple(c.value for c in a.args) for a in solution.true_atoms if a.predicate == predicate
-        )
-        undefined_rows = frozenset(
-            tuple(c.value for c in a.args)
-            for a in solution.undefined_atoms
-            if a.predicate == predicate
-        )
+        if solution.model is not None:
+            # Id-native path: walk the partition ids and decode only the
+            # queried predicate's atoms — the full sets are never built.
+            table = solution.model.ground_program.atoms
+            true_rows = frozenset(
+                tuple(c.value for c in a.args)
+                for a in map(table.atom, solution.true_ids)
+                if a.predicate == predicate
+            )
+            undefined_rows = frozenset(
+                tuple(c.value for c in a.args)
+                for a in map(table.atom, solution.undefined_ids)
+                if a.predicate == predicate
+            )
+        else:
+            true_rows = frozenset(
+                tuple(c.value for c in a.args)
+                for a in solution.true_atoms
+                if a.predicate == predicate
+            )
+            undefined_rows = frozenset(
+                tuple(c.value for c in a.args)
+                for a in solution.undefined_atoms
+                if a.predicate == predicate
+            )
         if predicate in self.database.predicates():
             true_rows |= frozenset(
                 tuple(c.value for c in row) for row in self.database[predicate]

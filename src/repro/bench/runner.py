@@ -69,7 +69,15 @@ and the clone-based reference explorer (identical (model, choice-trail)
 sequences cross-checked), so the undo-log dividend has its own tracked
 number.  Alongside, every family records ``solve_phases`` — the kernel's
 ``close_s`` / ``unfounded_s`` / ``tie_select_s`` / ``tie_apply_s``
-breakdown of the engine solve.
+breakdown of the engine solve (plus ``result_s``, the lazy result
+decode/encode phase — 0.0 at solve time by construction).
+
+The **results** mode measures the id-native result tier on top of one
+solved model per family: ``query_many`` answers/sec straight from the
+kernel's status ids against the eager comparator that materializes all
+three atom frozensets before answering (answers cross-checked
+identical), and the streaming ``repro-solution/1`` encoder's MB/s
+against the buffered ``json.dumps`` oracle (byte equality asserted).
 """
 
 from __future__ import annotations
@@ -90,6 +98,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.api.engine import Engine
 from repro.api.registry import get_spec
+from repro.api.solution import Solution
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Database
 from repro.datalog.grounding import GroundingMode
@@ -154,6 +163,12 @@ FAMILIES: dict[str, FamilySpec] = {
     "unfounded_tower": FamilySpec(families.unfounded_tower, "wf", "relevant", scale_factor=0.25),
     "tie_chain": FamilySpec(families.tie_chain, "wf-tb", "relevant", scale_factor=0.25),
     "committee": FamilySpec(families.committee, "wf-tb", "relevant", scale_factor=0.5),
+    "grounded_argumentation": FamilySpec(
+        families.grounded_argumentation, "wf-tb", "relevant", scale_factor=0.5
+    ),
+    "adversarial_scc": FamilySpec(
+        families.adversarial_scc, "wf-tb", "relevant", scale_factor=0.25
+    ),
 }
 
 _KERNELS: dict[str, Callable] = {
@@ -582,8 +597,10 @@ def _bench_family(
         "kernels": kernels,
         "engine_solve_s": solution.timings["solve_s"],
         # The kernel's per-phase breakdown of that solve (fused unfounded
-        # cascade, schedule-driven tie selection): sums to ~engine_solve_s
-        # minus result materialization.
+        # cascade, schedule-driven tie selection).  result_s is the lazy
+        # decode/encode phase: 0.0 at solve time by construction — the
+        # solution is id-native and nothing here touched an atom view —
+        # and booked non-overlapping when views are read later.
         "solve_phases": {
             key: solution.timings.get(key, 0.0)
             for key in (
@@ -592,6 +609,7 @@ def _bench_family(
                 "tie_select_s",
                 "tie_apply_s",
                 "tie_analysis_s",
+                "result_s",
             )
         },
         # (component, round) pairs of the incremental sides cache verified
@@ -669,6 +687,153 @@ def _enumerate_family(name: str, spec: FamilySpec, base_n: int, repeat: int) -> 
         "trail_models_per_s": models / max(trail_s, 1e-12),
         "clone_models_per_s": models / max(clone_s, 1e-12),
         "enumerate_speedup": clone_s / max(trail_s, 1e-12),
+    }
+
+
+# Probe-batch size of the results mode: small enough that the id-native
+# path's O(batch) cost is visible against the eager comparator's O(model)
+# materialization, large enough for stable per-answer timing.
+_RESULTS_BATCH = 64
+
+
+def _results_family(name: str, spec: FamilySpec, base_n: int, repeat: int) -> dict:
+    """Result-tier throughput for one family: answers/sec and encode MB/s.
+
+    Two measurements over one solved model, both differentially checked:
+
+    * **query** — :meth:`repro.api.Engine.query_many` over a
+      deterministic probe batch of ground atoms, answered straight from
+      the kernel's status ids (O(1) membership per atom, no set ever
+      built), against the *eager comparator*: the pre-lazy behaviour of
+      materializing all three atom frozensets and answering by set
+      membership.  Answer dicts must be identical before any number is
+      recorded; ``query_speedup`` is the id-native dividend.
+    * **encode** — the streaming ``repro-solution/1`` encoder
+      (:func:`repro.io.json_io.solution_to_jsonl_chunks`, ids → wire
+      text with no whole-document buffer) against the buffered
+      ``solution_to_obj`` + ``json.dumps`` oracle, byte equality
+      asserted.  Both run warm (caches populated, ``result_s`` booking
+      settled) so the comparison is encode work, not first-touch decode.
+    """
+    from repro.io.json_io import solution_to_jsonl_chunks, solution_to_obj
+
+    n = spec.size(base_n)
+    program, database = spec.generator(n)
+    engine = Engine(program, database, grounding=spec.grounding)
+    gp = engine.ground_for(spec.grounding)
+    atom_table = gp.atoms
+    all_atoms = [atom_table.atom(i) for i in range(gp.atom_count)]
+    semantics = _ENGINE_SEMANTICS[spec.semantics]
+    solution = engine.solve(semantics)
+    stride = max(1, gp.atom_count // _RESULTS_BATCH)
+    batch = all_atoms[::stride]
+
+    # -- query: id-native vs eager materialization ------------------------
+    ids_s: float | None = None
+    id_answers: dict = {}
+    for _ in range(max(1, repeat)):
+        t0 = perf_counter()
+        id_answers = engine.query_many(batch, semantics=semantics)
+        elapsed = perf_counter() - t0
+        if ids_s is None or elapsed < ids_s:
+            ids_s = elapsed
+
+    true_ids, _false_ids, undef_ids = (
+        solution.true_ids,
+        solution.false_ids,
+        solution.undefined_ids,
+    )
+
+    def _eager_query_many() -> dict:
+        # The pre-lazy path: decode the full partition into atom sets,
+        # then answer the batch by membership — O(model) per call.
+        true_set = frozenset(map(atom_table.atom, true_ids))
+        undef_set = frozenset(map(atom_table.atom, undef_ids))
+        frozenset(map(atom_table.atom, _false_ids))  # the full materialization cost
+        return {
+            a: True if a in true_set else (None if a in undef_set else False)
+            for a in batch
+        }
+
+    eager_s: float | None = None
+    eager_answers: dict = {}
+    for _ in range(max(1, repeat)):
+        t0 = perf_counter()
+        eager_answers = _eager_query_many()
+        elapsed = perf_counter() - t0
+        if eager_s is None or elapsed < eager_s:
+            eager_s = elapsed
+    if eager_answers != id_answers:
+        raise ReproError(
+            f"bench family {name!r}: id-native and eager query answers disagree"
+        )
+    assert ids_s is not None and eager_s is not None
+
+    # -- encode: streaming vs buffered, byte-checked ----------------------
+    # Byte-equality differential on the shared solution first.  The warm
+    # second pair is compared: the first encodes book the one-time decode
+    # into result_s, mutating the live timings mid-flight.
+    "".join(solution_to_jsonl_chunks(solution, sort_keys=True))
+    json.dumps(solution_to_obj(solution), sort_keys=True)
+    streamed = "".join(solution_to_jsonl_chunks(solution, sort_keys=True))
+    buffered = json.dumps(solution_to_obj(solution), sort_keys=True)
+    if streamed != buffered:
+        raise ReproError(
+            f"bench family {name!r}: streaming and buffered encodes disagree"
+        )
+    doc_bytes = len(streamed.encode("utf-8"))
+
+    def _fresh_view() -> Solution:
+        # What one serving response pays: a fresh lazy view over the
+        # solved model with empty per-instance caches, so first-touch
+        # decode is part of the measured cost.  (The atom table's decode
+        # cache is process-wide, exactly as in a warm server.)
+        return Solution.from_interpretation(
+            solution.semantics,
+            solution.model,
+            choices=solution.choices,
+            policy=solution.policy,
+            iterations=solution.iterations,
+            grounding=solution.grounding,
+            timings={},
+        )
+
+    stream_s: float | None = None
+    buffered_s: float | None = None
+    for _ in range(max(1, repeat)):
+        fresh = _fresh_view()
+        t0 = perf_counter()
+        # Consume without joining: the streaming path never holds the
+        # whole document.
+        for _chunk in solution_to_jsonl_chunks(fresh, sort_keys=True):
+            pass
+        elapsed = perf_counter() - t0
+        if stream_s is None or elapsed < stream_s:
+            stream_s = elapsed
+        fresh = _fresh_view()
+        t0 = perf_counter()
+        json.dumps(solution_to_obj(fresh), sort_keys=True)
+        elapsed = perf_counter() - t0
+        if buffered_s is None or elapsed < buffered_s:
+            buffered_s = elapsed
+    assert stream_s is not None and buffered_s is not None
+
+    mb = doc_bytes / (1024 * 1024)
+    return {
+        "n": n,
+        "atoms": gp.atom_count,
+        "queried": len(batch),
+        "ids_s": ids_s,
+        "eager_s": eager_s,
+        "ids_answers_per_s": len(batch) / max(ids_s, 1e-12),
+        "eager_answers_per_s": len(batch) / max(eager_s, 1e-12),
+        "query_speedup": eager_s / max(ids_s, 1e-12),
+        "doc_bytes": doc_bytes,
+        "stream_s": stream_s,
+        "buffered_s": buffered_s,
+        "stream_mb_s": mb / max(stream_s, 1e-12),
+        "buffered_mb_s": mb / max(buffered_s, 1e-12),
+        "encode_speedup": buffered_s / max(stream_s, 1e-12),
     }
 
 
@@ -1216,6 +1381,7 @@ def run_bench(
     load_concurrency: int | None = None,
     workers: int | None = None,
     backends: bool = True,
+    results_mode: bool = True,
 ) -> dict:
     """Run the benchmark suite and return the JSON-ready record.
 
@@ -1235,7 +1401,10 @@ def run_bench(
     ``backends`` records the python-vs-array kernel backend comparison
     per family (``backend_speedup``, models and tie decisions
     cross-checked identical; recorded as unavailable when numpy is not
-    importable).  Raises
+    importable); ``results_mode`` records the id-native result tier per
+    family (:func:`_results_family`: query answers/sec vs the eager
+    comparator, streaming encode MB/s vs the buffered oracle, both
+    differentially checked).  Raises
     :class:`~repro.errors.ReproError` for unknown scales or families,
     and whenever any cross-check fails.
     """
@@ -1277,6 +1446,11 @@ def run_bench(
             family_updates = _update_family(name, FAMILIES[name], base_n)
             if family_updates is not None:
                 update_results[name] = family_updates
+    tier_results = (
+        {name: _results_family(name, FAMILIES[name], base_n, repeat) for name in names}
+        if results_mode
+        else None
+    )
     load_results = None
     if load:
         concurrency = load_concurrency or _LOAD_CONCURRENCY[scale]
@@ -1325,6 +1499,11 @@ def run_bench(
     if load_results:
         load_speedups = [f["load_speedup"] for f in load_results.values()]
         summary.update(_stats(load_speedups, "load_speedup"))
+    if tier_results:
+        query_speedups = [r["query_speedup"] for r in tier_results.values()]
+        summary.update(_stats(query_speedups, "query_speedup"))
+        encode_speedups = [r["encode_speedup"] for r in tier_results.values()]
+        summary.update(_stats(encode_speedups, "encode_speedup"))
     record = {
         "schema": SCHEMA,
         "revision": current_revision(),
@@ -1346,6 +1525,8 @@ def run_bench(
         record["updates"] = update_results
     if load_results is not None:
         record["load"] = load_results
+    if tier_results is not None:
+        record["results"] = tier_results
     return record
 
 

@@ -46,7 +46,7 @@ from repro.constructions.theorem5 import theorem5_variant
 from repro.datalog.printer import format_database, format_program
 from repro.errors import ReproError
 from repro.io.dot import ground_graph_dot, program_graph_dot
-from repro.io.json_io import explanation_to_obj, solution_to_obj
+from repro.io.json_io import explanation_to_obj, result_to_json_chunks, solution_to_obj
 from repro.semantics.choices import RandomChoice
 from repro.semantics.stable import is_stable_model
 
@@ -75,6 +75,20 @@ def _engine(args) -> Engine:
 
 def _emit(command: str, payload: dict[str, Any]) -> None:
     print(json.dumps({"schema": CLI_SCHEMA, "command": command, **payload}, indent=2))
+
+
+def _emit_stream(command: str, payload: dict[str, Any]) -> None:
+    """``_emit`` for payloads carrying live :class:`Solution` values.
+
+    Streams the ``repro-cli/1`` envelope chunk-by-chunk; embedded
+    solutions decode straight from kernel ids at write time, producing
+    bytes identical to ``_emit`` on the materialized payload.
+    """
+    envelope = {"schema": CLI_SCHEMA, "command": command, **payload}
+    out = sys.stdout
+    for chunk in result_to_json_chunks(envelope, indent=2):
+        out.write(chunk)
+    out.write("\n")
 
 
 def _print_model(solution: Solution, show_false: bool) -> None:
@@ -162,7 +176,7 @@ def _cmd_run(args) -> int:
         options["policy"] = RandomChoice(args.seed)
     solution = engine.solve(name, **options)
     if args.json:
-        _emit("run", {"solution": solution_to_obj(solution)})
+        _emit_stream("run", {"solution": solution})
         return 0 if args.semantics == "stratified" or solution.total else 3
     if args.semantics == "wf":
         print(f"well-founded model ({solution.iterations} unfounded iterations):")
@@ -340,14 +354,20 @@ def _cmd_serve(args) -> int:
         backend=args.backend,
     ) as solver:
         t0 = perf_counter()
-        results = solver.solve_file(args.batch)
+        results = solver.solve_file(args.batch, materialize=False)
         elapsed = perf_counter() - t0
-    lines = [json.dumps(r, sort_keys=True) for r in results]
+    # Inline results carry live solutions; encode streams them from
+    # kernel ids directly to the output, one JSONL line per request.
     if args.output:
-        Path(args.output).write_text("\n".join(lines) + ("\n" if lines else ""))
+        with Path(args.output).open("w") as out:
+            for r in results:
+                for chunk in result_to_json_chunks(r, sort_keys=True):
+                    out.write(chunk)
+                out.write("\n")
     else:
-        for line in lines:
-            print(line)
+        for r in results:
+            sys.stdout.write("".join(result_to_json_chunks(r, sort_keys=True)))
+            sys.stdout.write("\n")
     failed = sum(1 for r in results if not r.get("ok"))
     rate = len(results) / elapsed if elapsed > 0 else float("inf")
     # Aggregate solve-phase stats over *distinct* solves: requests served
@@ -371,7 +391,8 @@ def _cmd_serve(args) -> int:
             f" / unfounded {solve_stats.get('unfounded_s', 0.0):.3f}"
             f" / tie-select {solve_stats.get('tie_select_s', 0.0):.3f}"
             f" / tie-analysis {solve_stats.get('tie_analysis_s', 0.0):.3f}"
-            f" / tie-apply {solve_stats.get('tie_apply_s', 0.0):.3f})"
+            f" / tie-apply {solve_stats.get('tie_apply_s', 0.0):.3f}"
+            f" / result {solve_stats.get('result_s', 0.0):.3f})"
         )
     print(
         f"served {len(results)} request(s) ({failed} failed) in {elapsed:.3f}s "
@@ -440,6 +461,7 @@ def _cmd_bench(args) -> int:
         load_concurrency=args.load_concurrency,
         workers=args.bench_workers,
         backends=not args.no_backends,
+        results_mode=not args.no_results,
     )
     path = write_bench(record, Path(args.output) if args.output else None)
     print(format_table(record))
@@ -648,6 +670,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-backends",
         action="store_true",
         help="skip the python-vs-array kernel backend comparison",
+    )
+    p.add_argument(
+        "--no-results",
+        action="store_true",
+        help="skip the result-tier mode (query answers/sec, encode MB/s)",
     )
     p.add_argument(
         "--load-concurrency",

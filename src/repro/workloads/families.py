@@ -14,7 +14,17 @@ chosen to stress one code path:
 * :func:`negation_tower` — a deeply stratified program (stratified
   evaluation and level computation stress);
 * :func:`committee` — one independent tie per element: the
-  nondeterministic-choice idiom of §6 / [SZ].
+  nondeterministic-choice idiom of §6 / [SZ];
+* :func:`grounded_argumentation` — abstract argumentation frameworks
+  under the grounded-extension reading (well-founded model of the
+  attack program): defense chains resolve by ``close``, mutual-attack
+  pairs are the ties — the game-theoretic-semantics workload beyond
+  win-move;
+* :func:`adversarial_scc` — an adversarial random attack distribution
+  whose ground graph is **one giant strongly connected tie component**
+  (a balanced signed SCC covering every atom): the worst case for the
+  condensation/Lemma-1 machinery, with no small components to retire
+  early.
 """
 
 from __future__ import annotations
@@ -34,6 +44,8 @@ __all__ = [
     "negation_tower",
     "layered_games",
     "committee",
+    "grounded_argumentation",
+    "adversarial_scc",
 ]
 
 
@@ -125,6 +137,109 @@ def layered_games(layers: int, positions: int) -> tuple[Program, Database]:
         for i in range(positions - 1):
             db.add(move, i, i + 1)
     return Program(rules), db
+
+
+def argumentation_program() -> Program:
+    """The grounded-extension encoding of an abstract argumentation framework.
+
+    ``accepted(X) :- arg(X), ¬defeated(X)`` and
+    ``defeated(X) :- attacks(Y, X), accepted(Y)`` — the well-founded
+    model of this program *is* the grounded labelling: true = IN,
+    false = OUT, undefined = UNDECIDED (the credulous middle that only
+    tie-breaking totalizes).
+    """
+    return Program(
+        [
+            rule(atom("accepted", "X"), pos("arg", "X"), neg("defeated", "X")),
+            rule(atom("defeated", "X"), pos("attacks", "Y", "X"), pos("accepted", "Y")),
+        ]
+    )
+
+
+def grounded_argumentation(n: int) -> tuple[Program, Database]:
+    """n arguments in a mixed attack framework (grounded-extension game).
+
+    Three regimes interleave, so every kernel phase is exercised:
+
+    * **defense chains** — runs of ``a_i attacks a_{i+1}``: the grounded
+      extension accepts every even link (resolved by ``close`` alone,
+      like a win-move line);
+    * **mutual attacks** — pairs attacking each other with no external
+      attacker: classic UNDECIDED arguments, each pair one independent
+      tie for the tie-breaking interpreter;
+    * **floating defeats** — a mutual pair both of whose members attack
+      a third argument: the victim stays undecided in the grounded
+      labelling but is defeated under *every* tie orientation — the
+      structural-totality boundary the paper's §3 draws.
+    """
+    attacks: list[tuple[int, int]] = []
+    position = 0
+    while position + 3 < n:
+        kind = position % 3
+        if kind == 0:  # defense chain of 4
+            attacks += [
+                (position, position + 1),
+                (position + 1, position + 2),
+                (position + 2, position + 3),
+            ]
+        elif kind == 1:  # two independent mutual-attack pairs
+            attacks += [
+                (position, position + 1),
+                (position + 1, position),
+                (position + 2, position + 3),
+                (position + 3, position + 2),
+            ]
+        else:  # floating defeat: pair (p, p+1) both attack p+2, chain into p+3
+            attacks += [
+                (position, position + 1),
+                (position + 1, position),
+                (position, position + 2),
+                (position + 1, position + 2),
+                (position + 2, position + 3),
+            ]
+        position += 4
+    db = Database.from_dict({"arg": [(i,) for i in range(n)], "attacks": attacks})
+    return argumentation_program(), db
+
+
+def adversarial_scc(
+    n: int, *, chords: int = 2, seed: int = 0x5CC
+) -> tuple[Program, Database]:
+    """One giant single-SCC tie component: the adversarial random workload.
+
+    A win-move board over ``n`` positions (n rounded up to even) drawn
+    from a distribution designed to be the condensation's worst case:
+    a Hamiltonian cycle plus ``chords * n`` random chords, every edge
+    crossing the even/odd parity classes.  All cycles are even, so the
+    whole board is **one strongly connected, Lemma-1-balanced tie
+    component** — no atom resolves by ``close``, no component retires
+    early, and the first tie orientation cascades through everything.
+    The chords are a deterministic function of ``(n, chords, seed)``
+    (xorshift, no global RNG state), so runs are reproducible.
+    """
+    if n < 2:
+        n = 2
+    if n % 2:
+        n += 1
+    edges = {(i, (i + 1) % n) for i in range(n)}
+    state = (seed ^ n) & 0xFFFFFFFF or 0x9E3779B9
+    half = n // 2
+    for _ in range(chords * n):
+        # xorshift32: cheap, deterministic, and free of random-module state.
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        source = state % n
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        # Land on the opposite parity class: every edge flips sides, so
+        # every cycle is even and the component is one balanced tie.
+        target = (2 * (state % half) + (source + 1)) % n
+        if target != source:
+            edges.add((source, target))
+    db = Database.from_dict({"move": sorted(edges)})
+    return win_move_program(), db
 
 
 def committee(n: int) -> tuple[Program, Database]:

@@ -166,6 +166,8 @@ TRACE_CASES = [
     ("committee", lambda: families.committee(5), "relevant"),
     ("layered_games", lambda: families.layered_games(3, 3), "relevant"),
     ("negation_tower", lambda: families.negation_tower(5), "relevant"),
+    ("grounded_argumentation", lambda: families.grounded_argumentation(13), "relevant"),
+    ("adversarial_scc", lambda: families.adversarial_scc(8), "relevant"),
     ("win_move_line-full", lambda: families.win_move_line(7), "full"),
     ("win_move_cycle-full", lambda: families.win_move_cycle(8), "full"),
 ]

@@ -46,6 +46,8 @@ FAMILY_CASES = {
     "negation_tower": lambda: families.negation_tower(6),
     "layered_games": lambda: families.layered_games(3, 4),
     "committee": lambda: families.committee(5),
+    "grounded_argumentation": lambda: families.grounded_argumentation(13),
+    "adversarial_scc": lambda: families.adversarial_scc(8),
 }
 
 

@@ -51,6 +51,8 @@ FAMILY_CASES = [
     ("unfounded_tower", families.unfounded_tower, 5, "relevant"),
     ("tie_chain", families.tie_chain, 5, "relevant"),
     ("committee", families.committee, 5, "relevant"),
+    ("grounded_argumentation", families.grounded_argumentation, 13, "relevant"),
+    ("adversarial_scc", families.adversarial_scc, 8, "relevant"),
 ]
 
 RANDOM_DISTRIBUTIONS = [

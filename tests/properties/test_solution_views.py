@@ -1,0 +1,213 @@
+"""Lazy id-native :class:`Solution` views vs the eager decode oracle.
+
+The PR-10 contract: a model-backed solution stores only the kernel's
+status array; ``true_ids`` / ``false_ids`` / ``undefined_ids`` partition
+it without decoding, and the ``*_atoms`` frozensets decode lazily on
+first touch (booking wall clock into ``timings["result_s"]``).  Every
+(family, semantics, backend) combination here cross-checks:
+
+* the id partition against a direct status-array scan;
+* the lazy atom views against an eager oracle decoded straight from the
+  :class:`~repro.ground.model.Interpretation`;
+* ``counts()`` / ``value()`` / ``query_many`` answers that must never
+  require a set to exist;
+* the streaming ``repro-solution/1`` encoder against the buffered
+  ``json.dumps`` oracle, byte for byte, across indent × sort_keys;
+* ``replace()`` carrying the decode caches without forcing new work.
+"""
+
+import json
+
+import pytest
+
+from repro.api.engine import Engine
+from repro.errors import ReproError
+from repro.ground.array_state import numpy_available
+from repro.ground.model import FALSE, TRUE, UNDEF
+from repro.io.json_io import (
+    solution_to_jsonl_chunks,
+    solution_to_obj,
+)
+from repro.workloads import families
+
+FAMILY_CASES = [
+    ("win_move_line", lambda: families.win_move_line(7)),
+    ("win_move_cycle", lambda: families.win_move_cycle(8)),
+    ("unfounded_tower", lambda: families.unfounded_tower(5)),
+    ("tie_chain", lambda: families.tie_chain(4)),
+    ("negation_tower", lambda: families.negation_tower(6)),
+    ("layered_games", lambda: families.layered_games(3, 4)),
+    ("committee", lambda: families.committee(5)),
+    ("grounded_argumentation", lambda: families.grounded_argumentation(13)),
+    ("adversarial_scc", lambda: families.adversarial_scc(8)),
+]
+
+SEMANTICS = [
+    "alternating",
+    "completion",
+    "fitting",
+    "modular",
+    "perfect",
+    "pure_tie_breaking",
+    "stable",
+    "stratified",
+    "tie_breaking",
+    "well_founded",
+]
+
+#: Semantics that accept a ``backend=`` option (the kernel-backed ones).
+BACKEND_SEMANTICS = {"well_founded", "tie_breaking", "pure_tie_breaking"}
+
+BACKENDS = ["python"] + (["array"] if numpy_available() else [])
+
+
+def _solutions(name, make):
+    """Every solvable (semantics, backend, solution) triple of one family."""
+    out = []
+    for semantics in SEMANTICS:
+        for backend in BACKENDS if semantics in BACKEND_SEMANTICS else [None]:
+            engine = Engine(*make())
+            options = {} if backend is None else {"backend": backend}
+            try:
+                solution = engine.solve(semantics, **options)
+            except ReproError:
+                continue  # semantics does not apply to this family
+            out.append((semantics, backend, engine, solution))
+    return out
+
+
+def _eager_oracle(model):
+    """Decode the full partition straight from the Interpretation."""
+    table = model.ground_program.atoms
+    sets = {TRUE: set(), FALSE: set(), UNDEF: set()}
+    for index, status in enumerate(model.status):
+        sets[status].add(table.atom(index))
+    return frozenset(sets[TRUE]), frozenset(sets[FALSE]), frozenset(sets[UNDEF])
+
+
+@pytest.mark.parametrize("name,make", FAMILY_CASES, ids=[c[0] for c in FAMILY_CASES])
+def test_lazy_views_match_eager_oracle(name, make):
+    solved = _solutions(name, make)
+    assert solved, name
+    for semantics, backend, _engine, solution in solved:
+        label = (name, semantics, backend)
+        if solution.model is None:
+            # Closed-world results are born eager; the id views are absent.
+            assert solution.true_ids is None, label
+            assert solution.false_ids is None, label
+            assert solution.undefined_ids is None, label
+            true, false, undefined = solution.counts()
+            assert true == len(solution.true_atoms), label
+            assert undefined == len(solution.undefined_atoms), label
+            continue
+        # Nothing read yet: the solve itself must not have decoded.
+        assert solution.timings.get("result_s", 0.0) == 0.0, label
+        status = solution.model.status
+        expect_true = tuple(i for i, s in enumerate(status) if s == TRUE)
+        expect_false = tuple(i for i, s in enumerate(status) if s == FALSE)
+        expect_undef = tuple(i for i, s in enumerate(status) if s == UNDEF)
+        assert solution.true_ids == expect_true, label
+        assert solution.false_ids == expect_false, label
+        assert solution.undefined_ids == expect_undef, label
+        assert solution.counts() == (
+            len(expect_true),
+            len(expect_false),
+            len(expect_undef),
+        ), label
+        oracle_true, oracle_false, oracle_undef = _eager_oracle(solution.model)
+        # value() answers from the interned id before any set exists.
+        for atom in list(oracle_true)[:5]:
+            assert solution.value(atom) is True, label
+        for atom in list(oracle_undef)[:5]:
+            assert solution.value(atom) is None, label
+        # First touch decodes; the decoded views must equal the oracle.
+        assert solution.true_atoms == oracle_true, label
+        assert solution.false_atoms == oracle_false, label
+        assert solution.undefined_atoms == oracle_undef, label
+        assert solution.timings["result_s"] > 0.0, label
+
+
+@pytest.mark.parametrize("name,make", FAMILY_CASES, ids=[c[0] for c in FAMILY_CASES])
+def test_streaming_encode_matches_buffered_bytes(name, make):
+    for semantics, backend, _engine, solution in _solutions(name, make):
+        label = (name, semantics, backend)
+        # Warm both paths once: the first encodes book the one-time decode
+        # into the live timings, so only the warm pair is byte-stable.
+        "".join(solution_to_jsonl_chunks(solution))
+        solution.to_json()
+        for indent in (None, 2):
+            for sort_keys in (False, True):
+                streamed = "".join(
+                    solution_to_jsonl_chunks(solution, indent=indent, sort_keys=sort_keys)
+                )
+                buffered = json.dumps(
+                    solution_to_obj(solution), indent=indent, sort_keys=sort_keys
+                )
+                assert streamed == buffered, (*label, indent, sort_keys)
+                parsed = json.loads(streamed)
+                assert parsed["schema"] == "repro-solution/1", label
+                assert parsed["counts"]["true"] == len(parsed["model"]["true"]), label
+
+
+def test_query_many_answers_without_decoding():
+    engine = Engine(*families.win_move_line(9))
+    gp = engine.ground_for("relevant")
+    table = gp.atoms
+    atoms = [table.atom(i) for i in range(gp.atom_count)]
+    answers = engine.query_many(atoms, semantics="well_founded")
+    solution = engine.solve("well_founded")
+    # The batch was answered from ids: no view was ever decoded.
+    assert solution._true is None and solution._undefined is None
+    assert solution.timings.get("result_s", 0.0) == 0.0
+    oracle_true, oracle_false, oracle_undef = _eager_oracle(solution.model)
+    for atom, value in answers.items():
+        expect = True if atom in oracle_true else (None if atom in oracle_undef else False)
+        assert value is expect, atom
+
+
+def test_replace_carries_decode_caches():
+    engine = Engine(*families.committee(5))
+    solution = engine.solve("tie_breaking")
+    # Replacing before any decode keeps the views undecoded.
+    early = solution.replace(grounding="relevant")
+    assert early._true is None and early._ids is None
+    # After a decode, replace() reuses the cached objects outright.
+    touched = solution.true_atoms
+    booked = solution.timings["result_s"]
+    later = solution.replace(iterations=99)
+    assert later._true is solution._true
+    assert later.true_atoms is touched
+    assert later._ids is solution._ids
+    assert later.timings["result_s"] == booked
+    # The copy answers identically without booking any new decode time.
+    assert later.counts() == solution.counts()
+    assert solution.timings["result_s"] == booked
+
+
+def test_enumerate_solutions_keep_lazy_views_consistent():
+    engine = Engine(*families.committee(4))
+    for solution in engine.enumerate("tie_breaking", limit=4):
+        # Enumerated snapshots drop the live state but stay model-backed:
+        # their lazy views must still decode against their own model.
+        assert solution.state is None
+        oracle_true, _false, oracle_undef = _eager_oracle(solution.model)
+        assert solution.true_atoms == oracle_true
+        assert solution.undefined_atoms == oracle_undef
+        assert solution.total
+
+
+def test_result_s_never_double_books():
+    engine = Engine(*families.win_move_line(20))
+    solution = engine.solve("well_founded")
+    solution.true_atoms
+    solution.false_atoms
+    solution.undefined_atoms
+    booked = solution.timings["result_s"]
+    # Every further read is served from cache: nothing new is booked.
+    solution.true_atoms
+    solution.counts()
+    solution._sorted_strings(0)
+    first = solution.timings["result_s"]
+    solution._sorted_strings(0)
+    assert solution.timings["result_s"] == first
+    assert first >= booked

@@ -39,6 +39,8 @@ FAMILY_CASES = [
     ("win_move_cycle", lambda n: families.win_move_cycle(n), 12, "relevant"),
     ("tie_chain", families.tie_chain, 14, "relevant"),
     ("committee", families.committee, 9, "relevant"),
+    ("grounded_argumentation", families.grounded_argumentation, 17, "relevant"),
+    ("adversarial_scc", families.adversarial_scc, 10, "relevant"),
 ]
 
 BACKENDS = [("python", GroundGraphState)]

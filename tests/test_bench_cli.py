@@ -39,9 +39,13 @@ class TestRunBench:
                 "tie_select_s",
                 "tie_apply_s",
                 "tie_analysis_s",
+                "result_s",
             }
             assert all(v >= 0 for v in solve_phases.values())
             assert sum(solve_phases.values()) <= family["engine_solve_s"] + 1e-6
+            # The solution is id-native: nothing in the bench loop reads an
+            # atom view before this snapshot, so no decode has been booked.
+            assert solve_phases["result_s"] == 0.0
             # Every run differentially verifies the incremental (K, L)
             # sides cache against the full_recompute oracle.
             assert family["tie_sides_checked"] >= 0
@@ -81,13 +85,16 @@ class TestRunBench:
         assert family["seed_ground_s"] is None
         assert family["ground_speedup"] is None
         # No seed-kernel/grounder speedups; the serving (warm),
-        # enumeration (trail-vs-clone), and backend (python-vs-array)
-        # summaries are independent of the frozen baselines and survive.
+        # enumeration (trail-vs-clone), backend (python-vs-array), and
+        # result-tier (query/encode) summaries are independent of the
+        # frozen baselines and survive.
         assert not any(
             k.endswith("_speedup")
             and "warm" not in k
             and "enumerate" not in k
             and "backend" not in k
+            and "query" not in k
+            and "encode" not in k
             for k in record["summary"]
         )
 
@@ -100,9 +107,11 @@ class TestRunBench:
             enumerate_mode=False,
             load=False,
             backends=False,
+            results_mode=False,
         )
         assert "throughput" not in record
         assert "enumerate" not in record
+        assert "results" not in record
         assert record["summary"] == {}
 
     def test_no_backends_mode(self):
@@ -142,6 +151,54 @@ class TestRunBench:
         assert backends["backend_speedup"] > 0
         assert backends["tie_rounds"]["array"] <= backends["tie_rounds"]["python"]
         assert "geomean_backend_speedup" in record["summary"]
+
+    def test_results_mode_records_query_and_encode(self):
+        record = run_bench(
+            scale="smoke",
+            family_names=["win_move_line", "committee"],
+            baseline=False,
+            throughput=False,
+            enumerate_mode=False,
+            updates=False,
+            load=False,
+            backends=False,
+        )
+        assert set(record["results"]) == {"win_move_line", "committee"}
+        for fam in record["results"].values():
+            # Reaching here means the runner's differential checks passed:
+            # id-native answers == eager-materialized answers, and the
+            # streamed bytes == the buffered json.dumps bytes (it raises
+            # on any divergence).
+            assert 0 < fam["queried"] <= fam["atoms"]
+            assert fam["ids_answers_per_s"] > 0
+            assert fam["eager_answers_per_s"] > 0
+            assert fam["query_speedup"] > 0
+            assert fam["doc_bytes"] > 0
+            assert fam["stream_mb_s"] > 0
+            assert fam["buffered_mb_s"] > 0
+            assert fam["encode_speedup"] > 0
+        summary = record["summary"]
+        assert (
+            summary["min_query_speedup"]
+            <= summary["geomean_query_speedup"]
+            <= summary["max_query_speedup"]
+        )
+        assert "geomean_encode_speedup" in summary
+
+    def test_no_results_mode(self):
+        record = run_bench(
+            scale="smoke",
+            family_names=["committee"],
+            baseline=False,
+            throughput=False,
+            enumerate_mode=False,
+            updates=False,
+            load=False,
+            backends=False,
+            results_mode=False,
+        )
+        assert "results" not in record
+        assert not any("query" in k or "encode" in k for k in record["summary"])
 
     def test_enumerate_mode_records_models_per_sec(self):
         record = run_bench(
